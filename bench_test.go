@@ -1,0 +1,349 @@
+package repro
+
+// Benchmark harness: one benchmark per paper table/figure (regenerating the
+// experiment's data from a shared simulated run), plus simulator and
+// substrate benchmarks and the ablation sweeps called out in DESIGN.md.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tsagg"
+)
+
+var (
+	benchOnce sync.Once
+	benchData *RunData
+	benchVC   *core.VariabilityCollector
+	benchErr  error
+)
+
+// benchRun builds one shared scaled run for all analysis benchmarks so
+// each benchmark measures experiment regeneration, not simulation.
+func benchRun(b *testing.B) (*RunData, *core.VariabilityCollector) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := ScaledConfig(128, 6*time.Hour)
+		benchData, benchVC, _, benchErr = SimulateWithVariability(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchData, benchVC
+}
+
+func BenchmarkSimulateDay(b *testing.B) {
+	// The digital twin itself: one simulated hour on 64 nodes per
+	// iteration (≈360 windows × 64 nodes × 8 components).
+	for i := 0; i < b.N; i++ {
+		cfg := ScaledConfig(64, time.Hour)
+		cfg.Seed = uint64(i)
+		if _, _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Classes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ReportTable3()
+	}
+}
+
+func BenchmarkFig4MeterValidation(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure4Validation(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5YearTrends(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure5Trends(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6EnergyPowerKDE(b *testing.B) {
+	d, _ := benchRun(b)
+	recs := BuildJobRecords(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Figure6EnergyPower(recs, 40)
+	}
+}
+
+func BenchmarkFig7JobCDFs(b *testing.B) {
+	d, _ := benchRun(b)
+	recs := BuildJobRecords(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Figure7JobCDFs(recs)
+	}
+}
+
+func BenchmarkFig8DomainBreakdown(b *testing.B) {
+	d, _ := benchRun(b)
+	recs := BuildJobRecords(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Figure8DomainBreakdown(recs)
+	}
+}
+
+func BenchmarkFig9CPUGPUKde(b *testing.B) {
+	d, _ := benchRun(b)
+	recs := BuildJobRecords(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Figure9ComponentKDE(recs, 40)
+	}
+}
+
+func BenchmarkFig10PowerDynamics(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Figure10Dynamics(d)
+	}
+}
+
+func BenchmarkFig11EdgeSnapshots(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Figure11EdgeSnapshots(d, time.Minute, 4*time.Minute)
+	}
+}
+
+func BenchmarkFig12ThermalResponse(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Figure12ThermalResponse(d, time.Minute, 4*time.Minute)
+	}
+}
+
+func BenchmarkTable4FailureComposition(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Table4Composition(d)
+	}
+}
+
+func BenchmarkFig13FailureCorrelation(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure13Correlation(d, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14FailuresPerProject(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Figure14FailuresPerProject(d, false, 15)
+	}
+}
+
+func BenchmarkFig15ThermalExtremity(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Figure15ThermalExtremity(d)
+	}
+}
+
+func BenchmarkFig16PlacementCounts(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Figure16Placement(d, true)
+	}
+}
+
+func BenchmarkFig17Variability(b *testing.B) {
+	_, vc := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure17Variability(vc, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §3) ---
+
+// BenchmarkAblationCoarsenWindow sweeps the coarsening window: the paper
+// chose 10 s as the balance between fidelity and volume.
+func BenchmarkAblationCoarsenWindow(b *testing.B) {
+	samples := make([]tsagg.Sample, 86400)
+	for i := range samples {
+		samples[i] = tsagg.Sample{T: int64(i), V: float64(500 + i%1800)}
+	}
+	for _, window := range []int64{1, 10, 60} {
+		window := window
+		b.Run(benchName("window", window), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = tsagg.Coarsen(samples, window)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEdgeFidelity measures how the coarsening window affects
+// detected edge counts (reported via b.ReportMetric) and detection cost.
+func BenchmarkAblationEdgeFidelity(b *testing.B) {
+	d, _ := benchRun(b)
+	for _, factor := range []int{1, 6, 30} {
+		factor := factor
+		b.Run(benchName("downsample", int64(factor)), func(b *testing.B) {
+			series := d.ClusterPower.Downsample(factor)
+			var edges int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				edges = len(core.DetectEdges(series, d.Nodes))
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+// BenchmarkAblationWorkers sweeps the node-update parallelism of the twin.
+func BenchmarkAblationWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		workers := workers
+		b.Run(benchName("workers", int64(workers)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ScaledConfig(64, 30*time.Minute)
+				cfg.Workers = workers
+				s, err := sim.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationKDEGrid sweeps the KDE grid resolution of Figure 6.
+func BenchmarkAblationKDEGrid(b *testing.B) {
+	d, _ := benchRun(b)
+	recs := BuildJobRecords(d)
+	for _, grid := range []int{20, 40, 80} {
+		grid := grid
+		b.Run(benchName("grid", int64(grid)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = Figure6EnergyPower(recs, grid)
+			}
+		})
+	}
+}
+
+func benchName(k string, v int64) string {
+	if v == 0 {
+		return k + "=auto"
+	}
+	return fmt.Sprintf("%s=%d", k, v)
+}
+
+// BenchmarkFig5YearSurvey runs the sampled-year seasonal analysis (12
+// parallel monthly simulations) — the heavyweight Figure 5 regenerator.
+func BenchmarkFig5YearSurvey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		trends, err := YearSurvey(YearSurveyConfig{
+			Seed: uint64(i), Nodes: 36, SpanPerMonthSec: 3600, Jobs: 15,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = SummarizeYear(trends)
+	}
+}
+
+// BenchmarkSection2ThermalBands regenerates the operator-dashboard band
+// summary.
+func BenchmarkSection2ThermalBands(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ThermalBandSummary(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSection9Fingerprints regenerates the future-work fingerprint
+// clustering and prediction evaluation.
+func BenchmarkSection9Fingerprints(b *testing.B) {
+	d, _ := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fps := BuildFingerprints(d)
+		if _, err := ClusterFingerprints(fps, 5, 9); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := EvaluateFingerprintPrediction(fps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSection8PowerCap runs the power-aware scheduling what-if
+// (baseline + two capped arms).
+func BenchmarkSection8PowerCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := ScaledConfig(48, 2*time.Hour)
+		base.Seed = uint64(i)
+		if _, err := PowerCapExperiment(base, []float64{0.85, 0.7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSampling sweeps the per-window 1 Hz emulation depth:
+// more sub-samples refine the window min/max/std at linear cost.
+func BenchmarkAblationSampling(b *testing.B) {
+	for _, samples := range []int{1, 2, 10} {
+		samples := samples
+		b.Run(benchName("samples", int64(samples)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ScaledConfig(48, 30*time.Minute)
+				cfg.SamplesPerWindow = samples
+				cfg.Seed = uint64(i)
+				if _, _, err := Simulate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSection6Generations runs the Titan-vs-Summit failure-bias
+// comparison experiment.
+func BenchmarkSection6Generations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := CompareGenerations(uint64(i), 32, 25, 30000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

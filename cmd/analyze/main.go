@@ -1,0 +1,289 @@
+// Command analyze runs ad-hoc analyses over an archived run produced by
+// summitsim (or `repro -data`): cluster power summary, edge detection,
+// FFT swing characterization, and the failure-log analyses.
+//
+// Usage:
+//
+//	analyze -data /path/to/archive [-cmd summary|edges|fft|failures] [-nodes N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/failures"
+	"repro/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analyze: ")
+	dataDir := flag.String("data", "", "archive directory (required)")
+	cmd := flag.String("cmd", "summary", "analysis: summary|edges|fft|failures|jobs|bands|earlywarning")
+	nodes := flag.Int("nodes", 256, "system size the archive was produced with (for edge thresholds)")
+	step := flag.Int64("step", 10, "coarsening window of the archive in seconds")
+	flag.Parse()
+	if *dataDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := dispatch(os.Stdout, *cmd, *dataDir, *step, *nodes); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// dispatch routes a subcommand to its analysis, writing to w.
+func dispatch(w io.Writer, cmd, dataDir string, step int64, nodes int) error {
+	switch cmd {
+	case "summary":
+		return summary(w, dataDir, step)
+	case "edges":
+		return edges(w, dataDir, step, nodes)
+	case "fft":
+		return fft(w, dataDir, step)
+	case "failures":
+		return failureAnalysis(w, dataDir, nodes)
+	case "jobs":
+		return jobAnalysis(w, dataDir)
+	case "bands":
+		return bandAnalysis(w, dataDir, step, nodes)
+	case "earlywarning":
+		return earlyWarningAnalysis(w, dataDir, nodes)
+	default:
+		return fmt.Errorf("unknown -cmd %q", cmd)
+	}
+}
+
+func summary(w io.Writer, dataDir string, step int64) error {
+	series, err := core.ReadClusterDataset(dataDir, step)
+	if err != nil {
+		return err
+	}
+	tab := render.NewTable("series", "windows", "min", "mean", "max", "std")
+	names := []string{"sum_inp", "cpu_power", "gpu_power", "pue", "mtwst", "mtwrt",
+		"tower_tons", "chiller_tons", "gpu_core_temp_mean", "gpu_core_temp_max"}
+	for _, name := range names {
+		s, ok := series[name]
+		if !ok {
+			continue
+		}
+		m := s.Stats()
+		tab.Row(name, m.N, m.Min, m.Mean(), m.Max, m.Std())
+	}
+	_, err = tab.WriteTo(w)
+	return err
+}
+
+func edges(w io.Writer, dataDir string, step int64, nodes int) error {
+	series, err := core.ReadClusterDataset(dataDir, step)
+	if err != nil {
+		return err
+	}
+	power, ok := series["sum_inp"]
+	if !ok {
+		return fmt.Errorf("archive has no sum_inp series")
+	}
+	es := core.DetectEdges(power, nodes)
+	tab := render.NewTable("t", "direction", "amplitude (MW)", "duration (s)")
+	for _, e := range es {
+		dir := "rise"
+		if !e.Rising {
+			dir = "fall"
+		}
+		tab.Row(e.T, dir, e.AmplitudeW/1e6, e.DurationSec)
+	}
+	if _, err := tab.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d edges at threshold %.2f MW\n", len(es), core.ClusterEdgeThresholdMW(nodes))
+	return nil
+}
+
+func fft(w io.Writer, dataDir string, step int64) error {
+	series, err := core.ReadClusterDataset(dataDir, step)
+	if err != nil {
+		return err
+	}
+	power, ok := series["sum_inp"]
+	if !ok {
+		return fmt.Errorf("archive has no sum_inp series")
+	}
+	vals := power.Clean()
+	freq, amp, ok := dsp.DominantSwing(vals, 1/float64(step))
+	if !ok {
+		return fmt.Errorf("series too short for FFT")
+	}
+	fmt.Fprintf(w, "dominant swing: %.5f Hz (period %.0f s), amplitude %.2f MW\n",
+		freq, 1/freq, amp/1e6)
+	// Top-5 spectral components of the differenced series.
+	spec, err := dsp.NewSpectrum(dsp.Diff(vals), 1/float64(step))
+	if err != nil {
+		return err
+	}
+	type comp struct{ f, a float64 }
+	best := make([]comp, 0, 5)
+	for i, a := range spec.Amps {
+		best = append(best, comp{spec.Freqs[i], a})
+	}
+	// Partial selection of the 5 largest amplitudes.
+	for i := 0; i < 5 && i < len(best); i++ {
+		maxJ := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j].a > best[maxJ].a {
+				maxJ = j
+			}
+		}
+		best[i], best[maxJ] = best[maxJ], best[i]
+	}
+	tab := render.NewTable("rank", "freq (Hz)", "period (s)", "amplitude (W)")
+	for i := 0; i < 5 && i < len(best); i++ {
+		period := math.Inf(1)
+		if best[i].f > 0 {
+			period = 1 / best[i].f
+		}
+		tab.Row(i+1, best[i].f, period, best[i].a)
+	}
+	_, err = tab.WriteTo(w)
+	return err
+}
+
+func failureAnalysis(w io.Writer, dataDir string, nodes int) error {
+	evs, err := core.ReadFailureDataset(dataDir)
+	if err != nil {
+		return err
+	}
+	rows := core.Table4Composition(evs, nodes)
+	tab := render.NewTable("GPU error", "count", "max/node", "max/node %")
+	for _, r := range rows {
+		tab.Row(r.Type.String(), r.Count, r.MaxPerNode,
+			fmt.Sprintf("%.1f%%", r.MaxPerNodeFrac*100))
+	}
+	if _, err := tab.WriteTo(w); err != nil {
+		return err
+	}
+	cells, err := core.Figure13Correlation(evs, nodes, 0.05)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%d Bonferroni-significant co-occurrence pairs:\n", len(cells))
+	ctab := render.NewTable("type A", "type B", "r")
+	for _, c := range cells {
+		ctab.Row(c.A.String(), c.B.String(), c.R)
+	}
+	if _, err := ctab.WriteTo(w); err != nil {
+		return err
+	}
+	// Thermal context coverage.
+	withTemp := 0
+	for _, e := range evs {
+		if e.HasTemp() {
+			withTemp++
+		}
+	}
+	if len(evs) > 0 {
+		fmt.Fprintf(w, "\nthermal context present on %.1f%% of %d events\n",
+			100*float64(withTemp)/float64(len(evs)), len(evs))
+	}
+	return nil
+}
+
+func jobAnalysis(w io.Writer, dataDir string) error {
+	rows, err := core.ReadJobDataset(dataDir)
+	if err != nil {
+		return err
+	}
+	// Top 20 by energy.
+	sortRows := append([]core.JobDatasetRow(nil), rows...)
+	for i := 1; i < len(sortRows); i++ {
+		for j := i; j > 0 && sortRows[j].EnergyJ > sortRows[j-1].EnergyJ; j-- {
+			sortRows[j], sortRows[j-1] = sortRows[j-1], sortRows[j]
+		}
+	}
+	tab := render.NewTable("allocation", "class", "nodes", "hours", "mean (kW)", "max (kW)", "energy (kWh)")
+	for i, r := range sortRows {
+		if i == 20 {
+			break
+		}
+		tab.Row(r.AllocationID, r.Class, r.Nodes,
+			float64(r.EndTime-r.BeginTime)/3600, r.MeanPowerW/1e3,
+			r.MaxPowerW/1e3, r.EnergyJ/3.6e6)
+	}
+	if _, err := tab.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d jobs total\n", len(rows))
+	return nil
+}
+
+func bandAnalysis(w io.Writer, dataDir string, step int64, nodes int) error {
+	series, err := core.ReadClusterDataset(dataDir, step)
+	if err != nil {
+		return err
+	}
+	tab := render.NewTable("band", "mean GPUs", "max GPUs", "mean share")
+	totalGPUs := float64(nodes * 6)
+	found := false
+	for b := 0; b < core.NumTempBands; b++ {
+		s, ok := series[fmt.Sprintf("gpu_band_%d", b)]
+		if !ok {
+			continue
+		}
+		found = true
+		m := s.Stats()
+		share := 0.0
+		if totalGPUs > 0 {
+			share = m.Mean() / totalGPUs
+		}
+		tab.Row(core.TempBandLabel(b), m.Mean(), m.Max, fmt.Sprintf("%.1f%%", share*100))
+	}
+	if !found {
+		return fmt.Errorf("archive has no band columns (re-archive with a current build)")
+	}
+	_, err = tab.WriteTo(w)
+	return err
+}
+
+func earlyWarningAnalysis(w io.Writer, dataDir string, nodes int) error {
+	evs, err := core.ReadFailureDataset(dataDir)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("failure log empty")
+	}
+	// Observation span from the log extents; one-hour windows.
+	lo, hi := evs[0].Time, evs[0].Time
+	for _, e := range evs {
+		if e.Time < lo {
+			lo = e.Time
+		}
+		if e.Time > hi {
+			hi = e.Time
+		}
+	}
+	const windowSec = 3600
+	spanSec := hi - lo + windowSec
+	gpuWindows := float64(nodes*6) * float64(spanSec) / windowSec
+	pairs := [][2]failures.Type{
+		{failures.MicrocontrollerWarning, failures.DriverErrorHandling},
+		{failures.DoubleBitError, failures.PageRetirementEvent},
+		{failures.PageRetirementEvent, failures.PageRetirementFailure},
+	}
+	tab := render.NewTable("precursor", "outcome", "precursors", "hit rate", "base rate", "lift", "median lead (s)")
+	for _, pr := range pairs {
+		st, err := core.EarlyWarning(evs, pr[0], pr[1], windowSec, gpuWindows)
+		if err != nil {
+			return err
+		}
+		tab.Row(st.Precursor.String(), st.Outcome.String(), st.Precursors,
+			st.HitRate, st.BaseRate, st.Lift, st.MedianLeadSec)
+	}
+	_, err = tab.WriteTo(w)
+	return err
+}

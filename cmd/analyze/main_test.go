@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+)
+
+// testArchive builds one archive shared by the analyze subcommand tests.
+var archiveDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "analyze-test-*")
+	if err != nil {
+		panic(err)
+	}
+	cfg := repro.ScaledConfig(36, time.Hour)
+	data, _, err := repro.Simulate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := core.WriteDatasets(dir, data); err != nil {
+		panic(err)
+	}
+	archiveDir = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestDispatchSubcommands(t *testing.T) {
+	cases := []struct {
+		cmd  string
+		want string
+	}{
+		{"summary", "sum_inp"},
+		{"edges", "edges at threshold"},
+		{"fft", "dominant swing"},
+		{"failures", "Memory page fault"},
+		{"jobs", "jobs total"},
+		{"bands", "<30°C"},
+		{"earlywarning", "precursor"},
+	}
+	for _, c := range cases {
+		var b strings.Builder
+		if err := dispatch(&b, c.cmd, archiveDir, 10, 36); err != nil {
+			t.Errorf("%s: %v", c.cmd, err)
+			continue
+		}
+		if !strings.Contains(b.String(), c.want) {
+			t.Errorf("%s output missing %q:\n%s", c.cmd, c.want, b.String())
+		}
+	}
+}
+
+func TestDispatchUnknownAndMissing(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch(&b, "nope", archiveDir, 10, 36); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := dispatch(&b, "summary", t.TempDir(), 10, 36); err == nil {
+		t.Error("missing archive accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command telemetryd demonstrates the out-of-band telemetry transport end
+// to end on one machine: it starts the aggregation-tier TCP server, runs a
+// short simulation, streams every node's metrics through per-shard
+// exporters (288:1 fan-in), and reports ingest statistics — the
+// reproduction of the paper's §2 collection path as a running service.
+//
+// Usage:
+//
+//	telemetryd [-nodes N] [-minutes M]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/tsagg"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("telemetryd: ")
+	nodes := flag.Int("nodes", 72, "system size in nodes")
+	minutes := flag.Float64("minutes", 20, "simulated span in minutes")
+	flag.Parse()
+
+	// Aggregation tier: coarsen arriving samples per channel.
+	var mu sync.Mutex
+	coarseners := map[uint64]*tsagg.Coarsener{}
+	windows := 0
+	sink := func(batch []telemetry.Sample) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range batch {
+			key := uint64(s.Node)<<16 | uint64(s.Metric)
+			c, ok := coarseners[key]
+			if !ok {
+				c = tsagg.NewCoarsener(units.CoarsenWindowSec, func(tsagg.WindowStat) {
+					windows++
+				})
+				coarseners[key] = c
+			}
+			c.Add(s.T, s.Value)
+		}
+	}
+	srv, err := telemetry.NewServer("127.0.0.1:0", sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("aggregation tier listening on %s\n", srv.Addr())
+
+	// Node tier: run the twin and export a stream per fan-in shard.
+	cfg := repro.ScaledConfig(*nodes, time.Duration(*minutes*float64(time.Minute)))
+	s, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shards := (*nodes + units.FanInRatio - 1) / units.FanInRatio
+	exporters := make([]*telemetry.Exporter, shards)
+	for i := range exporters {
+		exporters[i], err = telemetry.Dial(srv.Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	filter := telemetry.NewChangeFilter()
+	start := time.Now()
+	res, err := s.Run(sim.ObserverFunc(func(snap *sim.Snapshot) {
+		for i := range snap.NodeStat {
+			node := topology.NodeID(i)
+			sample := telemetry.Sample{
+				Node: node, Metric: telemetry.MetricInputPower,
+				T: snap.T, Value: snap.NodeStat[i].Mean,
+			}
+			if !filter.Pass(sample) {
+				continue
+			}
+			exp := exporters[i/units.FanInRatio%shards]
+			if err := exp.Push(sample); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sent int64
+	for _, exp := range exporters {
+		if err := exp.Close(); err != nil {
+			log.Fatal(err)
+		}
+		sent += exp.Sent()
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("simulated %d windows on %d nodes in %.1fs\n", res.Steps, *nodes, elapsed.Seconds())
+	fmt.Printf("exported %d samples over %d shard connections (%d frames)\n",
+		sent, shards, srv.Frames())
+	fmt.Printf("server ingested %d samples (%.0f samples/s); %d channel windows coarsened\n",
+		srv.Received(), float64(srv.Received())/elapsed.Seconds(), windows)
+	if srv.Received() != sent {
+		log.Fatalf("LOSS: sent %d != received %d", sent, srv.Received())
+	}
+	fmt.Println("no loss across the transport — out-of-band path verified")
+}

@@ -1,0 +1,90 @@
+// Archive & analyze: the offline half of the pipeline. Simulate a span,
+// archive every dataset to disk in the compressed columnar format, then —
+// as a separate analysis pass — restore the archives and run the paper's
+// analyses on the restored data, verifying the round trip end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "summit-archive-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// --- Collection pass: simulate and archive. ---
+	cfg := repro.ScaledConfig(96, 4*time.Hour)
+	data, res, err := repro.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.WriteDatasets(dir, data); err != nil {
+		log.Fatal(err)
+	}
+	if err := core.WriteJobSeriesDataset(dir, data); err != nil {
+		log.Fatal(err)
+	}
+	var total int64
+	for _, name := range []string{core.DatasetClusterPower, core.DatasetJobRecords,
+		core.DatasetFailures, core.DatasetJobSeries} {
+		ds, err := store.NewDataset(dir, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		size, err := ds.SizeOnDisk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += size
+	}
+	fmt.Printf("archived %d windows, %d jobs, %d failures in %.1f KiB\n",
+		res.Steps, len(res.Allocations), len(res.Failures), float64(total)/1024)
+
+	// --- Analysis pass: restore and analyze without the live run. ---
+	series, err := core.ReadClusterDataset(dir, cfg.StepSec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	power := series["sum_inp"]
+	m := power.Stats()
+	fmt.Printf("restored cluster power: %d windows, mean %.1f kW, max %.1f kW\n",
+		m.N, m.Mean()/1e3, m.Max/1e3)
+
+	edges := core.DetectEdgesThreshold(power, core.ScaleEquivalentMW(cfg.Nodes))
+	fmt.Printf("scale-equivalent-MW edges on restored series: %d\n", len(edges))
+
+	evs, err := core.ReadFailureDataset(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp := core.Table4Composition(evs, cfg.Nodes)
+	fmt.Printf("restored failure log: %d events, %d types; top: %s (%d)\n",
+		len(evs), len(comp), comp[0].Type, comp[0].Count)
+
+	jobs, err := core.ReadJobSeriesDataset(dir, cfg.StepSec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var longest int64
+	var longestN int
+	for id, v := range jobs {
+		if n := len(v.SumPower.Clean()); n > longestN {
+			longestN = n
+			longest = id
+		}
+	}
+	fmt.Printf("restored %d job series; longest job %d spans %d windows\n",
+		len(jobs), longest, longestN)
+	fmt.Println("archive → restore → analyze round trip complete")
+}

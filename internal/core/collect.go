@@ -1,0 +1,368 @@
+// Package core implements the paper's contribution: the analysis pipeline
+// that turns raw telemetry, job logs, facility data and failure logs into
+// the paper's tables and figures. Each experiment has a dedicated entry
+// point returning plain data structures that the renderers and benchmarks
+// consume.
+package core
+
+import (
+	"math"
+
+	"repro/internal/failures"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/tsagg"
+	"repro/internal/units"
+)
+
+// JobSeries is the job-aware collapse of per-node telemetry for one
+// allocation (the paper's Datasets 3–6): cluster-of-the-job power and
+// component series on the coarsening grid.
+type JobSeries struct {
+	AllocIdx int
+	// SumPower is Σ over the job's nodes of sensor input power (W).
+	SumPower *tsagg.Series
+	// MaxNodePower / MeanNodePower are across-node max/mean of per-node
+	// input power (W).
+	MaxNodePower  *tsagg.Series
+	MeanNodePower *tsagg.Series
+	// MeanCPUPower / MaxCPUPower are across-node stats of per-node CPU
+	// component power (W, both sockets combined); GPU likewise.
+	MeanCPUPower *tsagg.Series
+	MaxCPUPower  *tsagg.Series
+	MeanGPUPower *tsagg.Series
+	MaxGPUPower  *tsagg.Series
+	// GPUTempMean / GPUTempMax summarize GPU core temperatures across the
+	// job's GPUs (°C).
+	GPUTempMean *tsagg.Series
+	GPUTempMax  *tsagg.Series
+}
+
+// RunData is everything the analyses need from one simulated span: the
+// in-memory equivalent of the paper's pre-processed Datasets 0–13.
+type RunData struct {
+	StartTime int64
+	StepSec   int64
+	Nodes     int
+
+	Allocations []scheduler.Allocation
+	Failures    []failures.Event
+
+	// Cluster-level series (Datasets 1–2).
+	ClusterPower     *tsagg.Series // Σ sensor input power
+	ClusterTruePower *tsagg.Series
+	ClusterCPUPower  *tsagg.Series
+	ClusterGPUPower  *tsagg.Series
+
+	// Facility series (Datasets B/12).
+	PUE         *tsagg.Series
+	SupplyC     *tsagg.Series
+	ReturnC     *tsagg.Series
+	TowerTons   *tsagg.Series
+	ChillerTons *tsagg.Series
+	// TowerCount / ChillerCount are the staged equipment counts — the
+	// "stages and de-stages cooling capacity" signal of the paper's
+	// future-work discussion.
+	TowerCount   *tsagg.Series
+	ChillerCount *tsagg.Series
+	WetBulbC     *tsagg.Series
+
+	// Thermal cluster series (Datasets 8–9).
+	GPUTempMean *tsagg.Series
+	GPUTempMax  *tsagg.Series
+	CPUTempMean *tsagg.Series
+	CPUTempMax  *tsagg.Series
+	// GPUTempBands counts GPUs per core-temperature band per window —
+	// the histogram-based component summary the facility engineers watch
+	// in near real time (paper §2). Band edges are TempBandEdges.
+	GPUTempBands [NumTempBands]*tsagg.Series
+
+	// Meter validation series (Dataset 13): per MSB, the meter reading
+	// and the per-node sensor summation under that MSB.
+	MeterPower   []*tsagg.Series
+	MSBSensorSum []*tsagg.Series
+
+	// Job-aware series (Datasets 3–6), parallel to Allocations.
+	Jobs []JobSeries
+}
+
+// Collector accumulates RunData from a simulation. Use NewCollector, pass
+// it to Sim.Run as an observer, then call Data.
+type Collector struct {
+	data    *RunData
+	nMSB    int
+	floorOf func(node int) int // node -> MSB index
+}
+
+// NewCollector sizes the collector for the run described by cfg and the
+// sim's allocations.
+func NewCollector(s *sim.Sim, cfg sim.Config) *Collector {
+	steps := int(cfg.DurationSec / cfg.StepSec)
+	mk := func() *tsagg.Series {
+		return tsagg.NewSeries(cfg.StartTime, cfg.StepSec, steps)
+	}
+	allocs := s.Allocations()
+	data := &RunData{
+		StartTime:        cfg.StartTime,
+		StepSec:          cfg.StepSec,
+		Nodes:            cfg.Nodes,
+		Allocations:      allocs,
+		ClusterPower:     mk(),
+		ClusterTruePower: mk(),
+		ClusterCPUPower:  mk(),
+		ClusterGPUPower:  mk(),
+		PUE:              mk(),
+		SupplyC:          mk(),
+		ReturnC:          mk(),
+		TowerTons:        mk(),
+		ChillerTons:      mk(),
+		TowerCount:       mk(),
+		ChillerCount:     mk(),
+		WetBulbC:         mk(),
+		GPUTempMean:      mk(),
+		GPUTempMax:       mk(),
+		CPUTempMean:      mk(),
+		CPUTempMax:       mk(),
+		Jobs:             make([]JobSeries, len(allocs)),
+	}
+	for b := range data.GPUTempBands {
+		data.GPUTempBands[b] = mk()
+	}
+	for i := range allocs {
+		a := &allocs[i]
+		// Clip the job series to the run window.
+		start := a.StartTime
+		if start < cfg.StartTime {
+			start = cfg.StartTime
+		}
+		end := a.EndTime
+		if end > cfg.StartTime+cfg.DurationSec {
+			end = cfg.StartTime + cfg.DurationSec
+		}
+		n := int((end - start + cfg.StepSec - 1) / cfg.StepSec)
+		if n < 0 {
+			n = 0
+		}
+		mkJob := func() *tsagg.Series { return tsagg.NewSeries(start, cfg.StepSec, n) }
+		data.Jobs[i] = JobSeries{
+			AllocIdx:      i,
+			SumPower:      mkJob(),
+			MaxNodePower:  mkJob(),
+			MeanNodePower: mkJob(),
+			MeanCPUPower:  mkJob(),
+			MaxCPUPower:   mkJob(),
+			MeanGPUPower:  mkJob(),
+			MaxGPUPower:   mkJob(),
+			GPUTempMean:   mkJob(),
+			GPUTempMax:    mkJob(),
+		}
+	}
+	return &Collector{data: data}
+}
+
+// Observe implements sim.Observer.
+func (c *Collector) Observe(snap *sim.Snapshot) {
+	d := c.data
+	t := snap.T
+	// Cluster roll-ups.
+	d.ClusterPower.Set(t, float64(snap.ClusterSensorPower))
+	d.ClusterTruePower.Set(t, float64(snap.ClusterTruePower))
+	var cpuSum, gpuSum float64
+	var gpuTempMean, cpuTempMean float64
+	var gpuTempN, cpuTempN float64
+	gpuTempMax, cpuTempMax := math.Inf(-1), math.Inf(-1)
+	var bands [NumTempBands]float64
+	observed := 0
+	for i := range snap.CPUPower {
+		// Lost node-windows (telemetry dropout) carry Count 0 and NaN
+		// values; they are simply absent from the telemetry view.
+		if snap.NodeStat[i].Count == 0 {
+			continue
+		}
+		observed++
+		cpuSum += snap.CPUPower[i]
+		gpuSum += snap.GPUPower[i]
+		for g := 0; g < units.GPUsPerNode; g++ {
+			v := snap.GPUCoreTemp[i][g]
+			if math.IsNaN(v) {
+				continue
+			}
+			gpuTempMean += v
+			gpuTempN++
+			if v > gpuTempMax {
+				gpuTempMax = v
+			}
+			bands[TempBandOf(v)]++
+		}
+		for cc := 0; cc < units.CPUsPerNode; cc++ {
+			v := snap.CPUTemp[i][cc]
+			if math.IsNaN(v) {
+				continue
+			}
+			cpuTempMean += v
+			cpuTempN++
+			if v > cpuTempMax {
+				cpuTempMax = v
+			}
+		}
+	}
+	if observed > 0 {
+		d.ClusterCPUPower.Set(t, cpuSum)
+		d.ClusterGPUPower.Set(t, gpuSum)
+	}
+	if gpuTempN > 0 {
+		d.GPUTempMean.Set(t, gpuTempMean/gpuTempN)
+		d.GPUTempMax.Set(t, gpuTempMax)
+	}
+	if cpuTempN > 0 {
+		d.CPUTempMean.Set(t, cpuTempMean/cpuTempN)
+		d.CPUTempMax.Set(t, cpuTempMax)
+	}
+	for b := range bands {
+		d.GPUTempBands[b].Set(t, bands[b])
+	}
+	// Facility.
+	d.PUE.Set(t, snap.PUE)
+	d.SupplyC.Set(t, float64(snap.SupplyC))
+	d.ReturnC.Set(t, float64(snap.ReturnC))
+	d.TowerTons.Set(t, float64(snap.TowerTons))
+	d.ChillerTons.Set(t, float64(snap.ChillerTons))
+	d.TowerCount.Set(t, float64(snap.ActiveTowers))
+	d.ChillerCount.Set(t, float64(snap.ActiveChillers))
+	d.WetBulbC.Set(t, snap.WetBulbC)
+	// Meters (lazily sized on first window).
+	if d.MeterPower == nil {
+		for range snap.MeterPower {
+			d.MeterPower = append(d.MeterPower, likeSeries(d.ClusterPower))
+			d.MSBSensorSum = append(d.MSBSensorSum, likeSeries(d.ClusterPower))
+		}
+	}
+	for m := range snap.MeterPower {
+		d.MeterPower[m].Set(t, float64(snap.MeterPower[m]))
+	}
+	// Per-MSB sensor summation and job-aware collapse in one node pass.
+	msbSum := make([]float64, len(snap.MeterPower))
+	type acc struct {
+		sum, maxNode         float64
+		cpuSum, cpuMax       float64
+		gpuSum, gpuMax       float64
+		tempSum, tempMax     float64
+		tempCount, nodeCount float64
+	}
+	jobAcc := map[int]*acc{}
+	for i := range snap.NodeStat {
+		if snap.NodeStat[i].Count == 0 {
+			continue // telemetry lost for this node-window
+		}
+		nodePower := snap.NodeStat[i].Mean
+		msbSum[msbIndexForNode(d.Nodes, len(msbSum), i)] += nodePower
+		aIdx := snap.AllocIdx[i]
+		if aIdx < 0 {
+			continue
+		}
+		a, ok := jobAcc[aIdx]
+		if !ok {
+			a = &acc{maxNode: math.Inf(-1), cpuMax: math.Inf(-1),
+				gpuMax: math.Inf(-1), tempMax: math.Inf(-1)}
+			jobAcc[aIdx] = a
+		}
+		a.sum += nodePower
+		if nodePower > a.maxNode {
+			a.maxNode = nodePower
+		}
+		a.cpuSum += snap.CPUPower[i]
+		if snap.CPUPower[i] > a.cpuMax {
+			a.cpuMax = snap.CPUPower[i]
+		}
+		a.gpuSum += snap.GPUPower[i]
+		if snap.GPUPower[i] > a.gpuMax {
+			a.gpuMax = snap.GPUPower[i]
+		}
+		for g := 0; g < units.GPUsPerNode; g++ {
+			v := snap.GPUCoreTemp[i][g]
+			if math.IsNaN(v) {
+				continue
+			}
+			a.tempSum += v
+			a.tempCount++
+			if v > a.tempMax {
+				a.tempMax = v
+			}
+		}
+		a.nodeCount++
+	}
+	for m := range msbSum {
+		d.MSBSensorSum[m].Set(t, msbSum[m])
+	}
+	for aIdx, a := range jobAcc {
+		js := &d.Jobs[aIdx]
+		js.SumPower.Set(t, a.sum)
+		js.MaxNodePower.Set(t, a.maxNode)
+		js.MeanNodePower.Set(t, a.sum/a.nodeCount)
+		js.MeanCPUPower.Set(t, a.cpuSum/a.nodeCount)
+		js.MaxCPUPower.Set(t, a.cpuMax)
+		js.MeanGPUPower.Set(t, a.gpuSum/a.nodeCount)
+		js.MaxGPUPower.Set(t, a.gpuMax)
+		if a.tempCount > 0 {
+			js.GPUTempMean.Set(t, a.tempSum/a.tempCount)
+			js.GPUTempMax.Set(t, a.tempMax)
+		}
+	}
+}
+
+// likeSeries clones the shape of s with fresh NaN storage.
+func likeSeries(s *tsagg.Series) *tsagg.Series {
+	return tsagg.NewSeries(s.Start, s.Step, s.Len())
+}
+
+// msbIndexForNode mirrors topology's contiguous-block MSB assignment
+// without holding a Floor reference: nodes are split over cabinets of 18,
+// cabinets over MSBs in equal contiguous blocks.
+func msbIndexForNode(nodes, msbs, node int) int {
+	if msbs <= 0 {
+		return 0
+	}
+	cabinets := (nodes + units.NodesPerCabinet - 1) / units.NodesPerCabinet
+	cab := node / units.NodesPerCabinet
+	base, rem := cabinets/msbs, cabinets%msbs
+	// Walk the same distribution as topology.New.
+	idx := 0
+	start := 0
+	for m := 0; m < msbs; m++ {
+		size := base
+		if m < rem {
+			size++
+		}
+		if cab < start+size {
+			idx = m
+			break
+		}
+		start += size
+	}
+	return idx
+}
+
+// SetFailures attaches the run's failure log after Run completes.
+func (c *Collector) SetFailures(evs []failures.Event) { c.data.Failures = evs }
+
+// Data returns the accumulated run data.
+func (c *Collector) Data() *RunData { return c.data }
+
+// CollectRun is the convenience path: build a sim from cfg, run it with a
+// collector attached, and return the run data plus the sim result.
+func CollectRun(cfg sim.Config) (*RunData, *sim.Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	col := NewCollector(s, cfg)
+	res, err := s.Run(col)
+	if err != nil {
+		return nil, nil, err
+	}
+	col.SetFailures(res.Failures)
+	return col.Data(), res, nil
+}

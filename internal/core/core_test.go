@@ -1,0 +1,525 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/failures"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// testRun executes one small deterministic run shared by the integration
+// tests (cached per package run).
+var cachedData *RunData
+
+func testData(t *testing.T) *RunData {
+	t.Helper()
+	if cachedData != nil {
+		return cachedData
+	}
+	cfg := sim.Config{
+		Seed:             21,
+		Nodes:            72,
+		StartTime:        1_577_836_800,
+		DurationSec:      4 * 3600,
+		StepSec:          10,
+		SamplesPerWindow: 2,
+		Jobs:             120,
+		FailureRateScale: 2000,
+		FailureCheckSec:  120,
+	}
+	d, _, err := CollectRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedData = d
+	return d
+}
+
+func TestCollectRunBasics(t *testing.T) {
+	d := testData(t)
+	if d.ClusterPower.Len() != int(4*3600/10) {
+		t.Errorf("cluster series length = %d", d.ClusterPower.Len())
+	}
+	clean := d.ClusterPower.Clean()
+	if len(clean) != d.ClusterPower.Len() {
+		t.Errorf("cluster power has %d gaps", d.ClusterPower.Len()-len(clean))
+	}
+	if len(d.Jobs) != len(d.Allocations) {
+		t.Error("job series not parallel to allocations")
+	}
+	if len(d.MeterPower) == 0 || len(d.MeterPower) != len(d.MSBSensorSum) {
+		t.Error("meter series missing")
+	}
+	if len(d.Failures) == 0 {
+		t.Error("no failures collected")
+	}
+	// Job series must contain data within their allocation windows.
+	withData := 0
+	for i := range d.Jobs {
+		if d.Jobs[i].SumPower.Stats().N > 0 {
+			withData++
+		}
+	}
+	if withData == 0 {
+		t.Error("no job series captured data")
+	}
+	// Cluster CPU+GPU component sums must be below total input power.
+	for i := 0; i < d.ClusterPower.Len(); i++ {
+		comp := d.ClusterCPUPower.Vals[i] + d.ClusterGPUPower.Vals[i]
+		if comp >= d.ClusterTruePower.Vals[i] {
+			t.Fatalf("components %v exceed node input %v at %d",
+				comp, d.ClusterTruePower.Vals[i], i)
+		}
+	}
+}
+
+func TestFigure4Validation(t *testing.T) {
+	d := testData(t)
+	rep, err := Figure4Validation(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerMSB) == 0 {
+		t.Fatal("no per-MSB results")
+	}
+	// Defining property: summation reads above the meter (negative diff).
+	if rep.MeanDiffAllW >= 0 {
+		t.Errorf("mean diff = %v, want negative (meter < summation)", rep.MeanDiffAllW)
+	}
+	// The paper reports ~11 % relative error.
+	if rep.RelativeError < 0.05 || rep.RelativeError > 0.18 {
+		t.Errorf("relative error = %v, want ≈0.11", rep.RelativeError)
+	}
+	for _, m := range rep.PerMSB {
+		// Oscillations in phase: strong positive correlation.
+		if !math.IsNaN(m.Corr) && m.Corr < 0.9 {
+			t.Errorf("MSB %d correlation = %v, want > 0.9", m.MSB, m.Corr)
+		}
+		// Tight distribution: std well below the mean magnitude.
+		if m.StdDiffW > math.Abs(m.MeanDiffW) {
+			t.Errorf("MSB %d diff spread %v exceeds mean %v", m.MSB, m.StdDiffW, m.MeanDiffW)
+		}
+	}
+	if len(rep.DiffSamples) == 0 {
+		t.Error("no diff samples for the distribution plot")
+	}
+}
+
+func TestFigure5Trends(t *testing.T) {
+	d := testData(t)
+	rep, err := Figure5Trends(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PowerWeekly) == 0 || len(rep.EnergyWeekly) == 0 {
+		t.Fatal("no weekly trends")
+	}
+	if rep.MeanPUE <= 1 || rep.MeanPUE > 2 {
+		t.Errorf("mean PUE = %v", rep.MeanPUE)
+	}
+	for _, w := range rep.PowerWeekly {
+		if w.Box.N == 0 || w.Max < w.Box.Median {
+			t.Errorf("weekly power box malformed: %+v", w)
+		}
+	}
+	for _, e := range rep.EnergyWeekly {
+		if e <= 0 {
+			t.Errorf("weekly energy = %v", e)
+		}
+	}
+}
+
+func TestFigure6EnergyPower(t *testing.T) {
+	d := testData(t)
+	recs := BuildJobRecords(d)
+	if len(recs) == 0 {
+		t.Fatal("no job records")
+	}
+	kdes := Figure6EnergyPower(recs, 30)
+	if len(kdes) == 0 {
+		t.Fatal("no class KDEs")
+	}
+	for _, k := range kdes {
+		if k.Grid == nil || k.N < 3 {
+			t.Errorf("class %v KDE malformed", k.Class)
+		}
+	}
+}
+
+func TestJobRecordInvariants(t *testing.T) {
+	d := testData(t)
+	recs := BuildJobRecords(d)
+	for _, r := range recs {
+		if r.MaxPower < r.MeanPower {
+			t.Fatalf("job %d: max %v < mean %v", r.JobID, r.MaxPower, r.MeanPower)
+		}
+		if r.EnergyJ < 0 {
+			t.Fatalf("job %d: negative energy", r.JobID)
+		}
+		if r.PowerDiff() < 0 {
+			t.Fatalf("job %d: negative diff", r.JobID)
+		}
+		if r.MaxGPUPower < r.MeanGPUPower*0.99 {
+			t.Fatalf("job %d: GPU max %v < mean %v", r.JobID, r.MaxGPUPower, r.MeanGPUPower)
+		}
+		// Energy consistency: mean power × observed duration ≈ energy.
+		expect := r.MeanPower * float64(d.Jobs[r.AllocIdx].SumPower.Stats().N) * float64(d.StepSec)
+		if expect > 0 && math.Abs(r.EnergyJ-expect)/expect > 0.01 {
+			t.Fatalf("job %d: energy %v vs mean×t %v", r.JobID, r.EnergyJ, expect)
+		}
+	}
+}
+
+func TestFigure7JobCDFs(t *testing.T) {
+	d := testData(t)
+	recs := BuildJobRecords(d)
+	cdfs := Figure7JobCDFs(recs)
+	// At 72 nodes, "class 1" can't exist; ClassForNodes(72) = Class4 —
+	// the scaled run classifies per actual node counts, so the leadership
+	// CDFs may be empty. Verify graceful behaviour either way.
+	for _, c := range cdfs {
+		if c.N == 0 {
+			t.Errorf("class %v CDF with zero jobs", c.Class)
+		}
+		if c.P80Nodes < c.Nodes.Quantile(0.0) {
+			t.Errorf("p80 below minimum")
+		}
+	}
+}
+
+func TestFigure8DomainBreakdown(t *testing.T) {
+	d := testData(t)
+	recs := BuildJobRecords(d)
+	rows := Figure8DomainBreakdown(recs)
+	for _, r := range rows {
+		if r.N == 0 || r.MaxPower.N == 0 {
+			t.Errorf("domain row malformed: %+v", r)
+		}
+	}
+}
+
+func TestFigure9ComponentKDE(t *testing.T) {
+	d := testData(t)
+	recs := BuildJobRecords(d)
+	kdes := Figure9ComponentKDE(recs, 25)
+	if len(kdes) == 0 {
+		t.Fatal("no component KDEs")
+	}
+	for _, k := range kdes {
+		if k.Mean == nil || k.Max == nil {
+			t.Error("component grids missing")
+		}
+	}
+}
+
+func TestFigure10Dynamics(t *testing.T) {
+	d := testData(t)
+	rep := Figure10Dynamics(d)
+	if len(rep.PerJob) == 0 {
+		t.Fatal("no per-job dynamics")
+	}
+	// The large majority of jobs must show no edges (paper: 96.9 %).
+	if rep.FracNoEdges < 0.5 {
+		t.Errorf("frac no edges = %v, want clear majority", rep.FracNoEdges)
+	}
+	if rep.FracNoEdges == 1 {
+		t.Skip("no edge-bearing jobs in this small run")
+	}
+	for c, e := range rep.EdgeCountCDF {
+		if e.N() == 0 {
+			t.Errorf("class %v edge CDF empty", c)
+		}
+	}
+	for c, xs := range rep.Freqs {
+		for _, f := range xs {
+			if f <= 0 || f > 0.05+1e-9 {
+				t.Errorf("class %v dominant freq %v outside (0, 0.05]", c, f)
+			}
+		}
+	}
+}
+
+func TestFigure11EdgeSnapshots(t *testing.T) {
+	d := testData(t)
+	sets := Figure11EdgeSnapshots(d, 60, 240)
+	for _, s := range sets {
+		if s.Count == 0 || s.Power == nil || s.PUE == nil {
+			t.Errorf("snapshot set malformed: MW=%d count=%d", s.AmplitudeMW, s.Count)
+		}
+		if len(s.Power.OffsetSec) != len(s.Power.Mean) {
+			t.Error("stack shape mismatch")
+		}
+	}
+}
+
+func TestFigure12ThermalResponse(t *testing.T) {
+	d := testData(t)
+	sets := Figure12ThermalResponse(d, 60, 240)
+	for _, s := range sets {
+		if s.GPUTempMean == nil || s.SupplyC == nil || s.TowerTons == nil {
+			t.Errorf("thermal set %d missing stacks", s.AmplitudeMW)
+		}
+	}
+}
+
+func TestSteepestSwings(t *testing.T) {
+	d := testData(t)
+	rise, fall := SteepestSwings(d)
+	if rise < 0 || fall > 0 {
+		t.Errorf("swings = %v / %v", rise, fall)
+	}
+}
+
+func TestTable4Composition(t *testing.T) {
+	d := testData(t)
+	rows := Table4Composition(d.Failures, d.Nodes)
+	if len(rows) == 0 {
+		t.Fatal("no composition rows")
+	}
+	// Sorted descending; memory page faults on top (dominant type).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Count > rows[i-1].Count {
+			t.Fatal("composition not sorted")
+		}
+	}
+	if rows[0].Type != failures.MemoryPageFault {
+		t.Errorf("top type = %v, want memory page fault", rows[0].Type)
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Count
+		if r.MaxPerNodeFrac < 0 || r.MaxPerNodeFrac > 1 {
+			t.Errorf("%v max-per-node frac = %v", r.Type, r.MaxPerNodeFrac)
+		}
+	}
+	if total != len(d.Failures) {
+		t.Errorf("composition total %d != %d events", total, len(d.Failures))
+	}
+	// NVLink concentration: the super-offender should hold most events.
+	for _, r := range rows {
+		if r.Type == failures.NVLinkError && r.Count > 20 {
+			if r.MaxPerNodeFrac < 0.8 {
+				t.Errorf("NVLink max-node frac = %v, want >= 0.8", r.MaxPerNodeFrac)
+			}
+		}
+	}
+}
+
+func TestFigure13Correlation(t *testing.T) {
+	d := testData(t)
+	cells, err := Figure13Correlation(d.Failures, d.Nodes, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.A >= c.B {
+			t.Errorf("pair ordering wrong: %v,%v", c.A, c.B)
+		}
+		if math.Abs(c.R) > 1 {
+			t.Errorf("r = %v", c.R)
+		}
+	}
+	// The engineered cascade (microcontroller warning → driver error
+	// handling) must surface as significant if both types occurred.
+	hasWarn, hasDrv := false, false
+	for _, e := range d.Failures {
+		if e.Type == failures.MicrocontrollerWarning {
+			hasWarn = true
+		}
+		if e.Type == failures.DriverErrorHandling {
+			hasDrv = true
+		}
+	}
+	if hasWarn && hasDrv {
+		found := false
+		for _, c := range cells {
+			if (c.A == failures.MicrocontrollerWarning && c.B == failures.DriverErrorHandling) ||
+				(c.B == failures.MicrocontrollerWarning && c.A == failures.DriverErrorHandling) {
+				found = true
+				if c.R < 0.3 {
+					t.Errorf("warning/driver correlation = %v, want strong", c.R)
+				}
+			}
+		}
+		if !found {
+			t.Log("warning/driver pair not significant in this small run (acceptable)")
+		}
+	}
+}
+
+func TestFigure14FailuresPerProject(t *testing.T) {
+	d := testData(t)
+	all := Figure14FailuresPerProject(d, false, 15)
+	if len(all) == 0 {
+		t.Fatal("no project rates")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].PerNodeHour > all[i-1].PerNodeHour {
+			t.Fatal("rates not sorted descending")
+		}
+	}
+	hw := Figure14FailuresPerProject(d, true, 15)
+	for _, p := range hw {
+		for typ := range p.ByType {
+			if !typ.Hardware() {
+				t.Errorf("non-hardware type %v in hardware view", typ)
+			}
+		}
+	}
+}
+
+func TestFigure15ThermalExtremity(t *testing.T) {
+	d := testData(t)
+	tes := Figure15ThermalExtremity(d.Failures, d.Nodes, 0.8)
+	if len(tes) == 0 {
+		t.Fatal("no thermal extremity rows")
+	}
+	for _, te := range tes {
+		if te.N != len(te.ZScores) || te.N != len(te.TempsC) {
+			t.Errorf("%v: sample counts inconsistent", te.Type)
+		}
+		for _, z := range te.ZScores {
+			if math.IsNaN(z) {
+				t.Errorf("%v: NaN z-score leaked", te.Type)
+			}
+		}
+		if te.MaxTempC > 80 {
+			t.Errorf("%v: max temp %v implausible", te.Type, te.MaxTempC)
+		}
+	}
+	// Double-bit errors: absolute temperature cap near 47 °C.
+	for _, te := range tes {
+		if te.Type == failures.DoubleBitError && te.N > 10 {
+			if te.MaxTempC > 55 {
+				t.Errorf("DBE max temp = %v, want < 55 (paper: 46.1)", te.MaxTempC)
+			}
+		}
+	}
+}
+
+func TestFigure16Placement(t *testing.T) {
+	d := testData(t)
+	rows := Figure16Placement(d.Failures, true)
+	for _, r := range rows {
+		switch r.Type {
+		case failures.PageRetirementEvent, failures.DoubleBitError,
+			failures.MicrocontrollerWarning, failures.FallenOffBus:
+		default:
+			t.Errorf("unexpected type %v in highlight view", r.Type)
+		}
+	}
+	all := Figure16Placement(d.Failures, false)
+	total := 0
+	for _, r := range all {
+		for _, c := range r.Counts {
+			total += c
+		}
+	}
+	if total != len(d.Failures) {
+		t.Errorf("placement total %d != %d", total, len(d.Failures))
+	}
+}
+
+func TestVariabilityEndToEnd(t *testing.T) {
+	cfg := sim.Config{
+		Seed:             31,
+		Nodes:            54,
+		StartTime:        1_577_836_800,
+		DurationSec:      3 * 3600,
+		StepSec:          10,
+		SamplesPerWindow: 1,
+		Jobs:             60,
+		FailureRateScale: 1,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := NewVariabilityCollector(s, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(vc); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Figure17Variability(vc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes == 0 || rep.GPUs != rep.Nodes*units.GPUsPerNode {
+		t.Errorf("report shape: %+v", rep)
+	}
+	if len(rep.Instants) == 0 {
+		t.Fatal("no instants")
+	}
+	for _, v := range rep.Instants {
+		if v.PowerBox.N != rep.GPUs || v.TempBox.N != rep.GPUs {
+			t.Errorf("instant sample counts wrong: %d vs %d GPUs", v.PowerBox.N, rep.GPUs)
+		}
+		if len(v.MeanByCabinet) == 0 {
+			t.Error("no cabinet heatmap cells")
+		}
+	}
+	// The monotone power→temperature relation shows across load levels:
+	// pooling (median power, median temp) across instants must correlate
+	// strongly even though per-instant spreads are chip-dominated (the
+	// paper's own point: power is not the only factor).
+	if len(rep.Instants) >= 3 {
+		var ps, ts []float64
+		for _, v := range rep.Instants {
+			ps = append(ps, v.PowerBox.Median)
+			ts = append(ts, v.TempBox.Median)
+		}
+		if corr, err := corrOf(ps, ts); err == nil && !math.IsNaN(corr) && corr < 0.5 {
+			t.Errorf("across-instant power-temp corr = %v, want strong positive", corr)
+		}
+	}
+	if rep.TempSpreadC <= 0 {
+		t.Errorf("temp spread = %v, want positive (paper: 15.8°C)", rep.TempSpreadC)
+	}
+}
+
+func corrOf(a, b []float64) (float64, error) {
+	return statsPearson(a, b)
+}
+
+func TestPickExemplar(t *testing.T) {
+	if PickExemplarAllocation(nil, 0, 0) != -1 {
+		t.Error("empty allocations must give -1")
+	}
+}
+
+// statsPearson aliases the stats package for test helpers.
+func statsPearson(a, b []float64) (float64, error) {
+	return stats.Pearson(a, b)
+}
+
+func TestSchedulingByClass(t *testing.T) {
+	d := testData(t)
+	rows := SchedulingByClass(d)
+	if len(rows) == 0 {
+		t.Fatal("no scheduling stats")
+	}
+	totalJobs := 0
+	for _, r := range rows {
+		totalJobs += r.Jobs
+		if r.MeanWaitSec < 0 || r.P90WaitSec < r.MeanWaitSec*0 {
+			t.Fatalf("%v: wait stats invalid: %+v", r.Class, r)
+		}
+		if r.NodeHours <= 0 || r.MeanDuration <= 0 {
+			t.Fatalf("%v: usage stats invalid: %+v", r.Class, r)
+		}
+	}
+	if totalJobs != len(d.Allocations) {
+		t.Errorf("stats cover %d of %d jobs", totalJobs, len(d.Allocations))
+	}
+}
+
+// quickCheck adapts testing/quick with a bounded count for core tests.
+func quickCheck(f interface{}, max int) error {
+	return quick.Check(f, &quick.Config{MaxCount: max})
+}

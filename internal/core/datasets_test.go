@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func simConfigForNodeDataset() sim.Config {
+	return sim.Config{
+		Seed: 2, Nodes: 12, StartTime: 1_577_836_800,
+		DurationSec: 1200, StepSec: 10, SamplesPerWindow: 2,
+		Jobs: 8, FailureRateScale: 1,
+	}
+}
+
+func simNew(cfg sim.Config) (*sim.Sim, error) { return sim.New(cfg) }
+
+func TestWriteReadDatasets(t *testing.T) {
+	d := testData(t)
+	dir := t.TempDir()
+	if err := WriteDatasets(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster series round trip.
+	series, err := ReadClusterDataset(dir, d.StepSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, ok := series["sum_inp"]
+	if !ok {
+		t.Fatal("sum_inp column missing")
+	}
+	if power.Len() < d.ClusterPower.Len() {
+		t.Fatalf("restored %d windows, want >= %d", power.Len(), d.ClusterPower.Len())
+	}
+	for i := 0; i < d.ClusterPower.Len(); i++ {
+		want := d.ClusterPower.Vals[i]
+		got := power.At(d.ClusterPower.TimeAt(i))
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("window %d: %v != %v", i, got, want)
+		}
+	}
+	for _, name := range []string{"pue", "mtwst", "mtwrt", "tower_tons", "gpu_core_temp_max"} {
+		if _, ok := series[name]; !ok {
+			t.Errorf("column %q missing from cluster dataset", name)
+		}
+	}
+	// Failure log round trip.
+	evs, err := ReadFailureDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != len(d.Failures) {
+		t.Fatalf("restored %d failures, want %d", len(evs), len(d.Failures))
+	}
+	for i := range evs {
+		a, b := evs[i], d.Failures[i]
+		if a.Time != b.Time || a.Node != b.Node || a.Slot != b.Slot ||
+			a.Type != b.Type || a.JobID != b.JobID {
+			t.Fatalf("failure %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.HasTemp() != b.HasTemp() {
+			t.Fatalf("failure %d temp presence mismatch", i)
+		}
+	}
+	// Analyses run identically on restored failures.
+	orig := Table4Composition(d.Failures, d.Nodes)
+	restored := Table4Composition(evs, d.Nodes)
+	if len(orig) != len(restored) {
+		t.Fatal("composition differs after round trip")
+	}
+	for i := range orig {
+		if orig[i] != restored[i] {
+			t.Fatalf("composition row %d differs", i)
+		}
+	}
+}
+
+func TestReadDatasetsErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadClusterDataset(dir, 10); err == nil {
+		t.Error("empty dir read succeeded")
+	}
+	if _, err := ReadFailureDataset(dir); err == nil {
+		t.Error("missing failure dataset read succeeded")
+	}
+}
+
+func TestNodeDatasetWriter(t *testing.T) {
+	dir := t.TempDir()
+	cfg := simConfigForNodeDataset()
+	s, err := simNew(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewNodeDatasetWriter(dir, cfg.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	byNode, err := ReadNodeDataset(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byNode) != cfg.Nodes {
+		t.Fatalf("restored %d nodes, want %d", len(byNode), cfg.Nodes)
+	}
+	wantWindows := int(cfg.DurationSec / cfg.StepSec)
+	for n, ws := range byNode {
+		if len(ws) != wantWindows {
+			t.Fatalf("node %d: %d windows, want %d", n, len(ws), wantWindows)
+		}
+		for _, st := range ws {
+			if st.Min > st.Mean || st.Mean > st.Max || st.Count <= 0 {
+				t.Fatalf("node %d window invariant broken: %+v", n, st)
+			}
+		}
+	}
+	if _, err := ReadNodeDataset(dir, 7); err == nil {
+		t.Error("missing day read succeeded")
+	}
+}
+
+func TestJobSeriesDatasetRoundTrip(t *testing.T) {
+	d := testData(t)
+	dir := t.TempDir()
+	if err := WriteJobSeriesDataset(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	views, err := ReadJobSeriesDataset(dir, d.StepSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every job with observations must restore with identical values.
+	restored := 0
+	for i := range d.Jobs {
+		js := &d.Jobs[i]
+		a := &d.Allocations[js.AllocIdx]
+		clean := js.SumPower.Clean()
+		if len(clean) == 0 {
+			continue
+		}
+		v, ok := views[a.Job.ID]
+		if !ok {
+			t.Fatalf("job %d missing from restore", a.Job.ID)
+		}
+		restored++
+		for w := 0; w < js.SumPower.Len(); w++ {
+			orig := js.SumPower.Vals[w]
+			if math.IsNaN(orig) {
+				continue
+			}
+			got := v.SumPower.At(js.SumPower.TimeAt(w))
+			if got != orig {
+				t.Fatalf("job %d window %d: %v != %v", a.Job.ID, w, got, orig)
+			}
+		}
+	}
+	if restored == 0 {
+		t.Fatal("no jobs restored")
+	}
+	// Restored series feed the same edge detection.
+	for allocID, v := range views {
+		_ = allocID
+		_ = DetectEdgesThreshold(v.SumPower, 1e5)
+	}
+	if _, err := ReadJobSeriesDataset(dir, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := ReadJobSeriesDataset(t.TempDir(), 10); err == nil {
+		t.Error("missing dataset read succeeded")
+	}
+}

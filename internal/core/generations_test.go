@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+func TestCompareGenerations(t *testing.T) {
+	cmp, err := CompareGenerations(5, 48, 40, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SummitEvents == 0 || cmp.TitanEvents == 0 {
+		t.Fatal("no events in one mode")
+	}
+	if len(cmp.Types) == 0 {
+		t.Fatal("no comparable types")
+	}
+	// The paper's claim as a measurable property: for every comparable
+	// hardware type, the Titan-mode mean failure z-score must exceed the
+	// Summit-mode one (hot-biased vs cold/neutral-biased).
+	flips := 0
+	for i, typ := range cmp.Types {
+		if cmp.TitanZMean[i] > cmp.SummitZMean[i] {
+			flips++
+		} else {
+			t.Logf("type %v: titan %.2f vs summit %.2f (no separation)",
+				typ, cmp.TitanZMean[i], cmp.SummitZMean[i])
+		}
+		if cmp.TitanZMean[i] < -1 {
+			t.Errorf("titan %v z-mean %.2f not hot-biased", typ, cmp.TitanZMean[i])
+		}
+	}
+	if flips < (len(cmp.Types)+1)/2 {
+		t.Errorf("generation flip holds for only %d of %d types", flips, len(cmp.Types))
+	}
+}
+
+func TestCompareGenerationsErrors(t *testing.T) {
+	if _, err := CompareGenerations(1, 0, 10, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := CompareGenerations(1, 10, 0, 1); err == nil {
+		t.Error("zero steps accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/store"
+	"repro/internal/tsagg"
+)
+
+// DatasetJobSeries is the per-job time-series dataset: the equivalent of
+// the paper's Datasets 3/4 (job-wise power and component time series) and
+// 10/11 (job-level thermal series), in long form: one row per
+// (allocation, window).
+const DatasetJobSeries = "job-series"
+
+// WriteJobSeriesDataset archives every job's time series in long form.
+// Windows where the job had no observation are omitted.
+func WriteJobSeriesDataset(dir string, d *RunData) error {
+	ds, err := store.NewDataset(dir, DatasetJobSeries)
+	if err != nil {
+		return err
+	}
+	var (
+		allocID           []int64
+		ts                []int64
+		sumInp, maxNode   []float64
+		meanCPU, meanGPU  []float64
+		tempMean, tempMax []float64
+	)
+	for i := range d.Jobs {
+		js := &d.Jobs[i]
+		a := &d.Allocations[js.AllocIdx]
+		for w := 0; w < js.SumPower.Len(); w++ {
+			v := js.SumPower.Vals[w]
+			if math.IsNaN(v) {
+				continue
+			}
+			allocID = append(allocID, a.Job.ID)
+			ts = append(ts, js.SumPower.TimeAt(w))
+			sumInp = append(sumInp, v)
+			maxNode = append(maxNode, js.MaxNodePower.Vals[w])
+			meanCPU = append(meanCPU, js.MeanCPUPower.Vals[w])
+			meanGPU = append(meanGPU, js.MeanGPUPower.Vals[w])
+			tempMean = append(tempMean, js.GPUTempMean.Vals[w])
+			tempMax = append(tempMax, js.GPUTempMax.Vals[w])
+		}
+	}
+	tab := &store.Table{Cols: []store.Column{
+		{Name: "allocation_id", Ints: allocID},
+		{Name: "timestamp", Ints: ts},
+		{Name: "sum_inp", Floats: sumInp},
+		{Name: "max_inp", Floats: maxNode},
+		{Name: "mean_cpu_power", Floats: meanCPU},
+		{Name: "mean_gpu_power", Floats: meanGPU},
+		{Name: "gpu_core_temp_mean", Floats: tempMean},
+		{Name: "gpu_core_temp_max", Floats: tempMax},
+	}}
+	return ds.WriteDay(0, tab)
+}
+
+// JobSeriesView is one job's restored time series (power only; extend as
+// needed by callers).
+type JobSeriesView struct {
+	AllocationID int64
+	SumPower     *tsagg.Series
+	GPUTempMean  *tsagg.Series
+}
+
+// ReadJobSeriesDataset restores per-job series keyed by allocation ID.
+// stepSec must match the archive's coarsening window.
+func ReadJobSeriesDataset(dir string, stepSec int64) (map[int64]*JobSeriesView, error) {
+	if stepSec <= 0 {
+		return nil, fmt.Errorf("core: non-positive step %d", stepSec)
+	}
+	ds, err := store.NewDataset(dir, DatasetJobSeries)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := ds.ReadDay(0)
+	if err != nil {
+		return nil, err
+	}
+	id := tab.Col("allocation_id")
+	ts := tab.Col("timestamp")
+	sum := tab.Col("sum_inp")
+	temp := tab.Col("gpu_core_temp_mean")
+	if id == nil || ts == nil || sum == nil || temp == nil {
+		return nil, fmt.Errorf("core: job series dataset missing columns")
+	}
+	// First pass: time extents per allocation.
+	type extent struct{ lo, hi int64 }
+	extents := map[int64]*extent{}
+	for i := 0; i < tab.NumRows(); i++ {
+		e, ok := extents[id.Ints[i]]
+		if !ok {
+			extents[id.Ints[i]] = &extent{lo: ts.Ints[i], hi: ts.Ints[i]}
+			continue
+		}
+		if ts.Ints[i] < e.lo {
+			e.lo = ts.Ints[i]
+		}
+		if ts.Ints[i] > e.hi {
+			e.hi = ts.Ints[i]
+		}
+	}
+	out := map[int64]*JobSeriesView{}
+	for allocID, e := range extents {
+		n := int((e.hi-e.lo)/stepSec) + 1
+		out[allocID] = &JobSeriesView{
+			AllocationID: allocID,
+			SumPower:     tsagg.NewSeries(e.lo, stepSec, n),
+			GPUTempMean:  tsagg.NewSeries(e.lo, stepSec, n),
+		}
+	}
+	for i := 0; i < tab.NumRows(); i++ {
+		v := out[id.Ints[i]]
+		v.SumPower.Set(ts.Ints[i], sum.Floats[i])
+		v.GPUTempMean.Set(ts.Ints[i], temp.Floats[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// PowerCapOutcome is the measured effect of one power-cap setting: the
+// trade between peak power (what the facility must provision cooling for)
+// and scheduling cost (wait times, throughput).
+type PowerCapOutcome struct {
+	CapW        float64 // 0 = uncapped baseline
+	PeakPowerW  float64
+	P99PowerW   float64
+	MeanPowerW  float64
+	MeanPUE     float64
+	MeanWaitSec float64
+	JobsPlaced  int
+	JobsSkipped int
+	Utilization float64
+	// EdgeCount is the number of cluster-level scale-equivalent-MW edges
+	// (the violent swings the paper ties to overcooling).
+	EdgeCount int
+}
+
+// PowerCapExperiment quantifies the paper's concluding claim — that power-
+// aware scheduling can tame the peak/average gap — by running the same
+// workload under a sweep of admission caps. Caps are expressed as
+// fractions of the uncapped run's peak power (e.g. 0.9, 0.8, 0.7);
+// the baseline (cap 0) is always included first. Runs execute in
+// parallel and share the workload exactly.
+func PowerCapExperiment(base sim.Config, capFracs []float64) ([]PowerCapOutcome, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	// Freeze the workload so every arm schedules identical jobs.
+	jobs, err := workload.Generate(workload.GenConfig{
+		Seed:              base.Seed,
+		StartTime:         base.StartTime,
+		SpanSec:           base.DurationSec,
+		Jobs:              base.Jobs,
+		MaxNodes:          minInt(base.Nodes, 4608),
+		ProjectsPerDomain: 6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	base.Workload = jobs
+	// Baseline first: its peak anchors the cap fractions.
+	baseline, err := runCapArm(base, 0)
+	if err != nil {
+		return nil, err
+	}
+	outcomes := make([]PowerCapOutcome, 1+len(capFracs))
+	outcomes[0] = baseline
+	err = parallel.ForEachErr(len(capFracs), 0, func(i int) error {
+		frac := capFracs[i]
+		if frac <= 0 || frac > 1 {
+			return fmt.Errorf("core: cap fraction %v outside (0, 1]", frac)
+		}
+		out, err := runCapArm(base, baseline.PeakPowerW*frac)
+		if err != nil {
+			return err
+		}
+		outcomes[1+i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runCapArm executes one experiment arm and reduces it to an outcome.
+func runCapArm(cfg sim.Config, capW float64) (PowerCapOutcome, error) {
+	cfg.PowerCap = units.Watts(capW)
+	// The power analysis needs no failures; disable them for speed by
+	// stretching the check interval across the whole run.
+	cfg.FailureRateScale = 1e-9
+	s, err := sim.New(cfg)
+	if err != nil {
+		return PowerCapOutcome{}, err
+	}
+	col := NewCollector(s, cfg)
+	res, err := s.Run(col)
+	if err != nil {
+		return PowerCapOutcome{}, err
+	}
+	d := col.Data()
+	power := d.ClusterTruePower.Clean()
+	if len(power) == 0 {
+		return PowerCapOutcome{}, fmt.Errorf("core: cap arm produced no power data")
+	}
+	m := stats.Summarize(power)
+	out := PowerCapOutcome{
+		CapW:        capW,
+		PeakPowerW:  m.Max,
+		P99PowerW:   stats.Quantile(power, 0.99),
+		MeanPowerW:  m.Mean(),
+		JobsPlaced:  len(res.Allocations),
+		Utilization: res.Utilization,
+		EdgeCount:   len(DetectEdgesThreshold(d.ClusterTruePower, ScaleEquivalentMW(cfg.Nodes))),
+	}
+	out.JobsSkipped = res.Skipped
+	if pue := d.PUE.Clean(); len(pue) > 0 {
+		out.MeanPUE = stats.Mean(pue)
+	}
+	var waitSum float64
+	for i := range res.Allocations {
+		waitSum += float64(res.Allocations[i].WaitSec())
+	}
+	if len(res.Allocations) > 0 {
+		out.MeanWaitSec = waitSum / float64(len(res.Allocations))
+	}
+	if math.IsNaN(out.MeanPUE) {
+		out.MeanPUE = 0
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/tsagg"
+	"repro/internal/units"
+)
+
+// TelemetryObserver drives the out-of-band telemetry pipeline from a
+// simulation: every window it emits the per-node metric samples a BMC
+// would push, runs them through the push-on-change filter, and coarsens
+// the arrivals back into windows — exactly the paper's §2–3 collection
+// path. It exists to validate end to end that the pipeline reproduces the
+// values the simulator produced, and to measure its dedup/ingest volumes.
+type TelemetryObserver struct {
+	filter *telemetry.ChangeFilter
+	// Coarseners keyed by (node, metric) channel rebuild the windowed
+	// statistics from the emitted 1 Hz-equivalent stream.
+	coarsen map[uint32]*tsagg.Coarsener
+	windows map[uint32][]tsagg.WindowStat
+	window  int64
+
+	Emitted    int64 // samples pushed after the change filter
+	Suppressed int64 // samples dropped by push-on-change
+	DelaySum   float64
+}
+
+// NewTelemetryObserver builds the observer for the given coarsening
+// window (normally the run's StepSec).
+func NewTelemetryObserver(windowSec int64) *TelemetryObserver {
+	return &TelemetryObserver{
+		filter:  telemetry.NewChangeFilter(),
+		coarsen: map[uint32]*tsagg.Coarsener{},
+		windows: map[uint32][]tsagg.WindowStat{},
+		window:  windowSec,
+	}
+}
+
+func channelKey(n topology.NodeID, m telemetry.Metric) uint32 {
+	return uint32(n)<<8 | uint32(m)
+}
+
+// push runs one sample through the filter and into its channel coarsener.
+func (o *TelemetryObserver) push(s telemetry.Sample) {
+	if !o.filter.Pass(s) {
+		o.Suppressed++
+		return
+	}
+	o.Emitted++
+	o.DelaySum += telemetry.Delay(s)
+	k := channelKey(s.Node, s.Metric)
+	c, ok := o.coarsen[k]
+	if !ok {
+		c = tsagg.NewCoarsener(o.window, func(w tsagg.WindowStat) {
+			o.windows[k] = append(o.windows[k], w)
+		})
+		o.coarsen[k] = c
+	}
+	c.Add(s.T, s.Value)
+}
+
+// Observe implements sim.Observer: one sample per metric per node per
+// window (the window-mean standing in for the 1 Hz stream).
+func (o *TelemetryObserver) Observe(snap *sim.Snapshot) {
+	for i := range snap.NodeStat {
+		node := topology.NodeID(i)
+		o.push(telemetry.Sample{
+			Node: node, Metric: telemetry.MetricInputPower,
+			T: snap.T, Value: snap.NodeStat[i].Mean,
+		})
+		for g := topology.GPUSlot(0); g < units.GPUsPerNode; g++ {
+			o.push(telemetry.Sample{
+				Node: node, Metric: telemetry.GPUPowerMetric(g),
+				T: snap.T, Value: snap.GPUPowerEach[i][g],
+			})
+			o.push(telemetry.Sample{
+				Node: node, Metric: telemetry.GPUCoreTempMetric(g),
+				T: snap.T, Value: snap.GPUCoreTemp[i][g],
+			})
+		}
+		for c := topology.CPUSocket(0); c < units.CPUsPerNode; c++ {
+			o.push(telemetry.Sample{
+				Node: node, Metric: telemetry.CPUTempMetric(c),
+				T: snap.T, Value: snap.CPUTemp[i][c],
+			})
+		}
+	}
+}
+
+// Flush completes all channel coarseners. Call after the run.
+func (o *TelemetryObserver) Flush() {
+	for _, c := range o.coarsen {
+		c.Flush()
+	}
+}
+
+// Windows returns the coarsened windows of one channel.
+func (o *TelemetryObserver) Windows(n topology.NodeID, m telemetry.Metric) []tsagg.WindowStat {
+	return o.windows[channelKey(n, m)]
+}
+
+// MeanDelay returns the average modeled propagation delay of emitted
+// samples (the paper reports ≈2.5 s to timestamping).
+func (o *TelemetryObserver) MeanDelay() float64 {
+	if o.Emitted == 0 {
+		return 0
+	}
+	return o.DelaySum / float64(o.Emitted)
+}
+
+// DedupRatio returns the fraction of samples suppressed by the
+// push-on-change filter.
+func (o *TelemetryObserver) DedupRatio() float64 {
+	total := o.Emitted + o.Suppressed
+	if total == 0 {
+		return 0
+	}
+	return float64(o.Suppressed) / float64(total)
+}

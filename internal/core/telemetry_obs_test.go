@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+func TestTelemetryObserverPipeline(t *testing.T) {
+	cfg := sim.Config{
+		Seed:             5,
+		Nodes:            18,
+		StartTime:        1_577_836_800,
+		DurationSec:      1800,
+		StepSec:          10,
+		SamplesPerWindow: 1,
+		Jobs:             10,
+		FailureRateScale: 1,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(s, cfg)
+	obs := NewTelemetryObserver(cfg.StepSec)
+	if _, err := s.Run(col, obs); err != nil {
+		t.Fatal(err)
+	}
+	obs.Flush()
+	if obs.Emitted == 0 {
+		t.Fatal("no samples emitted")
+	}
+	// Delay model: mean ≈ 2.5 s within [0.5, 5].
+	if d := obs.MeanDelay(); d < 1.5 || d > 3.5 {
+		t.Errorf("mean delay = %v, want ≈2.5", d)
+	}
+	// Push-on-change suppression: idle nodes hold constant values, so
+	// some dedup must occur but not everything.
+	ratio := obs.DedupRatio()
+	if ratio <= 0 || ratio >= 1 {
+		t.Errorf("dedup ratio = %v, want in (0, 1)", ratio)
+	}
+	// End-to-end value integrity: the re-coarsened input_power channel
+	// must match the collector's cluster sums when re-aggregated.
+	data := col.Data()
+	for w := 0; w < data.ClusterPower.Len(); w += 17 {
+		tm := data.ClusterPower.TimeAt(w)
+		var sum float64
+		missing := false
+		for n := topology.NodeID(0); int(n) < cfg.Nodes; n++ {
+			v := channelValueAt(obs, n, telemetry.MetricInputPower, tm)
+			if math.IsNaN(v) {
+				missing = true
+				break
+			}
+			sum += v
+		}
+		if missing {
+			// Dedup means an unchanged channel has no window here; the
+			// last emitted value would be carried forward in a real
+			// store. Skip such windows: integrity is checked where all
+			// channels emitted.
+			continue
+		}
+		want := data.ClusterPower.Vals[w]
+		if math.Abs(sum-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("window %d: telemetry sum %v != collector %v", w, sum, want)
+		}
+	}
+}
+
+// channelValueAt returns the coarsened mean of a channel at time tm, or
+// NaN when the channel has no window there.
+func channelValueAt(o *TelemetryObserver, n topology.NodeID, m telemetry.Metric, tm int64) float64 {
+	for _, w := range o.Windows(n, m) {
+		if w.T == tm {
+			return w.Mean
+		}
+	}
+	return math.NaN()
+}

@@ -1,0 +1,118 @@
+package core
+
+import "sort"
+
+// ThermalResponseSet is one panel column of Figure 12: the system's
+// component temperatures and cooling-plant state superimposed around a set
+// of cluster power edges of similar amplitude and direction.
+type ThermalResponseSet struct {
+	AmplitudeMW int
+	Rising      bool
+	Count       int
+
+	Power       *SnapshotStack // cluster power (W)
+	PUE         *SnapshotStack
+	GPUTempMean *SnapshotStack // °C
+	GPUTempMax  *SnapshotStack
+	CPUTempMean *SnapshotStack
+	CPUTempMax  *SnapshotStack
+	SupplyC     *SnapshotStack // MTW supply temperature
+	ReturnC     *SnapshotStack // MTW return temperature
+	TowerTons   *SnapshotStack
+	ChillerTons *SnapshotStack
+	// TowerCount / ChillerCount are the staged equipment counts around
+	// the edge: the discrete staging behaviour of the plant.
+	TowerCount   *SnapshotStack
+	ChillerCount *SnapshotStack
+}
+
+// Figure12ThermalResponse builds the thermal-response snapshot columns for
+// every rising-edge amplitude bin plus one falling-edge column at the
+// largest falling amplitude present (mirroring the paper's 4 MW/6 MW/7 MW
+// rises + 7 MW fall layout at full scale).
+func Figure12ThermalResponse(d *RunData, beforeSec, afterSec int64) []ThermalResponseSet {
+	binW := ScaleEquivalentMW(d.Nodes)
+	edges := DetectEdgesThreshold(d.ClusterPower, binW)
+	build := func(mw int, rising bool, times []int64) ThermalResponseSet {
+		return ThermalResponseSet{
+			AmplitudeMW:  mw,
+			Rising:       rising,
+			Count:        len(times),
+			Power:        SuperimposeAround(d.ClusterPower, times, beforeSec, afterSec),
+			PUE:          SuperimposeAround(d.PUE, times, beforeSec, afterSec),
+			GPUTempMean:  SuperimposeAround(d.GPUTempMean, times, beforeSec, afterSec),
+			GPUTempMax:   SuperimposeAround(d.GPUTempMax, times, beforeSec, afterSec),
+			CPUTempMean:  SuperimposeAround(d.CPUTempMean, times, beforeSec, afterSec),
+			CPUTempMax:   SuperimposeAround(d.CPUTempMax, times, beforeSec, afterSec),
+			SupplyC:      SuperimposeAround(d.SupplyC, times, beforeSec, afterSec),
+			ReturnC:      SuperimposeAround(d.ReturnC, times, beforeSec, afterSec),
+			TowerTons:    SuperimposeAround(d.TowerTons, times, beforeSec, afterSec),
+			ChillerTons:  SuperimposeAround(d.ChillerTons, times, beforeSec, afterSec),
+			TowerCount:   SuperimposeAround(d.TowerCount, times, beforeSec, afterSec),
+			ChillerCount: SuperimposeAround(d.ChillerCount, times, beforeSec, afterSec),
+		}
+	}
+	var out []ThermalResponseSet
+	rising := BinEdges(edges, binW, true)
+	var mws []int
+	for mw := range rising {
+		mws = append(mws, mw)
+	}
+	sort.Ints(mws)
+	for _, mw := range mws {
+		out = append(out, build(mw, true, EdgeTimes(rising[mw])))
+	}
+	// Largest falling-amplitude bin.
+	falling := BinEdges(edges, binW, false)
+	best := -1
+	for mw := range falling {
+		if mw > best {
+			best = mw
+		}
+	}
+	if best > 0 {
+		out = append(out, build(best, false, EdgeTimes(falling[best])))
+	}
+	return out
+}
+
+// CoolingLagSec estimates the cooling plant's response delay to a rising
+// edge: the offset at which the superimposed tower+chiller tonnage has
+// covered half of its post-edge increase. Returns -1 when no rise is
+// visible in the stack.
+func CoolingLagSec(set ThermalResponseSet) int64 {
+	if set.TowerTons == nil {
+		return -1
+	}
+	// Combined tons stack offsets mirror the power stack.
+	n := len(set.TowerTons.OffsetSec)
+	combined := make([]float64, n)
+	for i := 0; i < n; i++ {
+		combined[i] = set.TowerTons.Mean[i]
+		if set.ChillerTons != nil && i < len(set.ChillerTons.Mean) {
+			combined[i] += set.ChillerTons.Mean[i]
+		}
+	}
+	// Baseline: value at the edge (offset 0); final: last offset.
+	zero := -1
+	for i, off := range set.TowerTons.OffsetSec {
+		if off == 0 {
+			zero = i
+			break
+		}
+	}
+	if zero < 0 || zero >= n-1 {
+		return -1
+	}
+	base, final := combined[zero], combined[n-1]
+	if final <= base {
+		return -1
+	}
+	half := base + 0.5*(final-base)
+	for i := zero; i < n; i++ {
+		if combined[i] >= half {
+			return set.TowerTons.OffsetSec[i]
+		}
+	}
+	return -1
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestYearSurvey(t *testing.T) {
+	trends, err := YearSurvey(YearSurveyConfig{
+		Seed:            3,
+		Nodes:           54,
+		SpanPerMonthSec: 2 * 3600,
+		Jobs:            25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trends) != 12 {
+		t.Fatalf("months = %d", len(trends))
+	}
+	for i, tr := range trends {
+		if tr.Month != i+1 {
+			t.Fatalf("month %d labeled %d", i+1, tr.Month)
+		}
+		if tr.Power.N == 0 || tr.EnergyJ <= 0 {
+			t.Fatalf("month %d has no power data", tr.Month)
+		}
+		if tr.MeanPUE <= 1 || tr.MeanPUE > 2 {
+			t.Fatalf("month %d PUE = %v", tr.Month, tr.MeanPUE)
+		}
+		if tr.ChillerFrac < 0 || tr.ChillerFrac > 1 {
+			t.Fatalf("month %d chiller frac = %v", tr.Month, tr.ChillerFrac)
+		}
+	}
+	// Seasonality: July wet bulb far above January; chillers run in
+	// summer and not in deep winter.
+	jan, jul := trends[0], trends[6]
+	if jul.WetBulbMean <= jan.WetBulbMean+8 {
+		t.Errorf("July wet bulb %0.1f not clearly above January %0.1f",
+			jul.WetBulbMean, jan.WetBulbMean)
+	}
+	if jan.ChillerFrac > 0.05 {
+		t.Errorf("January chiller fraction = %v, want ~0", jan.ChillerFrac)
+	}
+	if jul.ChillerFrac < 0.2 {
+		t.Errorf("July chiller fraction = %v, want substantial", jul.ChillerFrac)
+	}
+	// Summer PUE above winter PUE.
+	if jul.MeanPUE <= jan.MeanPUE {
+		t.Errorf("July PUE %0.3f not above January %0.3f", jul.MeanPUE, jan.MeanPUE)
+	}
+	// Annual summary in the paper's neighbourhood.
+	sum := SummarizeYear(trends)
+	if sum.MeanPUE < 1.05 || sum.MeanPUE > 1.25 {
+		t.Errorf("annual PUE = %v, paper 1.11", sum.MeanPUE)
+	}
+	if sum.ChillerPUE <= sum.MeanPUE {
+		t.Errorf("chiller-month PUE %v must exceed annual %v", sum.ChillerPUE, sum.MeanPUE)
+	}
+	if sum.ChillerFrac < 0.05 || sum.ChillerFrac > 0.5 {
+		t.Errorf("annual chilled-water fraction = %v, paper ~0.2", sum.ChillerFrac)
+	}
+	if sum.ChillerMonths < 2 || sum.ChillerMonths > 7 {
+		t.Errorf("chiller months = %d, want a summer band", sum.ChillerMonths)
+	}
+}
+
+func TestYearSurveyValidation(t *testing.T) {
+	if _, err := YearSurvey(YearSurveyConfig{Nodes: 0}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestSummarizeYearEmpty(t *testing.T) {
+	s := SummarizeYear(nil)
+	if s.MeanPUE != 0 || s.ChillerMonths != 0 {
+		t.Error("empty summary must be zero")
+	}
+}

@@ -1,0 +1,185 @@
+package facility
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// CEP simulates Summit's central energy plant: the medium-temperature-water
+// (MTW) secondary loop fed by evaporative cooling towers (the economizer)
+// and trimmed by chillers when the wet bulb is too high. It reproduces the
+// dynamics the paper measures in Figures 11–12: a ~1 minute staging lag, a
+// slower de-staging response on falling edges, transient supply/return
+// temperature excursions, and PUE that is inversely proportional to load.
+type CEP struct {
+	weather *Weather
+
+	// Set points and physical parameters.
+	SupplySetpointC float64 // MTW supply target (70 °F ≈ 21.1 °C)
+	LoopFlowGPM     float64 // secondary loop flow
+	LoopMassKg      float64 // thermal mass of the loop water
+	TowerApproachC  float64 // tower water approaches wet bulb this closely
+	HXApproachC     float64 // tower->MTW heat exchanger approach
+
+	// Staging dynamics (paper: rise within ~1 min, slower attenuation).
+	TauUpSec   float64
+	TauDownSec float64
+
+	// Efficiency parameters.
+	TowerKWPerTon   float64 // fans+pumps per ton on the economizer
+	ChillerKWPerTon float64 // compressor power per ton on the trim loop
+	FixedOverheadW  float64 // pumps, lights, UPS losses, controls
+
+	// State.
+	tons        float64 // cooling currently delivered (all sources)
+	supplyC     float64 // actual MTW supply temperature
+	returnC     float64 // actual MTW return temperature
+	towerTons   float64
+	chillerTons float64
+	itLoadW     float64
+}
+
+// NewCEP returns a plant with Summit-calibrated defaults.
+func NewCEP(w *Weather) *CEP {
+	c := &CEP{
+		weather:         w,
+		SupplySetpointC: float64(units.MTWSupplyNominalF.C()),
+		LoopFlowGPM:     5000,
+		LoopMassKg:      60000,
+		TowerApproachC:  3.5,
+		HXApproachC:     1.0,
+		TauUpSec:        60,
+		TauDownSec:      280,
+		TowerKWPerTon:   0.14,
+		ChillerKWPerTon: 0.75,
+		FixedOverheadW:  330e3,
+	}
+	c.supplyC = c.SupplySetpointC
+	c.returnC = c.SupplySetpointC
+	return c
+}
+
+// towerCapacityFrac returns the fraction of the load the economizer can
+// carry given the wet-bulb temperature: 1 when the towers alone can reach
+// the supply set point, fading to 0 as the wet bulb climbs past it.
+func (c *CEP) towerCapacityFrac(wetBulbC float64) float64 {
+	achievable := wetBulbC + c.TowerApproachC + c.HXApproachC
+	headroom := c.SupplySetpointC - achievable
+	switch {
+	case headroom >= 0:
+		return 1
+	case headroom <= -6:
+		return 0
+	default:
+		return 1 + headroom/6
+	}
+}
+
+// Step advances the plant by dt seconds with the given IT heat load (watts
+// of heat to remove) at unix time t.
+func (c *CEP) Step(t int64, dt float64, itLoad units.Watts) {
+	if dt <= 0 {
+		return
+	}
+	c.itLoadW = float64(itLoad)
+	cond := c.weather.At(t)
+	// Return temperature follows the load through the loop flow.
+	rise := float64(units.WaterHeatPickup(itLoad, units.GPM(c.LoopFlowGPM)))
+	targetReturn := c.supplyC + rise
+	c.returnC = relax(c.returnC, targetReturn, dt, 45)
+	// The plant stages cooling toward the measured return-side load.
+	targetTons := float64(itLoad.Tons())
+	tau := c.TauUpSec
+	if targetTons < c.tons {
+		tau = c.TauDownSec
+	}
+	c.tons = relax(c.tons, targetTons, dt, tau)
+	// Split between economizer and chillers by wet bulb.
+	frac := c.towerCapacityFrac(cond.WetBulbC)
+	c.towerTons = c.tons * frac
+	c.chillerTons = c.tons - c.towerTons
+	// Supply temperature drifts with the heat imbalance across the loop's
+	// thermal mass and is pulled back to set point by the plant control.
+	imbalanceW := float64(itLoad) - c.tons*units.WattsPerTon
+	dT := imbalanceW * dt / (c.LoopMassKg * units.WaterHeatCapacityJPerKgK)
+	c.supplyC += dT
+	c.supplyC = relax(c.supplyC, c.SupplySetpointC, dt, 240)
+	// Clamp to the facility's published operating band.
+	lo, hi := float64(units.MTWSupplyMinF.C()), float64(units.MTWSupplyMaxF.C())
+	c.supplyC = math.Max(lo-1, math.Min(hi+3, c.supplyC))
+}
+
+func relax(cur, target, dt, tau float64) float64 {
+	if tau <= 0 {
+		return target
+	}
+	return target + (cur-target)*math.Exp(-dt/tau)
+}
+
+// SupplyC returns the MTW supply temperature.
+func (c *CEP) SupplyC() units.Celsius { return units.Celsius(c.supplyC) }
+
+// ReturnC returns the MTW return temperature.
+func (c *CEP) ReturnC() units.Celsius { return units.Celsius(c.returnC) }
+
+// TowerTons returns the economizer cooling currently delivered.
+func (c *CEP) TowerTons() units.TonsRefrigeration {
+	return units.TonsRefrigeration(c.towerTons)
+}
+
+// ChillerTons returns the trim chiller cooling currently delivered.
+func (c *CEP) ChillerTons() units.TonsRefrigeration {
+	return units.TonsRefrigeration(c.chillerTons)
+}
+
+// CoolingPower returns the electrical power the plant draws right now.
+func (c *CEP) CoolingPower() units.Watts {
+	return units.Watts(c.towerTons*c.TowerKWPerTon*1000 +
+		c.chillerTons*c.ChillerKWPerTon*1000 + c.FixedOverheadW)
+}
+
+// PUE returns the instantaneous power usage effectiveness:
+// (IT + facility) / IT. Zero IT load returns NaN.
+func (c *CEP) PUE() float64 {
+	if c.itLoadW <= 0 {
+		return math.NaN()
+	}
+	return (c.itLoadW + float64(c.CoolingPower())) / c.itLoadW
+}
+
+// OnChilledWater reports whether the trim chillers are carrying any load.
+func (c *CEP) OnChilledWater() bool { return c.chillerTons > 1 }
+
+// Per-unit capacities for equipment staging: the CEP has 8 cooling towers
+// and 5 chillers (paper Table 1); a 13 MW peak is ~3,700 tons, so each
+// tower stages ~550 tons and each chiller ~800 tons.
+const (
+	towerUnitTons   = 550.0
+	chillerUnitTons = 800.0
+)
+
+// ActiveTowers returns how many of the 8 cooling towers are staged on to
+// carry the current economizer load.
+func (c *CEP) ActiveTowers() int {
+	n := int(math.Ceil(c.towerTons / towerUnitTons))
+	if c.towerTons > 1 && n == 0 {
+		n = 1
+	}
+	if n > units.CoolingTowers {
+		n = units.CoolingTowers
+	}
+	return n
+}
+
+// ActiveChillers returns how many of the 5 trim chillers are staged on.
+func (c *CEP) ActiveChillers() int {
+	n := int(math.Ceil(c.chillerTons / chillerUnitTons))
+	if c.chillerTons > 1 && n == 0 {
+		n = 1
+	}
+	if n > units.Chillers {
+		n = units.Chillers
+	}
+	return n
+}

@@ -1,0 +1,254 @@
+// Package parallel is the reproduction's substitute for the Dask pipeline
+// the paper used: bounded worker pools, parallel for-each and map-reduce
+// over index spaces and partitions, and an ordered streaming pipeline.
+//
+// All entry points are deterministic in their results (reduction order is
+// fixed) even though execution order is not, so analyses remain bit-stable
+// regardless of GOMAXPROCS.
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the default worker count: GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers normalizes a worker request against the job size.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for i in [0, n) on the given number of workers
+// (<= 0 selects DefaultWorkers). It returns after all calls complete.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func(batch int) (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		start := int(next)
+		if start >= n {
+			return 0, 0
+		}
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		next = int64(end)
+		return start, end
+	}
+	// Batch size balances scheduling overhead against imbalance.
+	batch := n / (workers * 8)
+	if batch < 1 {
+		batch = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start, end := take(batch)
+				if start == end {
+					return
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work: it runs fn(i) for i in [0, n) and
+// returns the combined error of all failures (errors.Join). All indices run
+// even if some fail, matching batch-analytics semantics where one bad
+// partition must not hide the others.
+func ForEachErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) { errs[i] = fn(i) })
+	return errors.Join(errs...)
+}
+
+// Map applies fn to every index and collects the results in order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible work. On any failure it returns nil results and
+// the joined error.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachErr(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapReduce maps every index through fn and folds the results with reduce
+// in strict index order, guaranteeing a deterministic reduction even for
+// non-commutative reducers.
+func MapReduce[T, A any](n, workers int, zero A, fn func(i int) T, reduce func(acc A, v T) A) A {
+	vals := Map(n, workers, fn)
+	acc := zero
+	for _, v := range vals {
+		acc = reduce(acc, v)
+	}
+	return acc
+}
+
+// Chunks splits [0, n) into roughly equal contiguous ranges, at most
+// maxChunks of them, each described by [Start, End). It never returns an
+// empty chunk.
+type Chunk struct{ Start, End int }
+
+// SplitChunks partitions n items into at most maxChunks contiguous chunks.
+func SplitChunks(n, maxChunks int) []Chunk {
+	if n <= 0 || maxChunks <= 0 {
+		return nil
+	}
+	if maxChunks > n {
+		maxChunks = n
+	}
+	out := make([]Chunk, 0, maxChunks)
+	base, rem := n/maxChunks, n%maxChunks
+	start := 0
+	for i := 0; i < maxChunks; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, Chunk{Start: start, End: start + size})
+		start += size
+	}
+	return out
+}
+
+// ProcessChunks runs fn over contiguous chunks of [0, n) in parallel and
+// returns per-chunk results in chunk order. Use this when per-item work is
+// tiny and the payoff comes from amortizing over ranges (the per-partition
+// pattern of the telemetry pipeline).
+func ProcessChunks[T any](n, workers int, fn func(c Chunk) T) []T {
+	chunks := SplitChunks(n, clampWorkers(workers, n))
+	return Map(len(chunks), workers, func(i int) T { return fn(chunks[i]) })
+}
+
+// Stage runs an order-preserving parallel transform over a channel: up to
+// `workers` goroutines apply fn concurrently, but outputs are delivered in
+// input order (a reorder buffer holds results that finish early). This is
+// the streaming building block of the partitioned telemetry pipeline:
+// decode/coarsen stages keep up with ingest without reordering windows.
+func Stage[I, O any](in <-chan I, workers int, fn func(I) O) <-chan O {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	type job struct {
+		seq int
+		v   I
+	}
+	type result struct {
+		seq int
+		v   O
+	}
+	jobs := make(chan job, workers)
+	results := make(chan result, workers)
+	out := make(chan O, workers)
+	// Feeder.
+	go func() {
+		seq := 0
+		for v := range in {
+			jobs <- job{seq, v}
+			seq++
+		}
+		close(jobs)
+	}()
+	// Workers.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- result{j.seq, fn(j.v)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	// Reorderer.
+	go func() {
+		defer close(out)
+		pending := map[int]O{}
+		next := 0
+		for r := range results {
+			pending[r.seq] = r.v
+			for {
+				v, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- v
+				next++
+			}
+		}
+	}()
+	return out
+}
+
+// Source converts a slice into a channel feeding a Stage.
+func Source[T any](items []T) <-chan T {
+	ch := make(chan T, len(items))
+	for _, v := range items {
+		ch <- v
+	}
+	close(ch)
+	return ch
+}
+
+// Drain collects a channel into a slice.
+func Drain[T any](ch <-chan T) []T {
+	var out []T
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package scheduler
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Policy extends the baseline FCFS+backfill scheduler with the
+// power-aware admission control the paper's conclusion argues for:
+// "aggressive power and energy aware ... scheduling policies can have
+// impact even on HPC deployments like Summit".
+type Policy struct {
+	// PowerCap is the admission ceiling on the estimated aggregate power
+	// of running jobs (plus the idle floor). Zero disables the cap.
+	PowerCap units.Watts
+	// EstimateNodePower predicts a job's per-node draw for admission;
+	// nil selects DefaultNodePowerEstimate.
+	EstimateNodePower func(j *workload.Job) units.Watts
+}
+
+// DefaultNodePowerEstimate predicts a job's plateau per-node power from
+// its profile — the fingerprint-style estimate a production scheduler
+// would keep per project.
+func DefaultNodePowerEstimate(j *workload.Job) units.Watts {
+	p := j.Profile
+	p.NoiseFrac = 0
+	base := math.Ceil(p.RampSec/p.PeriodSec+1) * p.PeriodSec
+	return p.Power(0, 0, base+p.PeriodSec*p.Duty/2).Total()
+}
+
+// estimate returns the job's whole-allocation power estimate.
+func (p *Policy) estimate(j *workload.Job) units.Watts {
+	fn := p.EstimateNodePower
+	if fn == nil {
+		fn = DefaultNodePowerEstimate
+	}
+	return units.Watts(float64(fn(j)) * float64(j.Nodes))
+}
+
+// ScheduleWithPolicy is Schedule with power-aware admission. Jobs whose
+// standalone estimate exceeds the cap (over the idle floor) can never
+// start and are reported in Skipped. With a zero policy it behaves
+// exactly like Schedule.
+func ScheduleWithPolicy(jobs []workload.Job, nodes int, policy Policy) (*Result, error) {
+	if policy.PowerCap <= 0 {
+		return Schedule(jobs, nodes)
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("scheduler: non-positive node count %d", nodes)
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].SubmitTime < jobs[i-1].SubmitTime {
+			return nil, fmt.Errorf("scheduler: jobs not sorted by submit time at %d", i)
+		}
+	}
+	idleFloor := float64(workload.IdleNodePower().Total()) * float64(nodes)
+	headroom := float64(policy.PowerCap) - idleFloor
+	if headroom <= 0 {
+		return nil, fmt.Errorf("scheduler: power cap %v below idle floor %v",
+			policy.PowerCap, units.Watts(idleFloor))
+	}
+	res := &Result{}
+	pool := newFreePool(nodes)
+	var queue []workload.Job
+	var run runHeap
+	runningPower := 0.0 // estimated dynamic power of running jobs
+	powerOf := map[int]float64{}
+	insertQueued := func(j workload.Job) {
+		pos := len(queue)
+		for i := range queue {
+			if queue[i].Class > j.Class ||
+				(queue[i].Class == j.Class && queue[i].SubmitTime > j.SubmitTime) {
+				pos = i
+				break
+			}
+		}
+		queue = append(queue, workload.Job{})
+		copy(queue[pos+1:], queue[pos:])
+		queue[pos] = j
+	}
+	const drainAfterSec = 6 * 3600
+	tryStart := func(now int64) {
+		i := 0
+		for i < len(queue) {
+			if i > 0 && now-queue[0].SubmitTime > drainAfterSec {
+				return
+			}
+			j := queue[i]
+			est := float64(policy.estimate(&j))
+			idleShare := float64(workload.IdleNodePower().Total()) * float64(j.Nodes)
+			dynamic := est - idleShare
+			if dynamic < 0 {
+				dynamic = 0
+			}
+			if runningPower+dynamic > headroom {
+				i++
+				continue
+			}
+			ids := pool.take(j.Nodes)
+			if ids == nil {
+				i++
+				continue
+			}
+			end := now + j.Duration
+			res.Allocations = append(res.Allocations, Allocation{
+				Job: j, StartTime: now, EndTime: end, NodeIDs: ids,
+			})
+			idx := len(res.Allocations) - 1
+			heap.Push(&run, running{end: end, alloc: idx})
+			powerOf[idx] = dynamic
+			runningPower += dynamic
+			res.NodeBusySec += int64(j.Nodes) * j.Duration
+			queue = append(queue[:i], queue[i+1:]...)
+		}
+	}
+	next := 0
+	for next < len(jobs) || run.Len() > 0 || len(queue) > 0 {
+		var now int64
+		switch {
+		case run.Len() > 0 && (next >= len(jobs) || run[0].end <= jobs[next].SubmitTime):
+			now = run[0].end
+			for run.Len() > 0 && run[0].end == now {
+				r := heap.Pop(&run).(running)
+				pool.release(res.Allocations[r.alloc].NodeIDs)
+				runningPower -= powerOf[r.alloc]
+				delete(powerOf, r.alloc)
+			}
+		case next < len(jobs):
+			now = jobs[next].SubmitTime
+			for next < len(jobs) && jobs[next].SubmitTime == now {
+				j := jobs[next]
+				next++
+				idleShare := float64(workload.IdleNodePower().Total()) * float64(j.Nodes)
+				dynamic := float64(policy.estimate(&j)) - idleShare
+				if j.Nodes > nodes || dynamic > headroom {
+					res.Skipped = append(res.Skipped, j)
+					continue
+				}
+				insertQueued(j)
+			}
+		default:
+			return nil, fmt.Errorf("scheduler: %d jobs stuck in queue", len(queue))
+		}
+		tryStart(now)
+	}
+	finalizeResult(res)
+	return res, nil
+}
+
+// finalizeResult sorts allocations and computes the makespan (shared with
+// the baseline scheduler).
+func finalizeResult(res *Result) {
+	sortAllocations(res.Allocations)
+	if len(res.Allocations) > 0 {
+		first := res.Allocations[0].StartTime
+		last := first
+		for _, a := range res.Allocations {
+			if a.EndTime > last {
+				last = a.EndTime
+			}
+		}
+		res.SpanSec = last - first
+	}
+}
+
+// MeanWaitSec returns the average queue wait across allocations.
+func (r *Result) MeanWaitSec() float64 {
+	if len(r.Allocations) == 0 {
+		return 0
+	}
+	var sum int64
+	for i := range r.Allocations {
+		sum += r.Allocations[i].WaitSec()
+	}
+	return float64(sum) / float64(len(r.Allocations))
+}

@@ -1,0 +1,516 @@
+// Package sim is the closed-loop Summit digital twin: it advances simulated
+// time, driving the scheduler's allocations onto nodes, evaluating each
+// node's component power from its job's profile, stepping per-node thermal
+// state and the central energy plant, reading the biased node sensors and
+// the MSB meters, and injecting GPU XID failures with live thermal context.
+//
+// Analyses consume the run through Observer callbacks; the per-step
+// Snapshot buffers are reused between steps, so observers must copy what
+// they keep.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/facility"
+	"repro/internal/failures"
+	"repro/internal/nodesim"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+	"repro/internal/scheduler"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/tsagg"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Config sizes and seeds a simulation run.
+type Config struct {
+	Seed      uint64
+	Nodes     int   // system size
+	StartTime int64 // unix seconds
+	// DurationSec is the simulated span.
+	DurationSec int64
+	// StepSec is the coarsening window the run advances by (the paper's
+	// analyses operate on 10-second windows).
+	StepSec int64
+	// SamplesPerWindow emulates the 1 Hz sampling inside each window:
+	// component power is evaluated this many times per window and the
+	// window statistics (min/max/mean/std) computed from those samples.
+	SamplesPerWindow int
+	// Jobs is the number of jobs generated for the span. Ignored when
+	// Workload is provided.
+	Jobs int
+	// Workload optionally supplies a pre-built job population (sorted by
+	// submit time).
+	Workload []workload.Job
+	// FailureRateScale accelerates XID rates for scaled-down runs.
+	FailureRateScale float64
+	// FailureCheckSec is the failure-injection interval (coarser than the
+	// power step for efficiency). Defaults to 300 s.
+	FailureCheckSec int64
+	// Workers bounds the node-update parallelism (0 = GOMAXPROCS).
+	Workers int
+	// PowerCap, when positive, enables power-aware admission in the
+	// scheduler (the paper's conclusion what-if): jobs are held back when
+	// the estimated aggregate power would exceed the cap.
+	PowerCap units.Watts
+	// TelemetryLossFrac models the paper's missing-data reality: this
+	// fraction of node-windows is dropped from the telemetry view
+	// (Count 0, NaN statistics), and one fixed cabinet goes completely
+	// dark for the whole run (the "bright green cabinet" of Figure 17).
+	// Ground truth (TruePower, meters, facility) is unaffected — only
+	// what the out-of-band pipeline would have delivered.
+	TelemetryLossFrac float64
+}
+
+// Validate checks the configuration and applies defaults.
+func (c *Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("sim: non-positive node count %d", c.Nodes)
+	}
+	if c.DurationSec <= 0 {
+		return fmt.Errorf("sim: non-positive duration %d", c.DurationSec)
+	}
+	if c.StepSec <= 0 {
+		c.StepSec = units.CoarsenWindowSec
+	}
+	if c.SamplesPerWindow <= 0 {
+		c.SamplesPerWindow = 1
+	}
+	if c.FailureCheckSec <= 0 {
+		c.FailureCheckSec = 300
+	}
+	if c.FailureCheckSec%c.StepSec != 0 {
+		c.FailureCheckSec = (c.FailureCheckSec/c.StepSec + 1) * c.StepSec
+	}
+	if c.Jobs <= 0 && len(c.Workload) == 0 {
+		return fmt.Errorf("sim: no workload (set Jobs or Workload)")
+	}
+	if c.FailureRateScale <= 0 {
+		c.FailureRateScale = 1
+	}
+	if c.TelemetryLossFrac < 0 || c.TelemetryLossFrac >= 1 {
+		if c.TelemetryLossFrac != 0 {
+			return fmt.Errorf("sim: telemetry loss fraction %v outside [0, 1)", c.TelemetryLossFrac)
+		}
+	}
+	return nil
+}
+
+// Snapshot is the per-window view delivered to observers. All slices are
+// indexed by dense NodeID and reused between steps.
+type Snapshot struct {
+	T int64 // window start
+
+	// NodeStat is the window statistic of each node's *sensor-read* input
+	// power (the biased BMC reading the paper's analyses consume).
+	NodeStat []tsagg.WindowStat
+	// TruePower is the ground-truth mean input power per node over the
+	// window, used only for meter validation (Figure 4).
+	TruePower []float64
+	// AllocIdx is the index into Allocations of the job running on each
+	// node, or -1 when idle.
+	AllocIdx []int
+
+	// Component means over the window, per node.
+	CPUPower []float64 // sum of both sockets
+	GPUPower []float64 // sum of all six GPUs
+	// GPUPowerEach is the per-GPU window-mean power (W), for the
+	// variability analysis (Figure 17).
+	GPUPowerEach [][units.GPUsPerNode]float64
+
+	// Thermal state at window end.
+	GPUCoreTemp [][units.GPUsPerNode]float64
+	GPUMemTemp  [][units.GPUsPerNode]float64
+	CPUTemp     [][units.CPUsPerNode]float64
+
+	// Cluster-level facility state.
+	ClusterSensorPower units.Watts // Σ sensor power
+	ClusterTruePower   units.Watts // Σ true power
+	MeterPower         []units.Watts
+	SupplyC            units.Celsius
+	ReturnC            units.Celsius
+	TowerTons          units.TonsRefrigeration
+	ChillerTons        units.TonsRefrigeration
+	ActiveTowers       int
+	ActiveChillers     int
+	PUE                float64
+	WetBulbC           float64
+	DryBulbC           float64
+
+	// Failures injected during this window (usually empty; populated on
+	// failure-check boundaries).
+	Failures []failures.Event
+}
+
+// Observer receives every window of a run.
+type Observer interface {
+	Observe(s *Snapshot)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(s *Snapshot)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(s *Snapshot) { f(s) }
+
+// Result summarizes a completed run.
+type Result struct {
+	Allocations []scheduler.Allocation
+	Skipped     int
+	Failures    []failures.Event
+	Utilization float64
+	Steps       int
+}
+
+// Sim is a configured simulation. Create with New, execute with Run.
+type Sim struct {
+	cfg      Config
+	floor    *topology.Floor
+	allocs   []scheduler.Allocation
+	skipped  int
+	injector *failures.Injector
+	weather  *facility.Weather
+	cep      *facility.CEP
+	meters   *facility.MSBMeters
+	nodes    []*nodesim.State
+	util     float64
+}
+
+// New builds the system: generates (or accepts) the workload, schedules it,
+// and initializes node, facility, and failure state.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	floor, err := topology.New(topology.ScaledConfig(cfg.Nodes))
+	if err != nil {
+		return nil, err
+	}
+	jobs := cfg.Workload
+	if len(jobs) == 0 {
+		jobs, err = workload.Generate(workload.GenConfig{
+			Seed:              cfg.Seed,
+			StartTime:         cfg.StartTime,
+			SpanSec:           cfg.DurationSec,
+			Jobs:              cfg.Jobs,
+			MaxNodes:          min(cfg.Nodes, 4608),
+			ProjectsPerDomain: 6,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sched, err := scheduler.ScheduleWithPolicy(jobs, cfg.Nodes,
+		scheduler.Policy{PowerCap: cfg.PowerCap})
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	fcfg := failures.DefaultConfig(cfg.Seed+1, cfg.Nodes)
+	fcfg.RateScale = cfg.FailureRateScale
+	s := &Sim{
+		cfg:      cfg,
+		floor:    floor,
+		allocs:   sched.Allocations,
+		skipped:  len(sched.Skipped),
+		injector: failures.NewInjector(fcfg),
+		weather:  facility.NewWeather(cfg.Seed),
+		meters:   facility.NewMSBMeters(floor, root.Split("meters")),
+		nodes:    make([]*nodesim.State, cfg.Nodes),
+		util:     sched.Utilization(cfg.Nodes),
+	}
+	s.cep = facility.NewCEP(s.weather)
+	// Scale the plant to the system: fixed overhead, loop flow and loop
+	// thermal mass are sized for the full 4,626-node floor; a scaled run
+	// gets a proportionally smaller plant so PUE stays meaningful.
+	frac := float64(cfg.Nodes) / float64(units.SummitNodes)
+	s.cep.FixedOverheadW *= frac
+	s.cep.LoopFlowGPM *= frac
+	s.cep.LoopMassKg *= frac
+	varRS := root.Split("node-variation")
+	for i := range s.nodes {
+		s.nodes[i] = nodesim.NewState(
+			nodesim.NewVariation(varRS.SplitN("node", i)), s.cep.SupplyC())
+	}
+	return s, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Allocations exposes the scheduled job placements.
+func (s *Sim) Allocations() []scheduler.Allocation { return s.allocs }
+
+// Config returns the validated run configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Run executes the simulation, invoking every observer once per window.
+func (s *Sim) Run(obs ...Observer) (*Result, error) {
+	cfg := s.cfg
+	n := cfg.Nodes
+	snap := &Snapshot{
+		NodeStat:     make([]tsagg.WindowStat, n),
+		TruePower:    make([]float64, n),
+		AllocIdx:     make([]int, n),
+		CPUPower:     make([]float64, n),
+		GPUPower:     make([]float64, n),
+		GPUPowerEach: make([][units.GPUsPerNode]float64, n),
+		GPUCoreTemp:  make([][units.GPUsPerNode]float64, n),
+		GPUMemTemp:   make([][units.GPUsPerNode]float64, n),
+		CPUTemp:      make([][units.CPUsPerNode]float64, n),
+		MeterPower:   make([]units.Watts, s.floor.MSBs()),
+	}
+	// Allocation start/end event walkers.
+	starts := make([]int, 0, len(s.allocs)) // indices sorted by StartTime (already)
+	for i := range s.allocs {
+		starts = append(starts, i)
+	}
+	ends := make([]int, len(s.allocs))
+	copy(ends, starts)
+	sort.Slice(ends, func(a, b int) bool {
+		return s.allocs[ends[a]].EndTime < s.allocs[ends[b]].EndTime
+	})
+	nodeAlloc := make([]int, n)
+	for i := range nodeAlloc {
+		nodeAlloc[i] = -1
+	}
+	nextStart, nextEnd := 0, 0
+	result := &Result{Allocations: s.allocs, Skipped: s.skipped, Utilization: s.util}
+	endTime := cfg.StartTime + cfg.DurationSec
+	sub := cfg.SamplesPerWindow
+	for t := cfg.StartTime; t < endTime; t += cfg.StepSec {
+		// Apply allocation starts/ends effective by this window.
+		for nextEnd < len(ends) && s.allocs[ends[nextEnd]].EndTime <= t {
+			for _, id := range s.allocs[ends[nextEnd]].NodeIDs {
+				if nodeAlloc[id] == ends[nextEnd] {
+					nodeAlloc[id] = -1
+				}
+			}
+			nextEnd++
+		}
+		for nextStart < len(starts) && s.allocs[starts[nextStart]].StartTime <= t {
+			for _, id := range s.allocs[starts[nextStart]].NodeIDs {
+				nodeAlloc[id] = starts[nextStart]
+			}
+			nextStart++
+		}
+		copy(snap.AllocIdx, nodeAlloc)
+		snap.T = t
+		supply := s.cep.SupplyC()
+		// Parallel per-node power evaluation and thermal stepping.
+		parallel.ForEach(n, cfg.Workers, func(i int) {
+			s.stepNode(i, t, supply, nodeAlloc[i], snap, sub)
+			if s.telemetryLost(i, t) {
+				s.blankNode(snap, i, t)
+			}
+		})
+		// Cluster roll-ups. Lost node-windows (Count 0) are absent from
+		// the telemetry view; ground truth still flows to the meters and
+		// the facility.
+		var sensorSum, trueSum float64
+		msbTrue := make([]float64, s.floor.MSBs())
+		for i := 0; i < n; i++ {
+			if snap.NodeStat[i].Count > 0 {
+				sensorSum += snap.NodeStat[i].Mean
+			}
+			trueSum += snap.TruePower[i]
+			msbTrue[s.floor.MSBOf(topology.NodeID(i))] += snap.TruePower[i]
+		}
+		snap.ClusterSensorPower = units.Watts(sensorSum)
+		snap.ClusterTruePower = units.Watts(trueSum)
+		for m := range msbTrue {
+			snap.MeterPower[m] = s.meters.MeterPower(topology.MSB(m), units.Watts(msbTrue[m]))
+		}
+		// Facility responds to the true heat load.
+		s.cep.Step(t, float64(cfg.StepSec), units.Watts(trueSum))
+		cond := s.weather.At(t)
+		snap.SupplyC = s.cep.SupplyC()
+		snap.ReturnC = s.cep.ReturnC()
+		snap.TowerTons = s.cep.TowerTons()
+		snap.ChillerTons = s.cep.ChillerTons()
+		snap.ActiveTowers = s.cep.ActiveTowers()
+		snap.ActiveChillers = s.cep.ActiveChillers()
+		snap.PUE = s.cep.PUE()
+		snap.WetBulbC = cond.WetBulbC
+		snap.DryBulbC = cond.DryBulbC
+		// Failure injection on its coarser grid.
+		snap.Failures = snap.Failures[:0]
+		if (t-cfg.StartTime)%cfg.FailureCheckSec == 0 {
+			snap.Failures = s.injectFailures(t, nodeAlloc, snap)
+			result.Failures = append(result.Failures, snap.Failures...)
+		}
+		for _, o := range obs {
+			o.Observe(snap)
+		}
+		result.Steps++
+	}
+	return result, nil
+}
+
+// stepNode evaluates one node's window: sub-sampled power statistics from
+// the job profile, sensor bias, and the thermal step.
+func (s *Sim) stepNode(i int, t int64, supply units.Celsius, allocIdx int,
+	snap *Snapshot, sub int) {
+	id := topology.NodeID(i)
+	var profile workload.Profile
+	var key uint64
+	var nodeRank int
+	active := allocIdx >= 0
+	var dtBase float64
+	if active {
+		a := &s.allocs[allocIdx]
+		profile = a.Job.Profile
+		key = uint64(a.Job.ID)
+		dtBase = float64(t - a.StartTime)
+		// Rank of the node within the allocation individualizes noise.
+		nodeRank = int(id) - int(a.NodeIDs[0])
+	}
+	var stat stats.Moments
+	var meanPower workload.NodePower
+	var cpuSum, gpuSum float64
+	step := float64(s.cfg.StepSec) / float64(sub)
+	for k := 0; k < sub; k++ {
+		var np workload.NodePower
+		if active {
+			np = profile.Power(key, nodeRank, dtBase+float64(k)*step)
+		} else {
+			np = workload.IdleNodePower()
+		}
+		truePower := float64(np.Total())
+		stat.Add(float64(s.meters.NodeSensor(id, units.Watts(truePower))))
+		// Accumulate for the mean component view.
+		for c := range np.CPU {
+			meanPower.CPU[c] += np.CPU[c] / units.Watts(float64(sub))
+			cpuSum += float64(np.CPU[c]) / float64(sub)
+		}
+		for g := range np.GPU {
+			meanPower.GPU[g] += np.GPU[g] / units.Watts(float64(sub))
+			gpuSum += float64(np.GPU[g]) / float64(sub)
+		}
+		meanPower.Other += np.Other / units.Watts(float64(sub))
+	}
+	snap.NodeStat[i] = tsagg.WindowStat{
+		T: t, Count: stat.N, Min: stat.Min, Max: stat.Max,
+		Mean: stat.Mean(), Std: stat.Std(),
+	}
+	snap.TruePower[i] = float64(meanPower.Total())
+	snap.CPUPower[i] = cpuSum
+	snap.GPUPower[i] = gpuSum
+	for g := 0; g < units.GPUsPerNode; g++ {
+		snap.GPUPowerEach[i][g] = float64(meanPower.GPU[g])
+	}
+	// Thermal step under the window-mean power.
+	ns := s.nodes[i]
+	ns.Step(float64(s.cfg.StepSec), meanPower, supply)
+	for g := 0; g < units.GPUsPerNode; g++ {
+		snap.GPUCoreTemp[i][g] = float64(ns.GPUCoreTemp(topology.GPUSlot(g)))
+		snap.GPUMemTemp[i][g] = float64(ns.GPUMemTemp(topology.GPUSlot(g)))
+	}
+	for c := 0; c < units.CPUsPerNode; c++ {
+		snap.CPUTemp[i][c] = float64(ns.CPUTemp(topology.CPUSocket(c)))
+	}
+}
+
+// injectFailures samples XID events for every GPU with live job and thermal
+// context, computing the within-job temperature z-scores the reliability
+// analysis needs.
+func (s *Sim) injectFailures(t int64, nodeAlloc []int, snap *Snapshot) []failures.Event {
+	// Per-allocation GPU temperature moments for z-scores.
+	jobTemp := map[int]*stats.Moments{}
+	for i, a := range nodeAlloc {
+		if a < 0 {
+			continue
+		}
+		m, ok := jobTemp[a]
+		if !ok {
+			m = &stats.Moments{}
+			jobTemp[a] = m
+		}
+		for g := 0; g < units.GPUsPerNode; g++ {
+			if v := snap.GPUCoreTemp[i][g]; !math.IsNaN(v) {
+				m.Add(v)
+			}
+		}
+	}
+	var out []failures.Event
+	window := float64(s.cfg.FailureCheckSec)
+	for i := 0; i < s.cfg.Nodes; i++ {
+		aIdx := nodeAlloc[i]
+		var ctx failures.Context
+		var mean, sd float64
+		if aIdx >= 0 {
+			a := &s.allocs[aIdx]
+			ctx.JobID = a.Job.ID
+			ctx.Project = a.Job.Project
+			ctx.Active = true
+			m := jobTemp[aIdx]
+			mean, sd = m.Mean(), m.Std()
+		}
+		for g := 0; g < units.GPUsPerNode; g++ {
+			ctx.TempC = snap.GPUCoreTemp[i][g]
+			if ctx.Active && sd > 0 {
+				ctx.TempZ = (ctx.TempC - mean) / sd
+			} else {
+				ctx.TempZ = math.NaN()
+				if !ctx.Active {
+					ctx.TempZ = 0
+				}
+			}
+			evs := s.injector.Sample(t, window, topology.NodeID(i),
+				topology.GPUSlot(g), ctx)
+			out = append(out, evs...)
+		}
+	}
+	return out
+}
+
+// telemetryLost reports whether node i's telemetry is missing at window t:
+// either the node sits in the run's dark cabinet, or the per-window hash
+// falls under the configured loss fraction.
+func (s *Sim) telemetryLost(i int, t int64) bool {
+	frac := s.cfg.TelemetryLossFrac
+	if frac <= 0 {
+		return false
+	}
+	if s.floor.Cabinet(topology.NodeID(i)) == s.darkCabinet() {
+		return true
+	}
+	z := uint64(i)*0x9e3779b97f4a7c15 + uint64(t)*0x94d049bb133111eb + s.cfg.Seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z ^= z >> 31
+	return float64(z>>11)/float64(1<<53) < frac
+}
+
+// darkCabinet returns the index of the fully-dark cabinet (the "bright
+// green cabinet"): a fixed mid-floor cabinet derived from the seed.
+func (s *Sim) darkCabinet() int {
+	if s.floor.Cabinets() == 0 {
+		return -1
+	}
+	return int(s.cfg.Seed) % s.floor.Cabinets()
+}
+
+// blankNode erases node i's telemetry view for window t.
+func (s *Sim) blankNode(snap *Snapshot, i int, t int64) {
+	nan := math.NaN()
+	snap.NodeStat[i] = tsagg.WindowStat{T: t, Count: 0, Min: nan, Max: nan, Mean: nan, Std: nan}
+	snap.CPUPower[i] = nan
+	snap.GPUPower[i] = nan
+	for g := 0; g < units.GPUsPerNode; g++ {
+		snap.GPUPowerEach[i][g] = nan
+		snap.GPUCoreTemp[i][g] = nan
+		snap.GPUMemTemp[i][g] = nan
+	}
+	for c := 0; c < units.CPUsPerNode; c++ {
+		snap.CPUTemp[i][c] = nan
+	}
+}

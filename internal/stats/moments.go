@@ -1,0 +1,160 @@
+// Package stats implements the statistical machinery behind the paper's
+// analyses: streaming moments, empirical CDFs, quantiles and box-plot
+// summaries, histograms, Gaussian kernel density estimation in one and two
+// dimensions, Pearson correlation with exact t-distribution p-values, the
+// Bonferroni correction, z-scores, and confidence intervals.
+package stats
+
+import "math"
+
+// Moments accumulates count, min, max, mean and variance in a single pass
+// using Welford's algorithm. The zero value is ready to use. This is the
+// statistic tuple stored for every 10-second telemetry window (paper §3).
+type Moments struct {
+	N        int64
+	Min, Max float64
+	mean, m2 float64
+}
+
+// Add incorporates one observation.
+func (m *Moments) Add(x float64) {
+	m.N++
+	if m.N == 1 {
+		m.Min, m.Max = x, x
+	} else {
+		if x < m.Min {
+			m.Min = x
+		}
+		if x > m.Max {
+			m.Max = x
+		}
+	}
+	d := x - m.mean
+	m.mean += d / float64(m.N)
+	m.m2 += d * (x - m.mean)
+}
+
+// AddN incorporates x with weight (repetition count) n.
+func (m *Moments) AddN(x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		m.Add(x)
+	}
+}
+
+// Merge combines another accumulator into m (parallel merge, Chan et al.).
+func (m *Moments) Merge(o Moments) {
+	if o.N == 0 {
+		return
+	}
+	if m.N == 0 {
+		*m = o
+		return
+	}
+	if o.Min < m.Min {
+		m.Min = o.Min
+	}
+	if o.Max > m.Max {
+		m.Max = o.Max
+	}
+	n := float64(m.N + o.N)
+	d := o.mean - m.mean
+	m.m2 += o.m2 + d*d*float64(m.N)*float64(o.N)/n
+	m.mean += d * float64(o.N) / n
+	m.N += o.N
+}
+
+// Mean returns the running mean, or 0 for an empty accumulator.
+func (m Moments) Mean() float64 { return m.mean }
+
+// Variance returns the population variance, or 0 with fewer than 1 sample.
+func (m Moments) Variance() float64 {
+	if m.N < 1 {
+		return 0
+	}
+	return m.m2 / float64(m.N)
+}
+
+// SampleVariance returns the Bessel-corrected variance, or 0 with fewer than
+// 2 samples.
+func (m Moments) SampleVariance() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.N-1)
+}
+
+// Std returns the population standard deviation.
+func (m Moments) Std() float64 { return math.Sqrt(m.Variance()) }
+
+// SampleStd returns the sample standard deviation.
+func (m Moments) SampleStd() float64 { return math.Sqrt(m.SampleVariance()) }
+
+// Sum returns the observation total.
+func (m Moments) Sum() float64 { return m.mean * float64(m.N) }
+
+// Reset clears the accumulator for reuse.
+func (m *Moments) Reset() { *m = Moments{} }
+
+// Summarize computes Moments over a slice in one call.
+func Summarize(xs []float64) Moments {
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	m := Summarize(xs)
+	return m.Std()
+}
+
+// ZScores returns (x-mean)/std for every element. If the standard deviation
+// is zero, all scores are zero. This is the thermal-extremity metric of
+// paper §6.1.
+func ZScores(xs []float64) []float64 {
+	m := Summarize(xs)
+	out := make([]float64, len(xs))
+	sd := m.Std()
+	if sd == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - m.Mean()) / sd
+	}
+	return out
+}
+
+// ZScore returns the z-score of x within the population xs.
+func ZScore(x float64, xs []float64) float64 {
+	m := Summarize(xs)
+	sd := m.Std()
+	if sd == 0 {
+		return 0
+	}
+	return (x - m.Mean()) / sd
+}
+
+// MeanCI returns the mean of xs and the half-width of its normal-theory
+// confidence interval at the given z (1.96 ⇒ 95%), used by the snapshot
+// superposition plots (paper Figures 11–12).
+func MeanCI(xs []float64, z float64) (mean, half float64) {
+	m := Summarize(xs)
+	if m.N < 2 {
+		return m.Mean(), 0
+	}
+	return m.Mean(), z * m.SampleStd() / math.Sqrt(float64(m.N))
+}

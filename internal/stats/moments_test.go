@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMomentsBasic(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.N != 8 {
+		t.Errorf("N = %d, want 8", m.N)
+	}
+	if m.Min != 2 || m.Max != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", m.Min, m.Max)
+	}
+	if !approx(m.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", m.Mean())
+	}
+	if !approx(m.Variance(), 4, 1e-12) {
+		t.Errorf("variance = %v, want 4", m.Variance())
+	}
+	if !approx(m.Std(), 2, 1e-12) {
+		t.Errorf("std = %v, want 2", m.Std())
+	}
+	if !approx(m.Sum(), 40, 1e-9) {
+		t.Errorf("sum = %v, want 40", m.Sum())
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Variance() != 0 || m.SampleVariance() != 0 || m.Sum() != 0 {
+		t.Error("empty accumulator must report zeros")
+	}
+}
+
+func TestMomentsSingle(t *testing.T) {
+	var m Moments
+	m.Add(3.5)
+	if m.Variance() != 0 || m.SampleVariance() != 0 {
+		t.Error("single sample must have zero variance")
+	}
+	if m.Min != 3.5 || m.Max != 3.5 || m.Mean() != 3.5 {
+		t.Error("single sample stats wrong")
+	}
+}
+
+func TestMomentsWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		m := Summarize(xs)
+		// Naive two-pass variance.
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(len(xs))
+		scale := math.Max(1, math.Abs(v))
+		return approx(m.Mean(), mean, 1e-7*math.Max(1, math.Abs(mean))) &&
+			approx(m.Variance(), v, 1e-6*scale) &&
+			m.Min <= m.Mean() && m.Mean() <= m.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentsMergeEquivalence(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := make([]float64, 0, len(in))
+			for _, x := range in {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) {
+					out = append(out, math.Mod(x, 1e6))
+				}
+			}
+			return out
+		}
+		ca, cb := clean(a), clean(b)
+		var ma, mb Moments
+		for _, x := range ca {
+			ma.Add(x)
+		}
+		for _, x := range cb {
+			mb.Add(x)
+		}
+		merged := ma
+		merged.Merge(mb)
+		all := Summarize(append(append([]float64{}, ca...), cb...))
+		tol := 1e-6 * math.Max(1, math.Abs(all.Variance()))
+		return merged.N == all.N &&
+			approx(merged.Mean(), all.Mean(), 1e-7*math.Max(1, math.Abs(all.Mean()))) &&
+			approx(merged.Variance(), all.Variance(), tol) &&
+			merged.Min == all.Min && merged.Max == all.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Add(1)
+	a.Add(3)
+	snapshot := a
+	a.Merge(b) // merging empty is a no-op
+	if a != snapshot {
+		t.Error("merge with empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N != 2 || b.Mean() != 2 {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestMomentsAddN(t *testing.T) {
+	var a, b Moments
+	a.AddN(5, 3)
+	for i := 0; i < 3; i++ {
+		b.Add(5)
+	}
+	if a != b {
+		t.Error("AddN differs from repeated Add")
+	}
+}
+
+func TestMomentsReset(t *testing.T) {
+	var m Moments
+	m.Add(1)
+	m.Reset()
+	if m.N != 0 || m.Mean() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestZScores(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9} // mean 5, std 2
+	zs := ZScores(xs)
+	if !approx(zs[0], -1.5, 1e-12) {
+		t.Errorf("z[0] = %v, want -1.5", zs[0])
+	}
+	if !approx(zs[7], 2, 1e-12) {
+		t.Errorf("z[7] = %v, want 2", zs[7])
+	}
+	// Mean of z-scores is zero.
+	if m := Mean(zs); !approx(m, 0, 1e-12) {
+		t.Errorf("mean z = %v", m)
+	}
+	if z := ZScore(9, xs); !approx(z, 2, 1e-12) {
+		t.Errorf("ZScore(9) = %v, want 2", z)
+	}
+}
+
+func TestZScoresConstant(t *testing.T) {
+	zs := ZScores([]float64{5, 5, 5})
+	for _, z := range zs {
+		if z != 0 {
+			t.Fatal("constant sample must give zero z-scores")
+		}
+	}
+	if ZScore(7, []float64{5, 5}) != 0 {
+		t.Error("constant population z-score must be 0")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = float64(i % 2) // mean 0.5, sample std ~0.5006
+	}
+	mean, half := MeanCI(xs, 1.96)
+	if !approx(mean, 0.5, 1e-12) {
+		t.Errorf("mean = %v", mean)
+	}
+	want := 1.96 * Summarize(xs).SampleStd() / 20
+	if !approx(half, want, 1e-12) {
+		t.Errorf("half = %v, want %v", half, want)
+	}
+	if _, h := MeanCI([]float64{1}, 1.96); h != 0 {
+		t.Error("single sample CI must be 0")
+	}
+}

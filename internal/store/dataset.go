@@ -1,0 +1,106 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dataset is a named, daily-partitioned collection of tables in a
+// directory — the on-disk layout of the paper's archive (one file per day
+// per dataset).
+type Dataset struct {
+	Dir  string
+	Name string
+}
+
+// NewDataset ensures the directory exists and returns the handle.
+func NewDataset(dir, name string) (*Dataset, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return nil, fmt.Errorf("store: invalid dataset name %q", name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dataset dir: %w", err)
+	}
+	return &Dataset{Dir: dir, Name: name}, nil
+}
+
+func (d *Dataset) dayPath(day int) string {
+	return filepath.Join(d.Dir, fmt.Sprintf("%s-day%05d.spwr", d.Name, day))
+}
+
+// WriteDay stores the table as the partition for the given day index.
+func (d *Dataset) WriteDay(day int, t *Table) error {
+	if day < 0 {
+		return fmt.Errorf("store: negative day %d", day)
+	}
+	tmp := d.dayPath(day) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, d.dayPath(day))
+}
+
+// ReadDay loads the partition for the given day index.
+func (d *Dataset) ReadDay(day int) (*Table, error) {
+	f, err := os.Open(d.dayPath(day))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Days lists the day indices present, sorted ascending.
+func (d *Dataset) Days() ([]int, error) {
+	entries, err := os.ReadDir(d.Dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := d.Name + "-day"
+	var days []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".spwr") {
+			continue
+		}
+		numPart := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".spwr")
+		day, err := strconv.Atoi(numPart)
+		if err != nil {
+			continue
+		}
+		days = append(days, day)
+	}
+	sort.Ints(days)
+	return days, nil
+}
+
+// SizeOnDisk returns the dataset's total bytes across partitions.
+func (d *Dataset) SizeOnDisk() (int64, error) {
+	days, err := d.Days()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, day := range days {
+		fi, err := os.Stat(d.dayPath(day))
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}

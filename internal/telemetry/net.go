@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/topology"
+)
+
+// Network transport for the out-of-band path: the real system pushes
+// metric changes over websockets on the management network (288 nodes per
+// aggregator); this reproduction uses length-prefixed binary frames over
+// TCP. One frame carries a batch of samples from one BMC.
+
+// Frame format (little endian):
+//
+//	u32 payload length (bytes, excluding this prefix)
+//	u16 sample count
+//	per sample: u32 node | u16 metric | i64 t | f64 value
+const (
+	sampleWire   = 4 + 2 + 8 + 8
+	maxFrameSize = 1 << 20
+)
+
+// EncodeFrame serializes a batch of samples.
+func EncodeFrame(samples []Sample) ([]byte, error) {
+	if len(samples) > 65535 {
+		return nil, fmt.Errorf("telemetry: frame of %d samples exceeds u16", len(samples))
+	}
+	payload := 2 + len(samples)*sampleWire
+	if payload > maxFrameSize {
+		return nil, fmt.Errorf("telemetry: frame of %d bytes exceeds cap", payload)
+	}
+	buf := make([]byte, 4+payload)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(payload))
+	binary.LittleEndian.PutUint16(buf[4:], uint16(len(samples)))
+	off := 6
+	for _, s := range samples {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(s.Node))
+		binary.LittleEndian.PutUint16(buf[off+4:], uint16(s.Metric))
+		binary.LittleEndian.PutUint64(buf[off+6:], uint64(s.T))
+		binary.LittleEndian.PutUint64(buf[off+14:], math.Float64bits(s.Value))
+		off += sampleWire
+	}
+	return buf, nil
+}
+
+// DecodeFrame parses one frame payload (without the length prefix).
+func DecodeFrame(payload []byte) ([]Sample, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("telemetry: short frame (%d bytes)", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	want := 2 + n*sampleWire
+	if len(payload) != want {
+		return nil, fmt.Errorf("telemetry: frame length %d, want %d for %d samples",
+			len(payload), want, n)
+	}
+	out := make([]Sample, n)
+	off := 2
+	for i := range out {
+		out[i] = Sample{
+			Node:   topology.NodeID(binary.LittleEndian.Uint32(payload[off:])),
+			Metric: Metric(binary.LittleEndian.Uint16(payload[off+4:])),
+			T:      int64(binary.LittleEndian.Uint64(payload[off+6:])),
+			Value:  math.Float64frombits(binary.LittleEndian.Uint64(payload[off+14:])),
+		}
+		off += sampleWire
+	}
+	return out, nil
+}
+
+// Server is the aggregation tier's ingest endpoint: it accepts BMC
+// connections and delivers decoded samples to the sink.
+type Server struct {
+	ln       net.Listener
+	sink     func([]Sample)
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	received atomic.Int64
+	frames   atomic.Int64
+}
+
+// NewServer starts listening on addr (use "127.0.0.1:0" for tests) and
+// serving connections. sink is called for every decoded frame, possibly
+// from multiple goroutines concurrently.
+func NewServer(addr string, sink func([]Sample)) (*Server, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("telemetry: nil sink")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, sink: sink}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Received returns the total samples ingested.
+func (s *Server) Received() int64 { return s.received.Load() }
+
+// Frames returns the total frames ingested.
+func (s *Server) Frames() int64 { return s.frames.Load() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return // EOF or broken connection ends the session
+		}
+		size := binary.LittleEndian.Uint32(lenBuf[:])
+		if size > maxFrameSize {
+			return // protocol violation: drop the connection
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		samples, err := DecodeFrame(payload)
+		if err != nil {
+			return
+		}
+		s.frames.Add(1)
+		s.received.Add(int64(len(samples)))
+		s.sink(samples)
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Exporter is the node-side push client: it batches samples and writes
+// frames to the aggregation tier. Not safe for concurrent use; run one
+// exporter per BMC goroutine as the real system does.
+type Exporter struct {
+	conn  net.Conn
+	bw    *bufio.Writer
+	batch []Sample
+	// BatchSize is the flush threshold (default 256 samples).
+	BatchSize int
+	sent      int64
+}
+
+// Dial connects an exporter to the aggregation tier.
+func Dial(addr string) (*Exporter, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Exporter{
+		conn:      conn,
+		bw:        bufio.NewWriterSize(conn, 64<<10),
+		BatchSize: 256,
+	}, nil
+}
+
+// Push queues one sample, flushing when the batch fills.
+func (e *Exporter) Push(s Sample) error {
+	e.batch = append(e.batch, s)
+	if len(e.batch) >= e.BatchSize {
+		return e.Flush()
+	}
+	return nil
+}
+
+// Flush writes any queued samples as one frame.
+func (e *Exporter) Flush() error {
+	if len(e.batch) == 0 {
+		return nil
+	}
+	frame, err := EncodeFrame(e.batch)
+	if err != nil {
+		return err
+	}
+	if _, err := e.bw.Write(frame); err != nil {
+		return err
+	}
+	e.sent += int64(len(e.batch))
+	e.batch = e.batch[:0]
+	return e.bw.Flush()
+}
+
+// Sent returns the samples successfully written.
+func (e *Exporter) Sent() int64 { return e.sent }
+
+// Close flushes and closes the connection.
+func (e *Exporter) Close() error {
+	flushErr := e.Flush()
+	closeErr := e.conn.Close()
+	return errors.Join(flushErr, closeErr)
+}

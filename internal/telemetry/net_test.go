@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	samples := []Sample{
+		{Node: 0, Metric: MetricInputPower, T: 1577836800, Value: 1234.5},
+		{Node: 4625, Metric: MetricGPU5MemTemp, T: -7, Value: math.NaN()},
+		{Node: 17, Metric: MetricP1Temp, T: 0, Value: math.Inf(1)},
+	}
+	frame, err := EncodeFrame(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("decoded %d samples", len(got))
+	}
+	for i := range samples {
+		a, b := samples[i], got[i]
+		if a.Node != b.Node || a.Metric != b.Metric || a.T != b.T {
+			t.Fatalf("sample %d metadata mismatch: %+v vs %+v", i, a, b)
+		}
+		if math.Float64bits(a.Value) != math.Float64bits(b.Value) {
+			t.Fatalf("sample %d value mismatch", i)
+		}
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(nodes []uint16, vals []float64) bool {
+		n := len(nodes)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n == 0 {
+			return true
+		}
+		in := make([]Sample, n)
+		for i := 0; i < n; i++ {
+			in[i] = Sample{
+				Node:   topology.NodeID(nodes[i]),
+				Metric: Metric(uint16(i) % uint16(NumMetrics)),
+				T:      int64(i) * 7,
+				Value:  vals[i],
+			}
+		}
+		frame, err := EncodeFrame(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeFrame(frame[4:])
+		if err != nil || len(out) != n {
+			return false
+		}
+		for i := range in {
+			if in[i].Node != out[i].Node || in[i].T != out[i].T ||
+				math.Float64bits(in[i].Value) != math.Float64bits(out[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	if _, err := DecodeFrame(nil); err == nil {
+		t.Error("nil payload accepted")
+	}
+	if _, err := DecodeFrame([]byte{5, 0, 1, 2}); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Oversized batch rejected on encode.
+	big := make([]Sample, 70000)
+	if _, err := EncodeFrame(big); err == nil {
+		t.Error("oversized batch accepted")
+	}
+}
+
+func TestServerExporterEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	received := map[[2]int64]float64{}
+	srv, err := NewServer("127.0.0.1:0", func(batch []Sample) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range batch {
+			received[[2]int64{int64(s.Node), s.T}] = s.Value
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const exporters = 4
+	const perExporter = 1000
+	var wg sync.WaitGroup
+	for e := 0; e < exporters; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			exp, err := Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			exp.BatchSize = 128
+			for i := 0; i < perExporter; i++ {
+				err := exp.Push(Sample{
+					Node:   topology.NodeID(e),
+					Metric: MetricInputPower,
+					T:      int64(i),
+					Value:  float64(e*100000 + i),
+				})
+				if err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+			if err := exp.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+			if exp.Sent() != perExporter {
+				t.Errorf("sent %d, want %d", exp.Sent(), perExporter)
+			}
+		}(e)
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Received(); got != exporters*perExporter {
+		t.Fatalf("server received %d, want %d", got, exporters*perExporter)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for e := 0; e < exporters; e++ {
+		for i := 0; i < perExporter; i++ {
+			v, ok := received[[2]int64{int64(e), int64(i)}]
+			if !ok {
+				t.Fatalf("sample (%d, %d) lost", e, i)
+			}
+			if v != float64(e*100000+i) {
+				t.Fatalf("sample (%d, %d) corrupted: %v", e, i, v)
+			}
+		}
+	}
+	if srv.Frames() == 0 {
+		t.Error("no frames counted")
+	}
+}
+
+func TestServerRejectsNilSink(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+}
+
+func TestServerDoubleCloseSafe(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func([]Sample) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func BenchmarkFrameEncodeDecode(b *testing.B) {
+	samples := make([]Sample, 256)
+	for i := range samples {
+		samples[i] = Sample{
+			Node: topology.NodeID(i), Metric: Metric(i % int(NumMetrics)),
+			T: int64(i), Value: float64(i) * 1.5,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := EncodeFrame(samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeFrame(frame[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

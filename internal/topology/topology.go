@@ -1,0 +1,266 @@
+// Package topology models the physical layout of the Summit compute floor:
+// rows of cabinets, 18 nodes per cabinet, the main switchboard (MSB) power
+// feeds, the serial water-cooling order inside a node, and the hostname and
+// PCI addressing schemes the telemetry and failure logs use.
+//
+// The layout is configurable so the same analysis code runs on the full
+// 4,626-node floor and on the scaled-down systems used by tests.
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// NodeID identifies a compute node by its dense index in [0, Nodes).
+type NodeID int
+
+// GPUSlot is the physical GPU position within a node, 0–5. Slots 0–2 share
+// the water loop with CPU 0, slots 3–5 with CPU 1. Water visits the CPU cold
+// plate first, then its three GPUs in slot order ("second-hand" cooling).
+type GPUSlot int
+
+// CPUSocket is the physical CPU position within a node, 0 or 1.
+type CPUSocket int
+
+// Location is a node's physical placement on the floor.
+type Location struct {
+	Row     int // row on the compute floor (h-row index)
+	Cabinet int // cabinet within the row
+	Slot    int // node height within the cabinet, 0 (bottom) .. 17 (top)
+}
+
+// MSB identifies one of the main switchboards feeding the floor.
+type MSB int
+
+// MSB labels follow the paper's Figure 4 (MSB A..E).
+func (m MSB) String() string { return "MSB " + string(rune('A'+int(m))) }
+
+// Config sizes a floor layout.
+type Config struct {
+	Nodes           int // total compute nodes
+	NodesPerCabinet int // nodes per cabinet (Summit: 18)
+	CabinetsPerRow  int // cabinets per floor row
+	MSBs            int // number of main switchboards
+}
+
+// SummitConfig returns the full-scale Summit floor configuration.
+func SummitConfig() Config {
+	return Config{
+		Nodes:           units.SummitNodes,
+		NodesPerCabinet: units.NodesPerCabinet,
+		CabinetsPerRow:  8, // h-rows hold 8 cabinets (h09..h36 naming)
+		MSBs:            5,
+	}
+}
+
+// ScaledConfig returns a reduced floor with the given node count preserving
+// Summit's cabinet and MSB structure, for tests and examples.
+func ScaledConfig(nodes int) Config {
+	c := SummitConfig()
+	c.Nodes = nodes
+	return c
+}
+
+// Floor is an immutable floor layout. Build one with New.
+type Floor struct {
+	cfg      Config
+	cabinets int
+	rows     int
+	msbOf    []MSB // cabinet index -> MSB
+}
+
+// New validates cfg and constructs the floor.
+func New(cfg Config) (*Floor, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("topology: non-positive node count %d", cfg.Nodes)
+	}
+	if cfg.NodesPerCabinet <= 0 {
+		return nil, fmt.Errorf("topology: non-positive nodes per cabinet %d", cfg.NodesPerCabinet)
+	}
+	if cfg.CabinetsPerRow <= 0 {
+		return nil, fmt.Errorf("topology: non-positive cabinets per row %d", cfg.CabinetsPerRow)
+	}
+	if cfg.MSBs <= 0 {
+		return nil, fmt.Errorf("topology: non-positive MSB count %d", cfg.MSBs)
+	}
+	cabinets := (cfg.Nodes + cfg.NodesPerCabinet - 1) / cfg.NodesPerCabinet
+	rows := (cabinets + cfg.CabinetsPerRow - 1) / cfg.CabinetsPerRow
+	// MSBs feed contiguous blocks of cabinets, mirroring the physical
+	// power-distribution zoning of the floor.
+	msbOf := make([]MSB, cabinets)
+	base, rem := cabinets/cfg.MSBs, cabinets%cfg.MSBs
+	i := 0
+	for m := 0; m < cfg.MSBs; m++ {
+		n := base
+		if m < rem {
+			n++
+		}
+		for j := 0; j < n && i < cabinets; j++ {
+			msbOf[i] = MSB(m)
+			i++
+		}
+	}
+	return &Floor{cfg: cfg, cabinets: cabinets, rows: rows, msbOf: msbOf}, nil
+}
+
+// MustNew is New but panics on error; for use with known-good configs.
+func MustNew(cfg Config) *Floor {
+	f, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Nodes returns the node count.
+func (f *Floor) Nodes() int { return f.cfg.Nodes }
+
+// Cabinets returns the cabinet count.
+func (f *Floor) Cabinets() int { return f.cabinets }
+
+// Rows returns the floor row count.
+func (f *Floor) Rows() int { return f.rows }
+
+// MSBs returns the switchboard count.
+func (f *Floor) MSBs() int { return f.cfg.MSBs }
+
+// NodesPerCabinet returns nodes per cabinet.
+func (f *Floor) NodesPerCabinet() int { return f.cfg.NodesPerCabinet }
+
+// Cabinet returns the cabinet index of node id.
+func (f *Floor) Cabinet(id NodeID) int { return int(id) / f.cfg.NodesPerCabinet }
+
+// LocationOf returns the physical placement of node id.
+func (f *Floor) LocationOf(id NodeID) Location {
+	cab := f.Cabinet(id)
+	return Location{
+		Row:     cab / f.cfg.CabinetsPerRow,
+		Cabinet: cab % f.cfg.CabinetsPerRow,
+		Slot:    int(id) % f.cfg.NodesPerCabinet,
+	}
+}
+
+// NodeAt is the inverse of LocationOf. The boolean is false if the location
+// is outside the floor or beyond the last populated node.
+func (f *Floor) NodeAt(loc Location) (NodeID, bool) {
+	if loc.Row < 0 || loc.Cabinet < 0 || loc.Slot < 0 ||
+		loc.Cabinet >= f.cfg.CabinetsPerRow || loc.Slot >= f.cfg.NodesPerCabinet {
+		return 0, false
+	}
+	cab := loc.Row*f.cfg.CabinetsPerRow + loc.Cabinet
+	if cab >= f.cabinets {
+		return 0, false
+	}
+	id := NodeID(cab*f.cfg.NodesPerCabinet + loc.Slot)
+	if int(id) >= f.cfg.Nodes {
+		return 0, false
+	}
+	return id, true
+}
+
+// MSBOf returns the switchboard feeding node id.
+func (f *Floor) MSBOf(id NodeID) MSB { return f.msbOf[f.Cabinet(id)] }
+
+// CabinetMSB returns the switchboard feeding cabinet cab.
+func (f *Floor) CabinetMSB(cab int) MSB { return f.msbOf[cab] }
+
+// NodesUnderMSB returns the IDs of all nodes fed by m, in order.
+func (f *Floor) NodesUnderMSB(m MSB) []NodeID {
+	var ids []NodeID
+	for id := NodeID(0); int(id) < f.cfg.Nodes; id++ {
+		if f.msbOf[f.Cabinet(id)] == m {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Hostname returns the Summit-style hostname for node id, e.g. "h09n05" with
+// a cabinet letter: rows are named h<row+9>, nodes n<slot+1>, and the cabinet
+// within the row is a letter suffix on the row token.
+func (f *Floor) Hostname(id NodeID) string {
+	loc := f.LocationOf(id)
+	return fmt.Sprintf("%s%02dn%02d", rowToken(loc.Row), loc.Cabinet+1, loc.Slot+1)
+}
+
+func rowToken(row int) string { return fmt.Sprintf("h%02d", row+9) }
+
+// ParseHostname inverts Hostname. It returns an error for malformed names or
+// locations outside the floor.
+func (f *Floor) ParseHostname(name string) (NodeID, error) {
+	if len(name) < 7 || name[0] != 'h' {
+		return 0, fmt.Errorf("topology: malformed hostname %q", name)
+	}
+	nIdx := strings.IndexByte(name, 'n')
+	if nIdx < 0 {
+		return 0, fmt.Errorf("topology: malformed hostname %q", name)
+	}
+	rowPart := name[1:3]
+	cabPart := name[3:nIdx]
+	slotPart := name[nIdx+1:]
+	row, err := strconv.Atoi(rowPart)
+	if err != nil {
+		return 0, fmt.Errorf("topology: bad row in %q: %v", name, err)
+	}
+	cab, err := strconv.Atoi(cabPart)
+	if err != nil {
+		return 0, fmt.Errorf("topology: bad cabinet in %q: %v", name, err)
+	}
+	slot, err := strconv.Atoi(slotPart)
+	if err != nil {
+		return 0, fmt.Errorf("topology: bad slot in %q: %v", name, err)
+	}
+	id, ok := f.NodeAt(Location{Row: row - 9, Cabinet: cab - 1, Slot: slot - 1})
+	if !ok {
+		return 0, fmt.Errorf("topology: hostname %q outside floor", name)
+	}
+	return id, nil
+}
+
+// CPUOf returns the CPU socket whose water loop serves GPU slot g.
+func CPUOf(g GPUSlot) CPUSocket {
+	if g < 3 {
+		return 0
+	}
+	return 1
+}
+
+// CoolingOrder returns the order in which the node-internal water path
+// visits components on socket s: the CPU cold plate first, then its three
+// GPUs in slot order. Components later in the order receive "second-hand"
+// (warmer) water.
+func CoolingOrder(s CPUSocket) []GPUSlot {
+	if s == 0 {
+		return []GPUSlot{0, 1, 2}
+	}
+	return []GPUSlot{3, 4, 5}
+}
+
+// CoolingRank returns the 0-based position of GPU slot g along its socket's
+// water path (0 = coolest water, 2 = warmest).
+func CoolingRank(g GPUSlot) int { return int(g) % 3 }
+
+// PCIAddress returns the PCI bus address string a V100 at slot g reports in
+// XID logs on an AC922 (domain 0004/0035 split by socket).
+func PCIAddress(g GPUSlot) string {
+	domain := "0004"
+	if CPUOf(g) == 1 {
+		domain = "0035"
+	}
+	bus := 4 + (int(g)%3)*1
+	return fmt.Sprintf("%s:%02x:00.0", domain, bus)
+}
+
+// SlotForPCI inverts PCIAddress. The boolean is false for unknown addresses.
+func SlotForPCI(addr string) (GPUSlot, bool) {
+	for g := GPUSlot(0); g < units.GPUsPerNode; g++ {
+		if PCIAddress(g) == addr {
+			return g, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,227 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func summit(t *testing.T) *Floor {
+	t.Helper()
+	f, err := New(SummitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSummitDimensions(t *testing.T) {
+	f := summit(t)
+	if f.Nodes() != 4626 {
+		t.Errorf("nodes = %d, want 4626", f.Nodes())
+	}
+	if f.Cabinets() != 257 {
+		t.Errorf("cabinets = %d, want 257", f.Cabinets())
+	}
+	if f.MSBs() != 5 {
+		t.Errorf("MSBs = %d, want 5", f.MSBs())
+	}
+	if f.NodesPerCabinet() != 18 {
+		t.Errorf("nodes/cabinet = %d, want 18", f.NodesPerCabinet())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, NodesPerCabinet: 18, CabinetsPerRow: 8, MSBs: 5},
+		{Nodes: 10, NodesPerCabinet: 0, CabinetsPerRow: 8, MSBs: 5},
+		{Nodes: 10, NodesPerCabinet: 18, CabinetsPerRow: 0, MSBs: 5},
+		{Nodes: 10, NodesPerCabinet: 18, CabinetsPerRow: 8, MSBs: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew on bad config did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestLocationRoundTrip(t *testing.T) {
+	f := summit(t)
+	for id := NodeID(0); int(id) < f.Nodes(); id++ {
+		loc := f.LocationOf(id)
+		back, ok := f.NodeAt(loc)
+		if !ok || back != id {
+			t.Fatalf("LocationOf/NodeAt round trip failed for %d: %+v -> %d (%v)", id, loc, back, ok)
+		}
+	}
+}
+
+func TestNodeAtRejectsOutside(t *testing.T) {
+	f := summit(t)
+	bad := []Location{
+		{Row: -1, Cabinet: 0, Slot: 0},
+		{Row: 0, Cabinet: -1, Slot: 0},
+		{Row: 0, Cabinet: 0, Slot: -1},
+		{Row: 0, Cabinet: 99, Slot: 0},
+		{Row: 0, Cabinet: 0, Slot: 18},
+		{Row: 9999, Cabinet: 0, Slot: 0},
+	}
+	for _, loc := range bad {
+		if _, ok := f.NodeAt(loc); ok {
+			t.Errorf("NodeAt(%+v) accepted out-of-floor location", loc)
+		}
+	}
+}
+
+func TestHostnameRoundTrip(t *testing.T) {
+	f := summit(t)
+	seen := map[string]bool{}
+	for id := NodeID(0); int(id) < f.Nodes(); id++ {
+		h := f.Hostname(id)
+		if seen[h] {
+			t.Fatalf("duplicate hostname %q", h)
+		}
+		seen[h] = true
+		back, err := f.ParseHostname(h)
+		if err != nil || back != id {
+			t.Fatalf("hostname round trip failed for %d (%q): %d, %v", id, h, back, err)
+		}
+	}
+}
+
+func TestParseHostnameErrors(t *testing.T) {
+	f := summit(t)
+	for _, name := range []string{"", "x09n05", "h09", "h09n", "hXXn01", "h0901n05x", "h99n01"} {
+		if _, err := f.ParseHostname(name); err == nil {
+			t.Errorf("ParseHostname(%q) accepted malformed/out-of-floor name", name)
+		}
+	}
+}
+
+func TestMSBPartition(t *testing.T) {
+	f := summit(t)
+	// Every node belongs to exactly one MSB, and the per-MSB lists
+	// partition the node set.
+	total := 0
+	seen := make([]bool, f.Nodes())
+	for m := MSB(0); int(m) < f.MSBs(); m++ {
+		ids := f.NodesUnderMSB(m)
+		total += len(ids)
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("node %d under two MSBs", id)
+			}
+			seen[id] = true
+			if f.MSBOf(id) != m {
+				t.Fatalf("MSBOf(%d) = %v, want %v", id, f.MSBOf(id), m)
+			}
+		}
+		if len(ids) == 0 {
+			t.Errorf("%v feeds no nodes", m)
+		}
+	}
+	if total != f.Nodes() {
+		t.Errorf("MSB partition covers %d nodes, want %d", total, f.Nodes())
+	}
+}
+
+func TestMSBBalance(t *testing.T) {
+	f := summit(t)
+	// Contiguous block assignment: sizes differ by at most one cabinet.
+	min, max := f.Nodes(), 0
+	for m := MSB(0); int(m) < f.MSBs(); m++ {
+		n := len(f.NodesUnderMSB(m))
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 2*f.NodesPerCabinet() {
+		t.Errorf("MSB imbalance: min %d, max %d", min, max)
+	}
+}
+
+func TestMSBString(t *testing.T) {
+	if MSB(0).String() != "MSB A" || MSB(4).String() != "MSB E" {
+		t.Error("MSB stringer mismatch")
+	}
+}
+
+func TestCoolingOrder(t *testing.T) {
+	if got := CoolingOrder(0); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("CoolingOrder(0) = %v", got)
+	}
+	if got := CoolingOrder(1); len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Errorf("CoolingOrder(1) = %v", got)
+	}
+	for g := GPUSlot(0); g < units.GPUsPerNode; g++ {
+		wantCPU := CPUSocket(0)
+		if g >= 3 {
+			wantCPU = 1
+		}
+		if CPUOf(g) != wantCPU {
+			t.Errorf("CPUOf(%d) = %v, want %v", g, CPUOf(g), wantCPU)
+		}
+		if r := CoolingRank(g); r != int(g)%3 {
+			t.Errorf("CoolingRank(%d) = %d", g, r)
+		}
+	}
+}
+
+func TestPCIRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for g := GPUSlot(0); g < units.GPUsPerNode; g++ {
+		addr := PCIAddress(g)
+		if seen[addr] {
+			t.Fatalf("duplicate PCI address %q", addr)
+		}
+		seen[addr] = true
+		back, ok := SlotForPCI(addr)
+		if !ok || back != g {
+			t.Fatalf("PCI round trip failed for slot %d (%q)", g, addr)
+		}
+	}
+	if _, ok := SlotForPCI("dead:beef"); ok {
+		t.Error("SlotForPCI accepted junk address")
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	f := MustNew(ScaledConfig(64))
+	if f.Nodes() != 64 {
+		t.Errorf("scaled nodes = %d, want 64", f.Nodes())
+	}
+	if f.Cabinets() != 4 {
+		t.Errorf("scaled cabinets = %d, want 4 (ceil(64/18))", f.Cabinets())
+	}
+	// Round trips must hold at small scale too.
+	for id := NodeID(0); int(id) < f.Nodes(); id++ {
+		if back, ok := f.NodeAt(f.LocationOf(id)); !ok || back != id {
+			t.Fatalf("scaled round trip failed for %d", id)
+		}
+	}
+}
+
+func TestLocationRoundTripProperty(t *testing.T) {
+	f := MustNew(ScaledConfig(500))
+	fn := func(raw uint16) bool {
+		id := NodeID(int(raw) % f.Nodes())
+		back, ok := f.NodeAt(f.LocationOf(id))
+		return ok && back == id
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,340 @@
+package tsagg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCoarsenBasic(t *testing.T) {
+	var samples []Sample
+	// Two full 10s windows: values 0..9 then 10..19.
+	for i := 0; i < 20; i++ {
+		samples = append(samples, Sample{T: 1000 + int64(i), V: float64(i)})
+	}
+	ws := Coarsen(samples, 10)
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2", len(ws))
+	}
+	w0 := ws[0]
+	if w0.T != 1000 || w0.Count != 10 || w0.Min != 0 || w0.Max != 9 || !approx(w0.Mean, 4.5, 1e-12) {
+		t.Errorf("window 0 = %+v", w0)
+	}
+	w1 := ws[1]
+	if w1.T != 1010 || w1.Count != 10 || w1.Min != 10 || w1.Max != 19 || !approx(w1.Mean, 14.5, 1e-12) {
+		t.Errorf("window 1 = %+v", w1)
+	}
+	// Std of 0..9 is sqrt(8.25) ≈ 2.8723.
+	if !approx(w0.Std, math.Sqrt(8.25), 1e-12) {
+		t.Errorf("window 0 std = %v", w0.Std)
+	}
+}
+
+func TestCoarsenAlignment(t *testing.T) {
+	// Samples at t=1004..1015 must split at the aligned boundary 1010,
+	// not at the first-seen timestamp.
+	var samples []Sample
+	for i := int64(1004); i < 1016; i++ {
+		samples = append(samples, Sample{T: i, V: 1})
+	}
+	ws := Coarsen(samples, 10)
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2", len(ws))
+	}
+	if ws[0].T != 1000 || ws[0].Count != 6 {
+		t.Errorf("window 0 = %+v, want T=1000 Count=6", ws[0])
+	}
+	if ws[1].T != 1010 || ws[1].Count != 6 {
+		t.Errorf("window 1 = %+v, want T=1010 Count=6", ws[1])
+	}
+}
+
+func TestCoarsenGapsSkipEmptyWindows(t *testing.T) {
+	samples := []Sample{{T: 0, V: 1}, {T: 35, V: 2}}
+	ws := Coarsen(samples, 10)
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2 (empty windows skipped)", len(ws))
+	}
+	if ws[0].T != 0 || ws[1].T != 30 {
+		t.Errorf("window starts = %d, %d", ws[0].T, ws[1].T)
+	}
+}
+
+func TestCoarsenLateSamplesTolerated(t *testing.T) {
+	// A sample arriving with a timestamp before the current window is
+	// folded into the current window (telemetry reordering tolerance).
+	var got []WindowStat
+	c := NewCoarsener(10, func(w WindowStat) { got = append(got, w) })
+	c.Add(100, 1)
+	c.Add(112, 2)
+	c.Add(109, 3) // late: belongs to the 100 window but 110 already open
+	c.Flush()
+	if len(got) != 2 {
+		t.Fatalf("got %d windows", len(got))
+	}
+	if got[1].Count != 2 {
+		t.Errorf("late sample not folded into open window: %+v", got[1])
+	}
+}
+
+func TestCoarsenNegativeTimes(t *testing.T) {
+	ws := Coarsen([]Sample{{T: -15, V: 1}, {T: -11, V: 2}, {T: -5, V: 3}}, 10)
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2", len(ws))
+	}
+	if ws[0].T != -20 || ws[1].T != -10 {
+		t.Errorf("window starts = %d, %d, want -20, -10", ws[0].T, ws[1].T)
+	}
+}
+
+func TestCoarsenerPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCoarsener(0, func(WindowStat) {}) },
+		func() { NewCoarsener(10, nil) },
+	} {
+		fn := fn
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCoarsenInvariantsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		samples := make([]Sample, 0, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			samples = append(samples, Sample{T: int64(i), V: math.Mod(v, 1e6)})
+		}
+		total := int64(0)
+		for _, w := range Coarsen(samples, 10) {
+			if !(w.Min <= w.Mean && w.Mean <= w.Max) || w.Std < 0 || w.Count <= 0 {
+				return false
+			}
+			if mod(w.T, 10) != 0 {
+				return false
+			}
+			total += w.Count
+		}
+		return total == int64(len(samples))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries(100, 10, 5)
+	if s.Len() != 5 || s.End() != 150 {
+		t.Fatalf("len/end = %d/%d", s.Len(), s.End())
+	}
+	if !s.Set(120, 7) {
+		t.Fatal("Set in range failed")
+	}
+	if s.Set(150, 1) || s.Set(99, 1) {
+		t.Error("Set out of range succeeded")
+	}
+	if s.At(120) != 7 {
+		t.Errorf("At(120) = %v", s.At(120))
+	}
+	if !math.IsNaN(s.At(110)) || !math.IsNaN(s.At(0)) {
+		t.Error("unset/out-of-range must be NaN")
+	}
+	if s.TimeAt(3) != 130 {
+		t.Errorf("TimeAt(3) = %d", s.TimeAt(3))
+	}
+}
+
+func TestSeriesSlice(t *testing.T) {
+	s := NewSeries(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		s.Vals[i] = float64(i)
+	}
+	sub := s.Slice(25, 55)
+	if sub.Start != 20 || sub.Len() != 4 {
+		t.Fatalf("slice start/len = %d/%d, want 20/4", sub.Start, sub.Len())
+	}
+	if sub.Vals[0] != 2 || sub.Vals[3] != 5 {
+		t.Errorf("slice vals = %v", sub.Vals)
+	}
+	// Clamping.
+	if got := s.Slice(-100, 5); got.Len() != 1 {
+		t.Errorf("clamped slice len = %d", got.Len())
+	}
+	if got := s.Slice(95, 10000); got.Len() != 1 {
+		t.Errorf("tail slice len = %d", got.Len())
+	}
+	if got := s.Slice(60, 40); got.Len() != 0 {
+		t.Errorf("inverted slice len = %d", got.Len())
+	}
+}
+
+func TestSeriesIntegrate(t *testing.T) {
+	s := NewSeries(0, 10, 3)
+	s.Vals[0], s.Vals[2] = 100, 200 // middle NaN skipped
+	if got := s.Integrate(); got != 3000 {
+		t.Errorf("integral = %v, want 3000", got)
+	}
+}
+
+func TestSeriesCleanAndStats(t *testing.T) {
+	s := NewSeries(0, 1, 4)
+	s.Vals[1], s.Vals[3] = 2, 4
+	clean := s.Clean()
+	if len(clean) != 2 || clean[0] != 2 || clean[1] != 4 {
+		t.Errorf("clean = %v", clean)
+	}
+	if m := s.Stats(); m.N != 2 || m.Mean() != 3 {
+		t.Errorf("stats = %+v", m)
+	}
+}
+
+func TestFromWindows(t *testing.T) {
+	ws := []WindowStat{{T: 10, Mean: 5}, {T: 30, Mean: 7}}
+	s := FromWindows(ws, 0, 40, 10)
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.At(10) != 5 || s.At(30) != 7 {
+		t.Errorf("values not placed: %v", s.Vals)
+	}
+	if !math.IsNaN(s.At(0)) || !math.IsNaN(s.At(20)) {
+		t.Error("gaps must stay NaN")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a := NewSeries(0, 10, 3)
+	b := NewSeries(0, 10, 3)
+	a.Vals = []float64{1, 2, math.NaN()}
+	b.Vals = []float64{3, math.NaN(), math.NaN()}
+	sum, err := Combine(AggSum, []*Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Vals[0] != 4 || sum.Vals[1] != 2 || !math.IsNaN(sum.Vals[2]) {
+		t.Errorf("sum = %v", sum.Vals)
+	}
+	mean, _ := Combine(AggMean, []*Series{a, b})
+	if mean.Vals[0] != 2 || mean.Vals[1] != 2 {
+		t.Errorf("mean = %v", mean.Vals)
+	}
+	max, _ := Combine(AggMax, []*Series{a, b})
+	if max.Vals[0] != 3 {
+		t.Errorf("max = %v", max.Vals)
+	}
+	min, _ := Combine(AggMin, []*Series{a, b})
+	if min.Vals[0] != 1 {
+		t.Errorf("min = %v", min.Vals)
+	}
+	cnt, _ := Combine(AggCount, []*Series{a, b})
+	if cnt.Vals[0] != 2 || cnt.Vals[1] != 1 || cnt.Vals[2] != 0 {
+		t.Errorf("count = %v", cnt.Vals)
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	if _, err := Combine(AggSum, nil); err == nil {
+		t.Error("empty combine must error")
+	}
+	a := NewSeries(0, 10, 3)
+	b := NewSeries(5, 10, 3)
+	if _, err := Combine(AggSum, []*Series{a, b}); err == nil {
+		t.Error("misaligned start must error")
+	}
+	c := NewSeries(0, 5, 3)
+	if _, err := Combine(AggSum, []*Series{a, c}); err == nil {
+		t.Error("misaligned step must error")
+	}
+	d := NewSeries(0, 10, 4)
+	if _, err := Combine(AggSum, []*Series{a, d}); err == nil {
+		t.Error("misaligned length must error")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := NewSeries(0, 10, 6)
+	s.Vals = []float64{1, 3, math.NaN(), 5, 7, 9}
+	d := s.Downsample(2)
+	if d.Step != 20 || d.Len() != 3 {
+		t.Fatalf("step/len = %d/%d", d.Step, d.Len())
+	}
+	if d.Vals[0] != 2 || d.Vals[1] != 5 || d.Vals[2] != 8 {
+		t.Errorf("downsample = %v", d.Vals)
+	}
+	// Factor <= 1 returns an independent copy.
+	cp := s.Downsample(1)
+	cp.Vals[0] = 99
+	if s.Vals[0] == 99 {
+		t.Error("Downsample(1) shares storage")
+	}
+}
+
+func TestCombinePreservesSumProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Distribute values across 3 series, then Combine(AggSum) and
+		// compare with the direct total per slot.
+		n := 4
+		series := []*Series{NewSeries(0, 1, n), NewSeries(0, 1, n), NewSeries(0, 1, n)}
+		totals := make([]float64, n)
+		counts := make([]int, n)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			v = math.Mod(v, 1e6)
+			slot := i % n
+			series[i%3].Vals[slot] = v // overwrite semantics
+		}
+		for slot := 0; slot < n; slot++ {
+			for _, s := range series {
+				if !math.IsNaN(s.Vals[slot]) {
+					totals[slot] += s.Vals[slot]
+					counts[slot]++
+				}
+			}
+		}
+		sum, err := Combine(AggSum, series)
+		if err != nil {
+			return false
+		}
+		for slot := 0; slot < n; slot++ {
+			if counts[slot] == 0 {
+				if !math.IsNaN(sum.Vals[slot]) {
+					return false
+				}
+				continue
+			}
+			if !approx(sum.Vals[slot], totals[slot], 1e-9*math.Max(1, math.Abs(totals[slot]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCoarsen(b *testing.B) {
+	samples := make([]Sample, 86400)
+	for i := range samples {
+		samples[i] = Sample{T: int64(i), V: float64(i % 2300)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Coarsen(samples, 10)
+	}
+}

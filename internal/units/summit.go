@@ -1,0 +1,165 @@
+package units
+
+// Summit system constants (paper Tables 1 and 3). These are the published
+// specification values for the OLCF Summit system and its facility; the
+// simulator and the analysis sanity checks both reference them.
+const (
+	// SummitNodes is the number of IBM AC922 8335-GTX compute nodes.
+	SummitNodes = 4626
+	// SummitCabinets is the number of water-cooled compute cabinets.
+	SummitCabinets = 257
+	// NodesPerCabinet is the node count per cabinet.
+	NodesPerCabinet = 18
+	// GPUsPerNode is the number of NVIDIA Volta V100 GPUs per node.
+	GPUsPerNode = 6
+	// CPUsPerNode is the number of IBM Power9 processors per node.
+	CPUsPerNode = 2
+	// SummitGPUs is the total GPU population (27,756).
+	SummitGPUs = SummitNodes * GPUsPerNode
+	// SummitCPUs is the total CPU population (9,252).
+	SummitCPUs = SummitNodes * CPUsPerNode
+)
+
+// Power envelope constants.
+const (
+	// NodeMaxPower is the per-node maximum input power (220–240 V AC).
+	NodeMaxPower Watts = 2300
+	// NodeIdlePower approximates per-node idle draw; 4,626 nodes idling
+	// yield the paper's ~2.5 MW system idle floor.
+	NodeIdlePower Watts = 540
+	// SystemPeakPower is Summit's peak power consumption.
+	SystemPeakPower Watts = 13e6
+	// SystemIdlePower is the observed idle floor of the whole system.
+	SystemIdlePower Watts = 2.5e6
+	// FacilityCapacity is the supporting facility's electrical capacity.
+	FacilityCapacity Watts = 20e6
+	// CPUTDP is the IBM Power9 22C thermal design power.
+	CPUTDP Watts = 300
+	// GPUTDP is the NVIDIA V100 SXM2 thermal design power.
+	GPUTDP Watts = 300
+	// NodeThermalOutputMax is the max thermal output (8,872 BTU/hr ≈ 2.6kW).
+	NodeThermalOutputMax Watts = 2600
+)
+
+// Clock and microarchitecture constants.
+const (
+	// CPUFrequencyGHz is the Power9 nominal clock.
+	CPUFrequencyGHz = 3.07
+	// CPUCores per Power9 socket.
+	CPUCores = 22
+	// CPUThreadsPerCore (SMT4).
+	CPUThreadsPerCore = 4
+	// GPUBaseFrequencyMHz and GPUBoostFrequencyMHz bound the V100 clock.
+	GPUBaseFrequencyMHz  = 1335
+	GPUBoostFrequencyMHz = 1530
+	// GPUSMs is the streaming multiprocessor count of a V100.
+	GPUSMs = 80
+	// GPUMemoryGB is HBM2 capacity per GPU.
+	GPUMemoryGB = 16
+)
+
+// Facility water-loop set points (paper Table 1, quoted in °F).
+const (
+	// MTWSupplyMinF..MTWSupplyMaxF bound the secondary-loop supply.
+	MTWSupplyMinF Fahrenheit = 64
+	MTWSupplyMaxF Fahrenheit = 71
+	// MTWSupplyNominalF is the design supply temperature from the CEP.
+	MTWSupplyNominalF Fahrenheit = 70
+	// MTWReturnMinF..MTWReturnMaxF bound the secondary-loop return.
+	MTWReturnMinF Fahrenheit = 80
+	MTWReturnMaxF Fahrenheit = 100
+	// TowerLoopMinF..TowerLoopMaxF bound the evaporative primary loop.
+	TowerLoopMinF Fahrenheit = 59
+	TowerLoopMaxF Fahrenheit = 87
+	// ChillerLoopMinF..ChillerLoopMaxF bound the trim chilled-water loop.
+	ChillerLoopMinF Fahrenheit = 42
+	ChillerLoopMaxF Fahrenheit = 48
+	// CoolingTowers and Chillers are the CEP equipment counts.
+	CoolingTowers = 8
+	Chillers      = 5
+)
+
+// Telemetry constants (paper §2–3).
+const (
+	// TelemetrySampleInterval is the per-node emit interval in seconds.
+	TelemetrySampleIntervalSec = 1
+	// MetricsPerNode is the approximate per-node metric count.
+	MetricsPerNode = 100
+	// IngestMetricsPerSec is the aggregate ingest rate (460k metrics/s).
+	IngestMetricsPerSec = 460_000
+	// FanInRatio is the websocket fan-in ratio of the collection tier.
+	FanInRatio = 288
+	// MeanPropagationDelaySec is the average sensor-to-analysis delay.
+	MeanPropagationDelaySec = 4.1
+	// MeanTimestampDelaySec / MaxTimestampDelaySec bound the delay between
+	// sampling on the node and timestamping at the aggregation point.
+	MeanTimestampDelaySec = 2.5
+	MaxTimestampDelaySec  = 5.0
+	// CoarsenWindowSec is the analysis coarsening window (paper §3).
+	CoarsenWindowSec = 10
+)
+
+// SchedulingClass is a Summit batch scheduling class (paper Table 3);
+// Class 1 is the leadership class.
+type SchedulingClass int
+
+// Scheduling classes by job node count.
+const (
+	Class1 SchedulingClass = 1 + iota
+	Class2
+	Class3
+	Class4
+	Class5
+)
+
+// ClassPolicy describes the node-count range and walltime cap of a class.
+type ClassPolicy struct {
+	Class       SchedulingClass
+	MinNodes    int
+	MaxNodes    int
+	MaxWallHour float64
+}
+
+// ClassPolicies is the Summit scheduling policy table (paper Table 3).
+var ClassPolicies = [...]ClassPolicy{
+	{Class1, 2765, 4608, 24},
+	{Class2, 922, 2764, 24},
+	{Class3, 92, 921, 12},
+	{Class4, 46, 91, 6},
+	{Class5, 1, 45, 2},
+}
+
+// ClassForNodes returns the scheduling class for a job of n nodes.
+// Jobs larger than the Class 1 cap still classify as Class 1.
+func ClassForNodes(n int) SchedulingClass {
+	switch {
+	case n >= 2765:
+		return Class1
+	case n >= 922:
+		return Class2
+	case n >= 92:
+		return Class3
+	case n >= 46:
+		return Class4
+	default:
+		return Class5
+	}
+}
+
+// Policy returns the policy row for class c. It panics on an invalid class,
+// which indicates a programming error rather than bad data.
+func (c SchedulingClass) Policy() ClassPolicy {
+	if c < Class1 || c > Class5 {
+		panic("units: invalid scheduling class")
+	}
+	return ClassPolicies[c-1]
+}
+
+func (c SchedulingClass) String() string {
+	return [...]string{"", "Class1", "Class2", "Class3", "Class4", "Class5"}[c]
+}
+
+// EdgeThresholdPerNode is the per-node power change that defines a rising or
+// falling edge in the paper's dynamics analysis (§4.2): 868 W per node,
+// i.e. ≈4 MW at the full 4,608-node scale.
+const EdgeThresholdPerNode Watts = 868

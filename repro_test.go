@@ -1,0 +1,358 @@
+package repro
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Facade-level integration tests: the public API must run the whole
+// pipeline and every report must render non-trivially.
+
+var (
+	facadeOnce sync.Once
+	facadeData *RunData
+	facadeVC   *core.VariabilityCollector
+	facadeErr  error
+)
+
+func testFacadeRun(t *testing.T) (*RunData, *core.VariabilityCollector) {
+	t.Helper()
+	facadeOnce.Do(func() {
+		cfg := ScaledConfig(108, 5*time.Hour)
+		facadeData, facadeVC, _, facadeErr = SimulateWithVariability(cfg)
+	})
+	if facadeErr != nil {
+		t.Fatal(facadeErr)
+	}
+	return facadeData, facadeVC
+}
+
+func TestScaledConfig(t *testing.T) {
+	cfg := ScaledConfig(256, 24*time.Hour)
+	if cfg.Nodes != 256 || cfg.DurationSec != 86400 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if cfg.Jobs < 20 {
+		t.Errorf("jobs = %d, want >= 20", cfg.Jobs)
+	}
+	if cfg.StepSec != 10 {
+		t.Errorf("step = %d, want paper's 10 s window", cfg.StepSec)
+	}
+	if cfg.FailureRateScale < 1 {
+		t.Errorf("failure scale = %v", cfg.FailureRateScale)
+	}
+	// Span floor.
+	tiny := ScaledConfig(8, time.Second)
+	if tiny.DurationSec < 600 {
+		t.Errorf("tiny span = %d, want floor of 600", tiny.DurationSec)
+	}
+	// Full-scale year: rate scale ~1, job count ~840k.
+	full := ScaledConfig(SummitNodes, 365*24*time.Hour)
+	if full.Jobs < 800_000 || full.Jobs > 880_000 {
+		t.Errorf("full-scale jobs = %d, want ≈840k", full.Jobs)
+	}
+	if full.FailureRateScale != 1 {
+		t.Errorf("full-scale failure scale = %v, want 1", full.FailureRateScale)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := ScaledConfig(36, time.Hour)
+	a, _, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.ClusterPower.Len(); i++ {
+		if a.ClusterPower.Vals[i] != b.ClusterPower.Vals[i] {
+			t.Fatalf("cluster power diverged at window %d", i)
+		}
+	}
+	if len(a.Failures) != len(b.Failures) {
+		t.Fatal("failure logs diverged")
+	}
+}
+
+func TestAllReportsRender(t *testing.T) {
+	d, vc := testFacadeRun(t)
+	type namedReport struct {
+		name string
+		fn   func() (Report, error)
+	}
+	reports := []namedReport{
+		{"table3", func() (Report, error) { return ReportTable3(), nil }},
+		{"fig4", func() (Report, error) { return ReportFigure4(d) }},
+		{"fig5", func() (Report, error) { return ReportFigure5(d) }},
+		{"fig6", func() (Report, error) { return ReportFigure6(d) }},
+		{"fig7", func() (Report, error) { return ReportFigure7(d) }},
+		{"fig8", func() (Report, error) { return ReportFigure8(d) }},
+		{"fig9", func() (Report, error) { return ReportFigure9(d) }},
+		{"fig10", func() (Report, error) { return ReportFigure10(d), nil }},
+		{"fig11", func() (Report, error) { return ReportFigure11(d), nil }},
+		{"fig12", func() (Report, error) { return ReportFigure12(d), nil }},
+		{"table4", func() (Report, error) { return ReportTable4(d), nil }},
+		{"fig13", func() (Report, error) { return ReportFigure13(d) }},
+		{"fig14", func() (Report, error) { return ReportFigure14(d), nil }},
+		{"fig15", func() (Report, error) { return ReportFigure15(d), nil }},
+		{"fig16", func() (Report, error) { return ReportFigure16(d), nil }},
+		{"fig17", func() (Report, error) { return ReportFigure17(vc, d) }},
+	}
+	for _, nr := range reports {
+		rep, err := nr.fn()
+		if err != nil {
+			t.Errorf("%s: %v", nr.name, err)
+			continue
+		}
+		s := rep.String()
+		if len(s) < 40 {
+			t.Errorf("%s: report too small: %q", nr.name, s)
+		}
+		if !strings.Contains(s, "== ") || !strings.Contains(s, rep.ID) {
+			t.Errorf("%s: header malformed", nr.name)
+		}
+		if rep.PaperRef == "" {
+			t.Errorf("%s: missing paper reference", nr.name)
+		}
+	}
+}
+
+func TestReportTable4MatchesPaperShape(t *testing.T) {
+	d, _ := testFacadeRun(t)
+	rep := ReportTable4(d)
+	// The dominant row must be memory page faults, as in the paper.
+	lines := strings.Split(rep.Body, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Memory page fault") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("memory page fault row missing from Table 4 report")
+	}
+}
+
+func TestPaperFailureCounts(t *testing.T) {
+	counts := PaperFailureCounts()
+	if counts["Memory page fault"] != 186496 {
+		t.Errorf("paper count table wrong: %v", counts["Memory page fault"])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 251859 {
+		t.Errorf("paper total = %d", total)
+	}
+}
+
+func TestClassConstantsExported(t *testing.T) {
+	if Class1.String() != "Class1" || Class5.String() != "Class5" {
+		t.Error("class re-exports broken")
+	}
+	if SummitNodes != 4626 {
+		t.Error("SummitNodes wrong")
+	}
+}
+
+func TestExtensionReports(t *testing.T) {
+	d, _ := testFacadeRun(t)
+	// Thermal bands (operator dashboard).
+	bands, err := ReportThermalBands(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bands.Body, "<30°C") {
+		t.Errorf("bands report missing band labels: %q", bands.Body)
+	}
+	// Fingerprints (future work).
+	fp, err := ReportFingerprints(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fp.Body, "max-power prediction") {
+		t.Errorf("fingerprint report missing prediction: %q", fp.Body)
+	}
+}
+
+func TestReportPowerCapRenders(t *testing.T) {
+	cfg := ScaledConfig(32, 90*time.Minute)
+	rep, err := ReportPowerCap(cfg, []float64{0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "none") {
+		t.Errorf("power cap report missing baseline row: %q", rep.Body)
+	}
+	lines := strings.Count(rep.Body, "\n")
+	if lines < 4 {
+		t.Errorf("power cap report too small: %q", rep.Body)
+	}
+}
+
+func TestReportYearSurveyRenders(t *testing.T) {
+	rep, err := ReportYearSurvey(24, 7, 45*time.Minute, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "annual PUE") {
+		t.Errorf("year survey report missing summary: %q", rep.Body)
+	}
+	// All 12 months present.
+	if strings.Count(rep.Body, "\n") < 14 {
+		t.Errorf("year survey missing months: %q", rep.Body)
+	}
+}
+
+func TestWriteFigureData(t *testing.T) {
+	d, vc := testFacadeRun(t)
+	dir := t.TempDir()
+	files, err := WriteFigureData(dir, d, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("only %d figure files written", len(files))
+	}
+	// Key files must exist and be non-trivial.
+	must := []string{"fig4_diff_samples.csv", "fig5_cluster_series.csv",
+		"fig6_energy_power.csv", "fig16_placement.csv", "fig17_instants.csv"}
+	for _, name := range must {
+		info, err := os.Stat(dir + "/" + name)
+		if err != nil {
+			t.Errorf("%s missing: %v", name, err)
+			continue
+		}
+		if info.Size() < 40 {
+			t.Errorf("%s suspiciously small (%d bytes)", name, info.Size())
+		}
+	}
+	// Spot-check CSV structure.
+	raw, err := os.ReadFile(dir + "/fig5_cluster_series.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != d.ClusterPower.Len()+1 {
+		t.Errorf("fig5 csv has %d lines, want %d", len(lines), d.ClusterPower.Len()+1)
+	}
+	if !strings.HasPrefix(lines[0], "timestamp,power_w,pue") {
+		t.Errorf("fig5 header = %q", lines[0])
+	}
+}
+
+func TestOvercoolingAndEarlyWarningFacade(t *testing.T) {
+	d, _ := testFacadeRun(t)
+	oc, err := Overcooling(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.Windows == 0 {
+		t.Error("no windows in overcooling report")
+	}
+	rep, err := ReportOvercooling(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "ton-hours") {
+		t.Errorf("overcooling report body: %q", rep.Body)
+	}
+	ew, err := EarlyWarningFromRun(d, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ew) != 3 {
+		t.Errorf("early warning pairs = %d", len(ew))
+	}
+}
+
+// TestPaperShapeProperties runs a moderate-scale simulation and asserts
+// the headline shape findings of the paper hold — the automated version of
+// EXPERIMENTS.md's comparisons.
+func TestPaperShapeProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test skipped in -short mode")
+	}
+	cfg := ScaledConfig(1152, 3*time.Hour) // quarter-scale floor
+	d, res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3/Fig4: summation above meters by ~11%, in phase.
+	val, err := Figure4Validation(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.MeanDiffAllW >= 0 {
+		t.Errorf("Fig4: mean diff %v not negative", val.MeanDiffAllW)
+	}
+	if val.RelativeError < 0.07 || val.RelativeError > 0.15 {
+		t.Errorf("Fig4: relative error %v, want ≈0.11", val.RelativeError)
+	}
+	for _, m := range val.PerMSB {
+		if m.Corr < 0.95 {
+			t.Errorf("Fig4: MSB %d phase corr %v", m.MSB, m.Corr)
+		}
+	}
+	// Fig5: PUE inverse to power; plausible winter PUE.
+	trends, err := Figure5Trends(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trends.PowerPUECorr > -0.3 {
+		t.Errorf("Fig5/11: power-PUE corr %v, want strongly negative", trends.PowerPUECorr)
+	}
+	if trends.MeanPUE < 1.05 || trends.MeanPUE > 1.3 {
+		t.Errorf("PUE %v out of plausible band", trends.MeanPUE)
+	}
+	// Fig10: majority of jobs show no edges.
+	dyn := Figure10Dynamics(d)
+	if dyn.FracNoEdges < 0.6 {
+		t.Errorf("Fig10: no-edge fraction %v, want clear majority", dyn.FracNoEdges)
+	}
+	// Table4: memory page faults dominate; NVLink concentrated.
+	comp := Table4Composition(d)
+	if len(comp) == 0 || comp[0].Type.String() != "Memory page fault" {
+		t.Errorf("Table4: top type wrong: %+v", comp[:minInt(2, len(comp))])
+	}
+	for _, r := range comp {
+		if r.Type.String() == "NVLINK error" && r.Count > 50 {
+			if r.MaxPerNodeFrac < 0.8 {
+				t.Errorf("Table4: NVLink concentration %v", r.MaxPerNodeFrac)
+			}
+		}
+	}
+	// Fig16: failures do not increase along the water path.
+	for _, p := range Figure16Placement(d, false) {
+		total := 0
+		for _, c := range p.Counts {
+			total += c
+		}
+		if total < 200 {
+			continue
+		}
+		if p.Counts[2] > p.Counts[0]*2 {
+			t.Errorf("Fig16: %v increases along water path: %v", p.Type, p.Counts)
+		}
+	}
+	// Utilization sane.
+	if res.Utilization <= 0.2 || res.Utilization > 1 {
+		t.Errorf("utilization %v implausible", res.Utilization)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
