@@ -1,0 +1,32 @@
+# Developer entry points. CI runs `make check`.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench bench-query clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full gate: compile, vet, unit tests, then the race detector.
+check: build vet test race
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# bench-query runs just the query-engine benchmarks (cold vs cached scans).
+bench-query:
+	$(GO) test -run xxx -bench 'BenchmarkQueryRange' -benchmem .
+
+clean:
+	$(GO) clean ./...

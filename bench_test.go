@@ -7,13 +7,17 @@ package repro
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/query"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/tsagg"
 )
 
@@ -343,6 +347,107 @@ func BenchmarkAblationSampling(b *testing.B) {
 func BenchmarkSection6Generations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := CompareGenerations(uint64(i), 32, 25, 30000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Query engine benchmarks (internal/query over a store archive) ---
+
+var (
+	queryBenchOnce sync.Once
+	queryBenchDir  string
+	queryBenchErr  error
+)
+
+const (
+	queryBenchNodes = 36
+	queryBenchDays  = 4
+	queryBenchStep  = int64(60)
+)
+
+// queryBenchArchive writes one shared node-power archive (4 days, 36 nodes,
+// 60 s cadence ≈ 207k rows) used by both query benchmarks.
+func queryBenchArchive(b *testing.B) string {
+	b.Helper()
+	queryBenchOnce.Do(func() {
+		queryBenchDir, queryBenchErr = os.MkdirTemp("", "querybench")
+		if queryBenchErr != nil {
+			return
+		}
+		ds, err := store.NewDataset(queryBenchDir, "node-power")
+		if err != nil {
+			queryBenchErr = err
+			return
+		}
+		for day := 0; day < queryBenchDays; day++ {
+			var ts, node []int64
+			var val []float64
+			for tm := int64(day) * 86400; tm < int64(day+1)*86400; tm += queryBenchStep {
+				for n := int64(0); n < queryBenchNodes; n++ {
+					ts = append(ts, tm)
+					node = append(node, n)
+					val = append(val, 2000+10*float64(n)+float64(tm%3600)*0.01)
+				}
+			}
+			if err := ds.WriteDay(day, &store.Table{Cols: []store.Column{
+				{Name: "timestamp", Ints: ts},
+				{Name: "node", Ints: node},
+				{Name: "input_power.mean", Floats: val},
+			}}); err != nil {
+				queryBenchErr = err
+				return
+			}
+		}
+	})
+	if queryBenchErr != nil {
+		b.Fatal(queryBenchErr)
+	}
+	return queryBenchDir
+}
+
+func queryBenchRequest() query.RangeRequest {
+	return query.RangeRequest{
+		Dataset: "node-power", Column: "input_power.mean", Node: -1,
+		T0: 3600, T1: 3*86400 + 3600, Step: 600,
+	}
+}
+
+// BenchmarkQueryRange measures a cold three-day downsampled scan: every
+// iteration flushes the decoded-table cache, so this is the decode+scan path.
+func BenchmarkQueryRange(b *testing.B) {
+	dir := queryBenchArchive(b)
+	eng, err := query.Open(query.Config{Dir: dir, Nodes: queryBenchNodes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	req := queryBenchRequest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.FlushCache()
+		if _, err := eng.Range(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryRangeCached is the same query against a warm cache: the
+// speedup over BenchmarkQueryRange is the value of the decoded-table cache.
+func BenchmarkQueryRangeCached(b *testing.B) {
+	dir := queryBenchArchive(b)
+	eng, err := query.Open(query.Config{Dir: dir, Nodes: queryBenchNodes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	req := queryBenchRequest()
+	if _, err := eng.Range(ctx, req); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Range(ctx, req); err != nil {
 			b.Fatal(err)
 		}
 	}

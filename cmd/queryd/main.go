@@ -1,0 +1,146 @@
+// Command queryd serves a telemetry archive (as written by summitsim or
+// cmd/repro -data) over HTTP: the online query tier of the reproduction,
+// standing in for the interactive analyst workflow over the paper's 8.5 TB
+// parquet archive.
+//
+// Endpoints:
+//
+//	GET /api/v1/datasets — archive inventory (days, rows, time span, columns)
+//	GET /api/v1/range    — range query: ?dataset=&column=[&node=][&t0=][&t1=][&step=]
+//	GET /api/v1/rollup   — fleet rollup: ?dataset=&column=&group=cabinet|msb|fleet[&t0=][&t1=][&step=]
+//	GET /healthz         — liveness
+//	GET /debug/vars      — queries served, cache hit/miss, bytes decoded, latency histogram
+//
+// Usage:
+//
+//	queryd -data /path/to/archive [-addr :8080] [-nodes N] [-cache-mb 256]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/query"
+)
+
+// options is the parsed flag set.
+type options struct {
+	data          string
+	addr          string
+	nodes         int
+	workers       int
+	cacheMB       int
+	timeout       time.Duration
+	maxConcurrent int
+	maxPoints     int
+	quiet         bool
+}
+
+// parseFlags parses args (without the program name).
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("queryd", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.data, "data", "", "archive directory (required)")
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.IntVar(&o.nodes, "nodes", 0, "system size the archive was produced with (enables cabinet/MSB rollups)")
+	fs.IntVar(&o.workers, "workers", 0, "parallel scan workers (0 = GOMAXPROCS)")
+	fs.IntVar(&o.cacheMB, "cache-mb", 256, "decoded-table cache budget in MiB")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline")
+	fs.IntVar(&o.maxConcurrent, "max-concurrent", 32, "concurrent query limit (excess sheds with 503)")
+	fs.IntVar(&o.maxPoints, "max-points", 200_000, "points/windows budget per response")
+	fs.BoolVar(&o.quiet, "q", false, "suppress startup output")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.data == "" {
+		return o, errors.New("queryd: -data is required")
+	}
+	return o, nil
+}
+
+// newServer opens the engine and binds the listener; the caller serves and
+// shuts down.
+func newServer(o options, out io.Writer) (*http.Server, net.Listener, *query.Engine, error) {
+	eng, err := query.Open(query.Config{
+		Dir:        o.data,
+		Nodes:      o.nodes,
+		Workers:    o.workers,
+		CacheBytes: int64(o.cacheMB) << 20,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	infos, err := eng.Datasets()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(infos) == 0 {
+		return nil, nil, nil, fmt.Errorf("queryd: no datasets found in %s", o.data)
+	}
+	if !o.quiet {
+		for _, info := range infos {
+			fmt.Fprintf(out, "dataset %-14s %3d partition(s) %9d rows  span [%d, %d]\n",
+				info.Name, info.Days, info.Rows, info.MinTime, info.MaxTime)
+		}
+	}
+	handler := query.NewHandler(eng, query.ServerConfig{
+		Timeout:       o.timeout,
+		MaxConcurrent: o.maxConcurrent,
+		MaxPoints:     o.maxPoints,
+	})
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		// The per-request timeout lives in the handler; WriteTimeout backs
+		// it up with headroom for slow readers of large responses.
+		WriteTimeout: o.timeout + 30*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	return srv, ln, eng, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("queryd: ")
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, ln, _, err := newServer(o, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !o.quiet {
+		fmt.Printf("serving %s on http://%s\n", o.data, ln.Addr())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, let in-flight queries finish.
+	stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+}

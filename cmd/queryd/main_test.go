@@ -1,0 +1,292 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+const (
+	e2eNodes = 36 // two full cabinets at 18 nodes/cabinet
+	e2eDays  = 3
+	e2eStep  = int64(300)
+	e2eDay   = int64(86400)
+)
+
+func e2ePower(node, t int64) float64 {
+	return 2000 + 25*float64(node) + float64(t%7200)*0.005
+}
+
+// writeE2EArchive builds a multi-day archive through the store layer, exactly
+// as summitsim would.
+func writeE2EArchive(t *testing.T, dir string) {
+	t.Helper()
+	ds, err := store.NewDataset(dir, "node-power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < e2eDays; day++ {
+		var ts, node []int64
+		var val []float64
+		for tm := int64(day) * e2eDay; tm < int64(day+1)*e2eDay; tm += e2eStep {
+			for n := int64(0); n < e2eNodes; n++ {
+				ts = append(ts, tm)
+				node = append(node, n)
+				val = append(val, e2ePower(n, tm))
+			}
+		}
+		err := ds.WriteDay(day, &store.Table{Cols: []store.Column{
+			{Name: "timestamp", Ints: ts},
+			{Name: "node", Ints: node},
+			{Name: "input_power.mean", Floats: val},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// startQueryd runs the real flag-parsing and server-construction path on a
+// loopback port and serves in the background.
+func startQueryd(t *testing.T, args ...string) string {
+	t.Helper()
+	o, err := parseFlags(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ln, _, err := newServer(o, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+func getInto(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == 200 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestQuerydEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeE2EArchive(t, dir)
+	base := startQueryd(t,
+		"-data", dir, "-addr", "127.0.0.1:0",
+		"-nodes", fmt.Sprint(e2eNodes), "-q")
+
+	// Liveness.
+	if code := getInto(t, base+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+
+	// Inventory matches the archive we wrote.
+	var inv struct {
+		Datasets []struct {
+			Name string `json:"name"`
+			Days int    `json:"days"`
+			Rows int64  `json:"rows"`
+		} `json:"datasets"`
+	}
+	if code := getInto(t, base+"/api/v1/datasets", &inv); code != 200 {
+		t.Fatalf("datasets = %d", code)
+	}
+	wantRows := int64(e2eDays) * (e2eDay / e2eStep) * e2eNodes
+	if len(inv.Datasets) != 1 || inv.Datasets[0].Days != e2eDays || inv.Datasets[0].Rows != wantRows {
+		t.Fatalf("inventory = %+v", inv.Datasets)
+	}
+
+	// Range query for one node across the day 1/2 boundary; verify every
+	// point against a direct store scan.
+	const node = 19
+	t0, t1 := 2*e2eDay-3600, 2*e2eDay+3600
+	rangeURL := fmt.Sprintf(
+		"%s/api/v1/range?dataset=node-power&column=input_power.mean&node=%d&t0=%d&t1=%d",
+		base, node, t0, t1)
+	var rr struct {
+		Points []struct {
+			T int64   `json:"t"`
+			V float64 `json:"v"`
+		} `json:"points"`
+		Stats struct {
+			DaysScanned int   `json:"days_scanned"`
+			DaysPruned  int   `json:"days_pruned"`
+			CacheHits   int64 `json:"cache_hits"`
+			CacheMisses int64 `json:"cache_misses"`
+		} `json:"stats"`
+	}
+	if code := getInto(t, rangeURL, &rr); code != 200 {
+		t.Fatalf("range = %d", code)
+	}
+	ds, err := store.NewDataset(dir, "node-power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pt struct {
+		T int64
+		V float64
+	}
+	var want []pt
+	for day := 0; day < e2eDays; day++ {
+		tab, err := ds.ReadDay(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := tab.Col("timestamp").Ints
+		nd := tab.Col("node").Ints
+		vs := tab.Col("input_power.mean").Floats
+		for i := range ts {
+			if nd[i] == node && ts[i] >= t0 && ts[i] < t1 {
+				want = append(want, pt{ts[i], vs[i]})
+			}
+		}
+	}
+	if len(rr.Points) != len(want) {
+		t.Fatalf("range returned %d points, direct scan %d", len(rr.Points), len(want))
+	}
+	for i, p := range rr.Points {
+		if p.T != want[i].T || p.V != want[i].V {
+			t.Fatalf("point %d = %+v, direct scan %+v", i, p, want[i])
+		}
+	}
+	if rr.Stats.DaysScanned != 2 || rr.Stats.DaysPruned != 1 {
+		t.Errorf("pruning stats = %+v", rr.Stats)
+	}
+	if rr.Stats.CacheMisses != 2 || rr.Stats.CacheHits != 0 {
+		t.Errorf("cold stats = %+v", rr.Stats)
+	}
+
+	// Downsampled query: windows carry per-window count/min/max/mean.
+	dsURL := fmt.Sprintf(
+		"%s/api/v1/range?dataset=node-power&column=input_power.mean&node=%d&t0=%d&t1=%d&step=1800",
+		base, node, t0, t1)
+	var dr struct {
+		Windows []struct {
+			T     int64   `json:"t"`
+			Count int64   `json:"count"`
+			Min   float64 `json:"min"`
+			Max   float64 `json:"max"`
+			Mean  float64 `json:"mean"`
+		} `json:"windows"`
+	}
+	if code := getInto(t, dsURL, &dr); code != 200 {
+		t.Fatalf("downsampled range = %d", code)
+	}
+	if len(dr.Windows) != 4 {
+		t.Fatalf("%d windows, want 4", len(dr.Windows))
+	}
+	for _, w := range dr.Windows {
+		if w.Count != 1800/e2eStep {
+			t.Fatalf("window %+v: count != %d", w, 1800/e2eStep)
+		}
+		if w.Min > w.Mean || w.Mean > w.Max {
+			t.Fatalf("window %+v not ordered", w)
+		}
+	}
+
+	// Rollup query: two cabinets; fleet-wide sums must match a direct scan.
+	ruURL := fmt.Sprintf(
+		"%s/api/v1/rollup?dataset=node-power&column=input_power.mean&group=cabinet&t0=%d&t1=%d&step=3600",
+		base, 0, 7200)
+	var ru struct {
+		Series []struct {
+			Label   string `json:"label"`
+			Windows []struct {
+				T     int64   `json:"t"`
+				Count int64   `json:"count"`
+				Sum   float64 `json:"sum"`
+			} `json:"windows"`
+		} `json:"series"`
+	}
+	if code := getInto(t, ruURL, &ru); code != 200 {
+		t.Fatalf("rollup = %d", code)
+	}
+	if len(ru.Series) != 2 || ru.Series[0].Label != "cab000" || ru.Series[1].Label != "cab001" {
+		t.Fatalf("rollup series = %+v", ru.Series)
+	}
+	var gotSum float64
+	var gotCount int64
+	for _, s := range ru.Series {
+		for _, w := range s.Windows {
+			gotSum += w.Sum
+			gotCount += w.Count
+		}
+	}
+	var wantSum float64
+	var wantCount int64
+	for tm := int64(0); tm < 7200; tm += e2eStep {
+		for n := int64(0); n < e2eNodes; n++ {
+			wantSum += e2ePower(n, tm)
+			wantCount++
+		}
+	}
+	if gotCount != wantCount || gotSum < wantSum*(1-1e-9) || gotSum > wantSum*(1+1e-9) {
+		t.Errorf("rollup total = %v/%d samples, direct scan %v/%d",
+			gotSum, gotCount, wantSum, wantCount)
+	}
+
+	// Repeating the identical range query must be served from cache and the
+	// global counters must say so.
+	if code := getInto(t, rangeURL, &rr); code != 200 {
+		t.Fatalf("repeat range = %d", code)
+	}
+	if rr.Stats.CacheHits != 2 || rr.Stats.CacheMisses != 0 {
+		t.Errorf("warm stats = %+v", rr.Stats)
+	}
+	var vars struct {
+		Queries map[string]int64 `json:"queries"`
+		Cache   map[string]int64 `json:"cache"`
+	}
+	if code := getInto(t, base+"/debug/vars", &vars); code != 200 {
+		t.Fatalf("vars = %d", code)
+	}
+	if vars.Cache["hits"] < 2 {
+		t.Errorf("global cache hits = %d", vars.Cache["hits"])
+	}
+	if vars.Queries["range"] != 3 || vars.Queries["rollup"] != 1 {
+		t.Errorf("query counters = %+v", vars.Queries)
+	}
+
+	// Error surface.
+	if code := getInto(t, base+"/api/v1/range?dataset=nope&column=x", nil); code != 404 {
+		t.Errorf("unknown dataset = %d", code)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	if _, err := parseFlags(nil); err == nil || !strings.Contains(err.Error(), "-data") {
+		t.Errorf("missing -data accepted: %v", err)
+	}
+	o, err := parseFlags([]string{"-data", "/x", "-nodes", "72", "-cache-mb", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.data != "/x" || o.nodes != 72 || o.cacheMB != 64 {
+		t.Errorf("options = %+v", o)
+	}
+}
+
+func TestNewServerRejectsEmptyArchive(t *testing.T) {
+	o, err := parseFlags([]string{"-data", t.TempDir(), "-addr", "127.0.0.1:0", "-q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := newServer(o, io.Discard); err == nil {
+		t.Fatal("empty archive accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package query
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// tableCache is a sharded, size-bounded LRU over decoded day tables. The
+// gzip+delta decode of a partition is the measured hot path of a range
+// query; keeping decoded tables resident lets repeated range queries over
+// the same days skip it entirely. Sharding keeps lock contention off the
+// serving path when many queries hit the cache concurrently.
+//
+// The byte budget is global, not per shard: one day of per-node telemetry
+// decodes to tens of megabytes, so a per-shard budget would refuse exactly
+// the tables most worth caching. Eviction starts in the inserting shard
+// (locks are only ever held one at a time, so spilling into neighbor shards
+// cannot deadlock).
+const cacheShards = 16
+
+type tableCache struct {
+	max   int64
+	bytes atomic.Int64 // resident decoded bytes across all shards
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	tab  *store.Table
+	size int64
+}
+
+// newTableCache bounds total decoded bytes across all shards. maxBytes <= 0
+// disables caching (every Get misses, Put is a no-op).
+func newTableCache(maxBytes int64) *tableCache {
+	c := &tableCache{max: maxBytes}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *tableCache) shardIndex(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % cacheShards)
+}
+
+// Get returns the cached table for key, promoting it to most recently used.
+func (c *tableCache) Get(key string) (*store.Table, bool) {
+	s := &c.shards[c.shardIndex(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).tab, true
+}
+
+// Put inserts (or refreshes) the table under key and returns how many
+// entries were evicted to stay under the byte budget. A table larger than
+// the entire budget is not cached at all.
+func (c *tableCache) Put(key string, tab *store.Table) (evicted int) {
+	size := tableBytes(tab)
+	if size > c.max {
+		return 0
+	}
+	idx := c.shardIndex(key)
+	s := &c.shards[idx]
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.bytes.Add(size - e.size)
+		e.tab, e.size = tab, size
+	} else {
+		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, tab: tab, size: size})
+		c.bytes.Add(size)
+	}
+	// Evict within the inserting shard first, sparing the entry itself.
+	for c.bytes.Load() > c.max && s.ll.Len() > 1 {
+		evicted += c.evictOldest(s)
+	}
+	s.mu.Unlock()
+	// Still over budget (the new entry dominates its shard): spill eviction
+	// into the other shards, oldest-first per shard.
+	for i := 1; i < cacheShards && c.bytes.Load() > c.max; i++ {
+		o := &c.shards[(idx+i)%cacheShards]
+		o.mu.Lock()
+		for c.bytes.Load() > c.max && o.ll.Len() > 0 {
+			evicted += c.evictOldest(o)
+		}
+		o.mu.Unlock()
+	}
+	return evicted
+}
+
+// evictOldest removes the LRU entry of s. Caller holds s.mu.
+func (c *tableCache) evictOldest(s *cacheShard) int {
+	oldest := s.ll.Back()
+	if oldest == nil {
+		return 0
+	}
+	e := oldest.Value.(*cacheEntry)
+	s.ll.Remove(oldest)
+	delete(s.items, e.key)
+	c.bytes.Add(-e.size)
+	return 1
+}
+
+// Flush empties the cache.
+func (c *tableCache) Flush() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			c.bytes.Add(-el.Value.(*cacheEntry).size)
+		}
+		s.ll.Init()
+		s.items = make(map[string]*list.Element)
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns the resident entry count and decoded byte total.
+func (c *tableCache) Stats() (entries int, bytes int64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		entries += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return entries, c.bytes.Load()
+}
+
+// tableBytes approximates the resident size of a decoded table: 8 bytes per
+// value plus per-column slice overhead.
+func tableBytes(t *store.Table) int64 {
+	var b int64
+	for i := range t.Cols {
+		b += int64(t.Cols[i].Len())*8 + 64
+	}
+	return b
+}

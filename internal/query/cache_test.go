@@ -1,0 +1,128 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func testTable(rows int) *store.Table {
+	ts := make([]int64, rows)
+	v := make([]float64, rows)
+	for i := range ts {
+		ts[i] = int64(i)
+		v[i] = float64(i)
+	}
+	return &store.Table{Cols: []store.Column{
+		{Name: "timestamp", Ints: ts},
+		{Name: "v", Floats: v},
+	}}
+}
+
+func TestCacheHitAndPromote(t *testing.T) {
+	c := newTableCache(1 << 20)
+	tab := testTable(10)
+	c.Put("a", tab)
+	got, ok := c.Get("a")
+	if !ok || got != tab {
+		t.Fatal("cached table lost")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("phantom hit")
+	}
+	entries, bytes := c.Stats()
+	if entries != 1 || bytes != tableBytes(tab) {
+		t.Errorf("stats = %d entries, %d bytes", entries, bytes)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	// Budget of ~32 tables, 200 inserted: eviction must kick in and the
+	// global byte accounting must stay under budget throughout.
+	budget := int64(cacheShards) * (tableBytes(testTable(100)) * 2)
+	c := newTableCache(budget)
+	evicted := 0
+	for i := 0; i < 200; i++ {
+		evicted += c.Put(fmt.Sprintf("k%d", i), testTable(100))
+	}
+	if evicted == 0 {
+		t.Error("no evictions despite exceeding the budget")
+	}
+	_, bytes := c.Stats()
+	if bytes > budget {
+		t.Errorf("resident bytes %d exceed budget %d", bytes, budget)
+	}
+}
+
+func TestCacheOversizedEntryNotCached(t *testing.T) {
+	c := newTableCache(1024) // smaller than any real table: nothing fits
+	c.Put("big", testTable(1000))
+	if _, ok := c.Get("big"); ok {
+		t.Error("oversized table cached")
+	}
+}
+
+func TestCacheAdmitsEntryLargerThanShardShare(t *testing.T) {
+	// The budget is global: a table bigger than budget/shards (one day of
+	// per-node telemetry vs the default budget) must still be cached, with
+	// eviction spilling into other shards to make room.
+	big := testTable(2000)
+	budget := tableBytes(big) + tableBytes(big)/2
+	c := newTableCache(budget)
+	for i := 0; i < 32; i++ {
+		c.Put(fmt.Sprintf("small%d", i), testTable(10))
+	}
+	c.Put("big", big)
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("table over the per-shard share was not cached")
+	}
+	if _, bytes := c.Stats(); bytes > budget {
+		t.Errorf("resident bytes %d exceed budget %d", bytes, budget)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := newTableCache(1 << 20)
+	c.Put("a", testTable(5))
+	c.Flush()
+	if _, ok := c.Get("a"); ok {
+		t.Error("Flush left entries behind")
+	}
+	if entries, bytes := c.Stats(); entries != 0 || bytes != 0 {
+		t.Errorf("stats after flush = %d, %d", entries, bytes)
+	}
+}
+
+func TestCacheUpdateSameKey(t *testing.T) {
+	c := newTableCache(1 << 20)
+	c.Put("a", testTable(5))
+	bigger := testTable(50)
+	c.Put("a", bigger)
+	got, ok := c.Get("a")
+	if !ok || got != bigger {
+		t.Fatal("update lost")
+	}
+	if entries, bytes := c.Stats(); entries != 1 || bytes != tableBytes(bigger) {
+		t.Errorf("stats after update = %d entries, %d bytes", entries, bytes)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newTableCache(1 << 18)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%64)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, testTable(20))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,455 @@
+// Package query is the online serving tier over the telemetry archive: a
+// sharded, cached time-series query engine on top of store.Dataset. It is
+// the reproduction's equivalent of the interactive analyst workflow over the
+// paper's 8.5 TB parquet archive — range selection, server-side
+// downsampling (reusing the tsagg coarsener) and fleet rollups over the
+// floor topology — behind the HTTP endpoints of cmd/queryd.
+//
+// The engine prunes day partitions with the store's per-day row-range
+// metadata, scans surviving partitions in parallel, and keeps decoded
+// tables in a size-bounded sharded LRU so repeated queries skip the
+// gzip+delta decode (the measured hot path).
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/store"
+	"repro/internal/topology"
+	"repro/internal/tsagg"
+)
+
+// Sentinel errors; the HTTP layer maps them to status codes.
+var (
+	// ErrNotFound marks an unknown dataset or column.
+	ErrNotFound = errors.New("not found")
+	// ErrBadRequest marks an invalid query shape.
+	ErrBadRequest = errors.New("bad request")
+	// ErrTooLarge marks a result exceeding the configured point budget.
+	ErrTooLarge = errors.New("result too large")
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// Dir is the archive directory (as written by summitsim / store).
+	Dir string
+	// Nodes is the floor size the archive was produced with; required for
+	// topology rollups (0 disables them).
+	Nodes int
+	// Workers bounds the parallel partition scan (<= 0: GOMAXPROCS).
+	Workers int
+	// CacheBytes bounds the decoded-table cache (<= 0: 256 MiB).
+	CacheBytes int64
+	// TimeColumns are candidate time-axis column names in priority order
+	// (nil: "timestamp", then "begin_time").
+	TimeColumns []string
+}
+
+// Engine serves range, downsample and rollup queries over every dataset of
+// one archive directory. Safe for concurrent use.
+type Engine struct {
+	cfg      Config
+	floor    *topology.Floor
+	cache    *tableCache
+	met      *Metrics
+	datasets map[string]*datasetState // immutable after Open
+}
+
+type datasetState struct {
+	ds   *store.Dataset
+	days []int
+
+	once    sync.Once // guards meta load
+	metaErr error
+	meta    map[int]store.DayMeta
+}
+
+// dayFileRE matches canonical partition filenames: <dataset>-day<NNNNN>.spwr.
+var dayFileRE = regexp.MustCompile(`^(.+)-day\d{5,}\.spwr$`)
+
+// Open scans dir for datasets and returns an engine over them.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 256 << 20
+	}
+	if cfg.TimeColumns == nil {
+		cfg.TimeColumns = []string{"timestamp", "begin_time"}
+	}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("query: open archive: %w", err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if m := dayFileRE.FindStringSubmatch(e.Name()); m != nil {
+			names[m[1]] = true
+		}
+	}
+	e := &Engine{
+		cfg:      cfg,
+		cache:    newTableCache(cfg.CacheBytes),
+		met:      &Metrics{},
+		datasets: make(map[string]*datasetState, len(names)),
+	}
+	if cfg.Nodes > 0 {
+		e.floor, err = topology.New(topology.ScaledConfig(cfg.Nodes))
+		if err != nil {
+			return nil, fmt.Errorf("query: floor: %w", err)
+		}
+	}
+	for name := range names {
+		ds, err := store.NewDataset(cfg.Dir, name)
+		if err != nil {
+			return nil, err
+		}
+		days, err := ds.Days()
+		if err != nil {
+			return nil, err
+		}
+		e.datasets[name] = &datasetState{ds: ds, days: days}
+	}
+	return e, nil
+}
+
+// Metrics returns the engine's instrumentation counters.
+func (e *Engine) Metrics() *Metrics { return e.met }
+
+// CacheStats returns the resident entry count and byte total of the decoded
+// table cache.
+func (e *Engine) CacheStats() (entries int, bytes int64) { return e.cache.Stats() }
+
+// CacheBytesMax returns the configured cache budget.
+func (e *Engine) CacheBytesMax() int64 { return e.cfg.CacheBytes }
+
+// FlushCache drops every cached table (benchmarks use this to measure the
+// cold path).
+func (e *Engine) FlushCache() { e.cache.Flush() }
+
+// state resolves a dataset by name.
+func (e *Engine) state(name string) (*datasetState, error) {
+	st, ok := e.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("query: dataset %q: %w", name, ErrNotFound)
+	}
+	return st, nil
+}
+
+// metas lazily loads the per-day row-range metadata of a dataset, in
+// parallel over its partitions. Loaded once; partitions are immutable.
+func (e *Engine) metas(st *datasetState) (map[int]store.DayMeta, error) {
+	st.once.Do(func() {
+		metas, err := parallel.MapErr(len(st.days), e.cfg.Workers,
+			func(i int) (store.DayMeta, error) {
+				return st.ds.DayMeta(st.days[i], e.cfg.TimeColumns...)
+			})
+		if err != nil {
+			st.metaErr = err
+			return
+		}
+		st.meta = make(map[int]store.DayMeta, len(metas))
+		for _, m := range metas {
+			st.meta[m.Day] = m
+		}
+	})
+	return st.meta, st.metaErr
+}
+
+// pruneDays returns the days whose time span intersects [t0, t1). Days
+// without a time column are always kept (they cannot be pruned).
+func pruneDays(days []int, meta map[int]store.DayMeta, t0, t1 int64) (keep []int, pruned int) {
+	for _, day := range days {
+		m := meta[day]
+		if m.HasTime && (m.MaxTime < t0 || m.MinTime >= t1) {
+			pruned++
+			continue
+		}
+		keep = append(keep, day)
+	}
+	return keep, pruned
+}
+
+// table loads one decoded day partition through the cache. The boolean
+// reports a cache hit.
+func (e *Engine) table(st *datasetState, day int) (*store.Table, bool, error) {
+	key := st.ds.Name + "|" + strconv.Itoa(day)
+	if tab, ok := e.cache.Get(key); ok {
+		e.met.CacheHits.Add(1)
+		return tab, true, nil
+	}
+	tab, err := st.ds.ReadDay(day)
+	if err != nil {
+		return nil, false, err
+	}
+	e.met.CacheMisses.Add(1)
+	e.met.BytesDecoded.Add(tableBytes(tab))
+	if n := e.cache.Put(key, tab); n > 0 {
+		e.met.CacheEvictions.Add(int64(n))
+	}
+	return tab, false, nil
+}
+
+// RangeRequest selects one column of one dataset over [T0, T1).
+type RangeRequest struct {
+	Dataset string
+	Column  string
+	// Node filters rows by the "node" column; < 0 selects every node.
+	Node int64
+	// T0/T1 bound the half-open time range.
+	T0, T1 int64
+	// Step > 0 downsamples server-side into Step-second windows
+	// (count/min/max/mean/std via the tsagg coarsener); 0 returns raw
+	// points.
+	Step int64
+}
+
+// Point is one raw observation of a range query.
+type Point struct {
+	T int64
+	V float64
+}
+
+// QueryStats reports what one query cost.
+type QueryStats struct {
+	DaysTotal   int
+	DaysScanned int
+	DaysPruned  int
+	RowsScanned int64
+	CacheHits   int64
+	CacheMisses int64
+	Elapsed     time.Duration
+}
+
+// RangeResult is a range query's answer: Points when Step == 0, Windows
+// when Step > 0.
+type RangeResult struct {
+	Dataset string
+	Column  string
+	Node    int64
+	T0, T1  int64
+	Step    int64
+	Points  []Point
+	Windows []tsagg.WindowStat
+	Stats   QueryStats
+}
+
+// dayScan is the per-chunk result of a parallel partition scan.
+type dayScan struct {
+	samples []tsagg.Sample
+	rows    int64
+	hits    int64
+	misses  int64
+	err     error
+}
+
+// Range executes a range query: prune partitions by day metadata, scan the
+// survivors in parallel, optionally coarsen.
+func (e *Engine) Range(ctx context.Context, req RangeRequest) (*RangeResult, error) {
+	start := time.Now()
+	e.met.RangeQueries.Add(1)
+	res, err := e.rangeLocked(ctx, req)
+	e.met.ScanLatency.Observe(time.Since(start))
+	if err != nil {
+		e.met.Errors.Add(1)
+		return nil, err
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func (e *Engine) rangeLocked(ctx context.Context, req RangeRequest) (*RangeResult, error) {
+	if err := validateRange(req.T0, req.T1, req.Step); err != nil {
+		return nil, err
+	}
+	if req.Column == "" {
+		return nil, fmt.Errorf("query: missing column: %w", ErrBadRequest)
+	}
+	st, err := e.state(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := e.metas(st)
+	if err != nil {
+		return nil, err
+	}
+	res := &RangeResult{
+		Dataset: req.Dataset, Column: req.Column, Node: req.Node,
+		T0: req.T0, T1: req.T1, Step: req.Step,
+	}
+	res.Stats.DaysTotal = len(st.days)
+	scanDays, pruned := pruneDays(st.days, meta, req.T0, req.T1)
+	res.Stats.DaysPruned = pruned
+	res.Stats.DaysScanned = len(scanDays)
+	e.met.DaysPruned.Add(int64(pruned))
+	e.met.DaysScanned.Add(int64(len(scanDays)))
+
+	scans := parallel.ProcessChunks(len(scanDays), e.cfg.Workers, func(c parallel.Chunk) dayScan {
+		var out dayScan
+		for _, day := range scanDays[c.Start:c.End] {
+			if err := ctx.Err(); err != nil {
+				out.err = err
+				return out
+			}
+			tab, hit, err := e.table(st, day)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			if hit {
+				out.hits++
+			} else {
+				out.misses++
+			}
+			if err := scanRange(tab, meta[day], req, &out); err != nil {
+				out.err = err
+				return out
+			}
+		}
+		return out
+	})
+	var samples []tsagg.Sample
+	for _, s := range scans {
+		if s.err != nil {
+			return nil, s.err
+		}
+		res.Stats.RowsScanned += s.rows
+		res.Stats.CacheHits += s.hits
+		res.Stats.CacheMisses += s.misses
+		samples = append(samples, s.samples...)
+	}
+	e.met.RowsScanned.Add(res.Stats.RowsScanned)
+	if req.Step > 0 {
+		res.Windows = tsagg.Coarsen(samples, req.Step)
+	} else {
+		res.Points = make([]Point, len(samples))
+		for i, s := range samples {
+			res.Points[i] = Point{T: s.T, V: s.V}
+		}
+	}
+	return res, nil
+}
+
+// scanRange extracts matching (t, v) samples of one decoded partition.
+func scanRange(tab *store.Table, meta store.DayMeta, req RangeRequest, out *dayScan) error {
+	times, err := timeColumn(tab, meta)
+	if err != nil {
+		return err
+	}
+	val := tab.Col(req.Column)
+	if val == nil {
+		return fmt.Errorf("query: dataset %q has no column %q: %w",
+			req.Dataset, req.Column, ErrNotFound)
+	}
+	var nodes []int64
+	if req.Node >= 0 {
+		nodeCol := tab.Col("node")
+		if nodeCol == nil || !nodeCol.IsInt() {
+			return fmt.Errorf("query: dataset %q has no node column; node filter unsupported: %w",
+				req.Dataset, ErrBadRequest)
+		}
+		nodes = nodeCol.Ints
+	}
+	for i, t := range times {
+		if t < req.T0 || t >= req.T1 {
+			continue
+		}
+		if nodes != nil && nodes[i] != req.Node {
+			continue
+		}
+		out.samples = append(out.samples, tsagg.Sample{T: t, V: colValue(val, i)})
+	}
+	out.rows += int64(len(times))
+	return nil
+}
+
+// timeColumn resolves the time axis of a decoded partition via its metadata.
+func timeColumn(tab *store.Table, meta store.DayMeta) ([]int64, error) {
+	if meta.TimeColumn == "" {
+		return nil, fmt.Errorf("query: partition day %d has no time column: %w",
+			meta.Day, ErrBadRequest)
+	}
+	c := tab.Col(meta.TimeColumn)
+	if c == nil || !c.IsInt() {
+		return nil, fmt.Errorf("query: partition day %d lost time column %q",
+			meta.Day, meta.TimeColumn)
+	}
+	return c.Ints, nil
+}
+
+// colValue reads row i of a column as float64 (ints are widened).
+func colValue(c *store.Column, i int) float64 {
+	if c.IsInt() {
+		return float64(c.Ints[i])
+	}
+	return c.Floats[i]
+}
+
+func validateRange(t0, t1, step int64) error {
+	if t1 <= t0 {
+		return fmt.Errorf("query: empty time range [%d, %d): %w", t0, t1, ErrBadRequest)
+	}
+	if step < 0 {
+		return fmt.Errorf("query: negative step %d: %w", step, ErrBadRequest)
+	}
+	return nil
+}
+
+// DatasetInfo summarizes one archived dataset for /api/v1/datasets.
+type DatasetInfo struct {
+	Name    string
+	Days    int
+	Rows    int64
+	HasTime bool
+	MinTime int64
+	MaxTime int64
+	Columns []string
+}
+
+// Datasets lists every dataset with its shape and covered time span,
+// sorted by name.
+func (e *Engine) Datasets() ([]DatasetInfo, error) {
+	e.met.DatasetQueries.Add(1)
+	out := make([]DatasetInfo, 0, len(e.datasets))
+	for name, st := range e.datasets {
+		meta, err := e.metas(st)
+		if err != nil {
+			e.met.Errors.Add(1)
+			return nil, err
+		}
+		info := DatasetInfo{Name: name, Days: len(st.days)}
+		colSeen := map[string]bool{}
+		for _, day := range st.days {
+			m := meta[day]
+			info.Rows += int64(m.Rows)
+			for _, c := range m.Columns {
+				if !colSeen[c.Name] {
+					colSeen[c.Name] = true
+					info.Columns = append(info.Columns, c.Name)
+				}
+			}
+			if m.HasTime {
+				if !info.HasTime || m.MinTime < info.MinTime {
+					info.MinTime = m.MinTime
+				}
+				if !info.HasTime || m.MaxTime > info.MaxTime {
+					info.MaxTime = m.MaxTime
+				}
+				info.HasTime = true
+			}
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

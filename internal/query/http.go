@@ -1,0 +1,411 @@
+package query
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/tsagg"
+)
+
+// ServerConfig bounds the HTTP serving layer.
+type ServerConfig struct {
+	// Timeout is the per-request deadline (<= 0: 30 s).
+	Timeout time.Duration
+	// MaxConcurrent bounds in-flight queries; excess requests are shed
+	// with 503 (<= 0: 32).
+	MaxConcurrent int
+	// MaxPoints bounds the points/windows one response may carry
+	// (<= 0: 200000). Oversized raw queries get 413 with a hint to set a
+	// coarser step.
+	MaxPoints int
+	// MaxQueryLen bounds the raw query string (<= 0: 8192).
+	MaxQueryLen int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 32
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = 200_000
+	}
+	if c.MaxQueryLen <= 0 {
+		c.MaxQueryLen = 8192
+	}
+	return c
+}
+
+// handler serves the queryd JSON API over an Engine.
+type handler struct {
+	eng *Engine
+	cfg ServerConfig
+	sem chan struct{}
+}
+
+// NewHandler returns the queryd HTTP API:
+//
+//	GET /api/v1/range    — range/downsample query over one dataset column
+//	GET /api/v1/rollup   — per-cabinet / per-MSB / fleet aggregation
+//	GET /api/v1/datasets — archive inventory
+//	GET /healthz         — liveness
+//	GET /debug/vars      — instrumentation counters
+//
+// Every API route runs under the concurrency limiter, a per-request
+// timeout, and the request-size limits of cfg.
+func NewHandler(eng *Engine, cfg ServerConfig) http.Handler {
+	h := &handler{eng: eng, cfg: cfg.withDefaults()}
+	h.sem = make(chan struct{}, h.cfg.MaxConcurrent)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/vars", h.vars)
+	mux.HandleFunc("/api/v1/datasets", h.guard(h.datasets))
+	mux.HandleFunc("/api/v1/range", h.guard(h.rangeQuery))
+	mux.HandleFunc("/api/v1/rollup", h.guard(h.rollup))
+	return mux
+}
+
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// guard wraps an API route with method/size checks, load shedding and the
+// per-request timeout.
+func (h *handler) guard(fn func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		if len(r.URL.RawQuery) > h.cfg.MaxQueryLen {
+			writeError(w, http.StatusRequestURITooLong,
+				fmt.Sprintf("query string over %d bytes", h.cfg.MaxQueryLen))
+			return
+		}
+		select {
+		case h.sem <- struct{}{}:
+			defer func() { <-h.sem }()
+		default:
+			h.eng.Metrics().Rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "query concurrency limit reached")
+			return
+		}
+		h.eng.Metrics().InFlight.Add(1)
+		defer h.eng.Metrics().InFlight.Add(-1)
+		ctx, cancel := context.WithTimeout(r.Context(), h.cfg.Timeout)
+		defer cancel()
+		resp, err := fn(ctx, r)
+		if err != nil {
+			status, msg := errStatus(err)
+			writeError(w, status, msg)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// errStatus maps engine and handler errors to HTTP status codes.
+func errStatus(err error) (int, string) {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status, ae.msg
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, err.Error()
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, err.Error()
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "query deadline exceeded"
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+func (h *handler) vars(w http.ResponseWriter, r *http.Request) {
+	snap := h.eng.Metrics().Snapshot()
+	entries, bytes := h.eng.CacheStats()
+	cache := snap["cache"].(map[string]int64)
+	cache["entries"] = int64(entries)
+	cache["bytes"] = bytes
+	cache["max_bytes"] = h.eng.CacheBytesMax()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// --- /api/v1/datasets ---
+
+type apiDataset struct {
+	Name    string   `json:"name"`
+	Days    int      `json:"days"`
+	Rows    int64    `json:"rows"`
+	MinTime *int64   `json:"min_time"`
+	MaxTime *int64   `json:"max_time"`
+	Columns []string `json:"columns"`
+}
+
+func (h *handler) datasets(ctx context.Context, r *http.Request) (any, error) {
+	infos, err := h.eng.Datasets()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]apiDataset, len(infos))
+	for i, info := range infos {
+		out[i] = apiDataset{
+			Name: info.Name, Days: info.Days, Rows: info.Rows, Columns: info.Columns,
+		}
+		if info.HasTime {
+			minT, maxT := info.MinTime, info.MaxTime
+			out[i].MinTime, out[i].MaxTime = &minT, &maxT
+		}
+	}
+	return map[string]any{"datasets": out}, nil
+}
+
+// --- /api/v1/range ---
+
+// jfloat marshals NaN/Inf (legal in the archive, illegal in JSON) as null.
+type jfloat float64
+
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+type apiPoint struct {
+	T int64  `json:"t"`
+	V jfloat `json:"v"`
+}
+
+type apiWindow struct {
+	T     int64  `json:"t"`
+	Count int64  `json:"count"`
+	Min   jfloat `json:"min"`
+	Max   jfloat `json:"max"`
+	Mean  jfloat `json:"mean"`
+	Std   jfloat `json:"std,omitempty"`
+	Sum   jfloat `json:"sum,omitempty"`
+}
+
+type apiStats struct {
+	DaysTotal   int   `json:"days_total"`
+	DaysScanned int   `json:"days_scanned"`
+	DaysPruned  int   `json:"days_pruned"`
+	RowsScanned int64 `json:"rows_scanned"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	ElapsedUS   int64 `json:"elapsed_us"`
+}
+
+func toAPIStats(s QueryStats) apiStats {
+	return apiStats{
+		DaysTotal: s.DaysTotal, DaysScanned: s.DaysScanned, DaysPruned: s.DaysPruned,
+		RowsScanned: s.RowsScanned, CacheHits: s.CacheHits, CacheMisses: s.CacheMisses,
+		ElapsedUS: s.Elapsed.Microseconds(),
+	}
+}
+
+type apiRange struct {
+	Dataset string      `json:"dataset"`
+	Column  string      `json:"column"`
+	Node    *int64      `json:"node,omitempty"`
+	T0      int64       `json:"t0"`
+	T1      int64       `json:"t1"`
+	Step    int64       `json:"step"`
+	Points  []apiPoint  `json:"points,omitempty"`
+	Windows []apiWindow `json:"windows,omitempty"`
+	Stats   apiStats    `json:"stats"`
+}
+
+func (h *handler) rangeQuery(ctx context.Context, r *http.Request) (any, error) {
+	q := r.URL.Query()
+	req := RangeRequest{
+		Dataset: q.Get("dataset"),
+		Column:  q.Get("column"),
+	}
+	var err error
+	if req.Node, err = qInt(q.Get("node"), -1); err != nil {
+		return nil, err
+	}
+	if req.T0, err = qInt(q.Get("t0"), 0); err != nil {
+		return nil, err
+	}
+	if req.T1, err = qInt(q.Get("t1"), math.MaxInt64); err != nil {
+		return nil, err
+	}
+	if req.Step, err = qInt(q.Get("step"), 0); err != nil {
+		return nil, err
+	}
+	if req.Step > 0 {
+		if err := h.checkWindowBudget(req.T0, req.T1, req.Step); err != nil {
+			return nil, err
+		}
+	}
+	res, err := h.eng.Range(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Points) > h.cfg.MaxPoints {
+		return nil, fmt.Errorf("query: %d raw points over the %d budget; pass a coarser step: %w",
+			len(res.Points), h.cfg.MaxPoints, ErrTooLarge)
+	}
+	out := &apiRange{
+		Dataset: res.Dataset, Column: res.Column,
+		T0: res.T0, T1: res.T1, Step: res.Step,
+		Stats: toAPIStats(res.Stats),
+	}
+	if res.Node >= 0 {
+		n := res.Node
+		out.Node = &n
+	}
+	if res.Step > 0 {
+		out.Windows = toAPIWindows(res.Windows)
+	} else {
+		out.Points = make([]apiPoint, len(res.Points))
+		for i, p := range res.Points {
+			out.Points[i] = apiPoint{T: p.T, V: jfloat(p.V)}
+		}
+	}
+	return out, nil
+}
+
+func toAPIWindows(ws []tsagg.WindowStat) []apiWindow {
+	out := make([]apiWindow, len(ws))
+	for i, w := range ws {
+		out[i] = apiWindow{
+			T: w.T, Count: w.Count,
+			Min: jfloat(w.Min), Max: jfloat(w.Max),
+			Mean: jfloat(w.Mean), Std: jfloat(w.Std),
+		}
+	}
+	return out
+}
+
+// checkWindowBudget rejects a windowed query whose span/step implies more
+// windows than the point budget before any partition is touched.
+func (h *handler) checkWindowBudget(t0, t1, step int64) error {
+	if t1 <= t0 || step <= 0 {
+		return nil // validated downstream
+	}
+	if windows := (t1 - t0 + step - 1) / step; windows > int64(h.cfg.MaxPoints) {
+		return fmt.Errorf("query: span/step implies %d windows, budget is %d: %w",
+			windows, h.cfg.MaxPoints, ErrTooLarge)
+	}
+	return nil
+}
+
+// --- /api/v1/rollup ---
+
+type apiGroupSeries struct {
+	Group   int         `json:"group"`
+	Label   string      `json:"label"`
+	Windows []apiWindow `json:"windows"`
+}
+
+type apiRollup struct {
+	Dataset string           `json:"dataset"`
+	Column  string           `json:"column"`
+	Group   string           `json:"group"`
+	T0      int64            `json:"t0"`
+	T1      int64            `json:"t1"`
+	Step    int64            `json:"step"`
+	Series  []apiGroupSeries `json:"series"`
+	Stats   apiStats         `json:"stats"`
+}
+
+func (h *handler) rollup(ctx context.Context, r *http.Request) (any, error) {
+	q := r.URL.Query()
+	req := RollupRequest{
+		Dataset: q.Get("dataset"),
+		Column:  q.Get("column"),
+		Group:   GroupBy(q.Get("group")),
+	}
+	if req.Group == "" {
+		req.Group = GroupCabinet
+	}
+	var err error
+	if req.T0, err = qInt(q.Get("t0"), 0); err != nil {
+		return nil, err
+	}
+	if req.T1, err = qInt(q.Get("t1"), math.MaxInt64); err != nil {
+		return nil, err
+	}
+	if req.Step, err = qInt(q.Get("step"), 600); err != nil {
+		return nil, err
+	}
+	if err := h.checkWindowBudget(req.T0, req.T1, req.Step); err != nil {
+		return nil, err
+	}
+	res, err := h.eng.Rollup(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	out := &apiRollup{
+		Dataset: res.Dataset, Column: res.Column, Group: string(res.Group),
+		T0: res.T0, T1: res.T1, Step: res.Step,
+		Series: make([]apiGroupSeries, len(res.Series)),
+		Stats:  toAPIStats(res.Stats),
+	}
+	total := 0
+	for i, gs := range res.Series {
+		ws := make([]apiWindow, len(gs.Windows))
+		for j, w := range gs.Windows {
+			ws[j] = apiWindow{
+				T: w.T, Count: w.Count,
+				Min: jfloat(w.Min), Max: jfloat(w.Max),
+				Mean: jfloat(w.Mean), Sum: jfloat(w.Sum),
+			}
+		}
+		total += len(ws)
+		out.Series[i] = apiGroupSeries{Group: gs.Group, Label: gs.Label, Windows: ws}
+	}
+	if total > h.cfg.MaxPoints {
+		return nil, fmt.Errorf("query: %d rollup windows over the %d budget; pass a coarser step: %w",
+			total, h.cfg.MaxPoints, ErrTooLarge)
+	}
+	return out, nil
+}
+
+// --- helpers ---
+
+// qInt parses an optional integer query parameter.
+func qInt(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, &apiError{http.StatusBadRequest, fmt.Sprintf("bad integer %q", s)}
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,132 @@
+package query
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the engine's instrumentation surface: monotonic counters plus a
+// scan-latency histogram, all lock-free so the serving path never blocks on
+// bookkeeping. Snapshot renders them as a JSON-friendly map for the
+// /debug/vars endpoint.
+type Metrics struct {
+	RangeQueries   atomic.Int64
+	RollupQueries  atomic.Int64
+	DatasetQueries atomic.Int64
+	Errors         atomic.Int64
+	Rejected       atomic.Int64 // shed by the concurrency limiter
+	InFlight       atomic.Int64
+
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
+
+	BytesDecoded atomic.Int64 // decoded (in-memory) bytes of cache misses
+	RowsScanned  atomic.Int64
+	DaysScanned  atomic.Int64
+	DaysPruned   atomic.Int64
+
+	ScanLatency LatencyHistogram
+}
+
+// Snapshot returns a point-in-time view of every counter, grouped the way
+// /debug/vars serves them.
+func (m *Metrics) Snapshot() map[string]any {
+	return map[string]any{
+		"queries": map[string]int64{
+			"range":    m.RangeQueries.Load(),
+			"rollup":   m.RollupQueries.Load(),
+			"datasets": m.DatasetQueries.Load(),
+			"errors":   m.Errors.Load(),
+			"rejected": m.Rejected.Load(),
+			"inflight": m.InFlight.Load(),
+		},
+		"cache": map[string]int64{
+			"hits":      m.CacheHits.Load(),
+			"misses":    m.CacheMisses.Load(),
+			"evictions": m.CacheEvictions.Load(),
+		},
+		"scan": map[string]int64{
+			"bytes_decoded": m.BytesDecoded.Load(),
+			"rows_scanned":  m.RowsScanned.Load(),
+			"days_scanned":  m.DaysScanned.Load(),
+			"days_pruned":   m.DaysPruned.Load(),
+		},
+		"latency_us": m.ScanLatency.Snapshot(),
+	}
+}
+
+// latencyBuckets is the histogram resolution: bucket i counts observations
+// below 2^i microseconds, the last bucket catches everything slower
+// (2^25 us ~ 33 s, beyond any per-request timeout).
+const latencyBuckets = 26
+
+// LatencyHistogram is a lock-free log2-bucketed latency histogram.
+type LatencyHistogram struct {
+	buckets [latencyBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	maxUS   atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := 0
+	for v := us; v > 0 && i < latencyBuckets-1; v >>= 1 {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) in
+// microseconds: the upper edge of the bucket the quantile falls in.
+func (h *LatencyHistogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < latencyBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == latencyBuckets-1 {
+				return h.maxUS.Load()
+			}
+			return 1 << i
+		}
+	}
+	return h.maxUS.Load()
+}
+
+// Snapshot summarizes the histogram.
+func (h *LatencyHistogram) Snapshot() map[string]int64 {
+	count := h.count.Load()
+	mean := int64(0)
+	if count > 0 {
+		mean = h.sumUS.Load() / count
+	}
+	return map[string]int64{
+		"count": count,
+		"mean":  mean,
+		"p50":   h.Quantile(0.50),
+		"p90":   h.Quantile(0.90),
+		"p99":   h.Quantile(0.99),
+		"max":   h.maxUS.Load(),
+	}
+}

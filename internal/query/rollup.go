@@ -1,0 +1,274 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/topology"
+)
+
+// GroupBy selects the fleet grouping of a rollup.
+type GroupBy string
+
+// Groupings.
+const (
+	GroupCabinet GroupBy = "cabinet" // one series per cabinet
+	GroupMSB     GroupBy = "msb"     // one series per main switchboard
+	GroupFleet   GroupBy = "fleet"   // one series over every node
+)
+
+// RollupRequest aggregates one per-node column across the floor topology:
+// every sample of every node in a group, bucketed into Step-second windows.
+type RollupRequest struct {
+	Dataset string
+	Column  string
+	Group   GroupBy
+	T0, T1  int64
+	Step    int64 // window size in seconds; must be > 0
+}
+
+// RollupWindow is one aggregated window of one group: the summary of every
+// (node, sample) observation that fell into it.
+type RollupWindow struct {
+	T     int64
+	Count int64
+	Min   float64
+	Max   float64
+	Mean  float64
+	Sum   float64
+}
+
+// GroupSeries is the rollup of one group.
+type GroupSeries struct {
+	Group   int // cabinet index, MSB index, or 0 for fleet
+	Label   string
+	Windows []RollupWindow
+}
+
+// RollupResult is a rollup query's answer, one series per non-empty group.
+type RollupResult struct {
+	Dataset string
+	Column  string
+	Group   GroupBy
+	T0, T1  int64
+	Step    int64
+	Series  []GroupSeries
+	Stats   QueryStats
+}
+
+// rollupScan accumulates per-group per-window moments for one chunk of days.
+type rollupScan struct {
+	acc    map[groupWindow]*stats.Moments
+	rows   int64
+	hits   int64
+	misses int64
+	err    error
+}
+
+type groupWindow struct {
+	group  int
+	window int64
+}
+
+// Rollup executes a fleet rollup: per-cabinet or per-MSB aggregation of a
+// per-node dataset column over aligned windows. Requires the engine to have
+// been opened with the archive's node count.
+func (e *Engine) Rollup(ctx context.Context, req RollupRequest) (*RollupResult, error) {
+	start := time.Now()
+	e.met.RollupQueries.Add(1)
+	res, err := e.rollup(ctx, req)
+	e.met.ScanLatency.Observe(time.Since(start))
+	if err != nil {
+		e.met.Errors.Add(1)
+		return nil, err
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func (e *Engine) rollup(ctx context.Context, req RollupRequest) (*RollupResult, error) {
+	if err := validateRange(req.T0, req.T1, req.Step); err != nil {
+		return nil, err
+	}
+	if req.Step <= 0 {
+		return nil, fmt.Errorf("query: rollup needs a positive step: %w", ErrBadRequest)
+	}
+	if req.Column == "" {
+		return nil, fmt.Errorf("query: missing column: %w", ErrBadRequest)
+	}
+	switch req.Group {
+	case GroupCabinet, GroupMSB, GroupFleet:
+	default:
+		return nil, fmt.Errorf("query: unknown rollup group %q: %w", req.Group, ErrBadRequest)
+	}
+	if e.floor == nil && req.Group != GroupFleet {
+		return nil, fmt.Errorf("query: %s rollup needs the floor size (engine opened without Nodes): %w",
+			req.Group, ErrBadRequest)
+	}
+	st, err := e.state(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := e.metas(st)
+	if err != nil {
+		return nil, err
+	}
+	res := &RollupResult{
+		Dataset: req.Dataset, Column: req.Column, Group: req.Group,
+		T0: req.T0, T1: req.T1, Step: req.Step,
+	}
+	res.Stats.DaysTotal = len(st.days)
+	scanDays, pruned := pruneDays(st.days, meta, req.T0, req.T1)
+	res.Stats.DaysPruned = pruned
+	res.Stats.DaysScanned = len(scanDays)
+	e.met.DaysPruned.Add(int64(pruned))
+	e.met.DaysScanned.Add(int64(len(scanDays)))
+
+	scans := parallel.ProcessChunks(len(scanDays), e.cfg.Workers, func(c parallel.Chunk) rollupScan {
+		out := rollupScan{acc: map[groupWindow]*stats.Moments{}}
+		for _, day := range scanDays[c.Start:c.End] {
+			if err := ctx.Err(); err != nil {
+				out.err = err
+				return out
+			}
+			tab, hit, err := e.table(st, day)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			if hit {
+				out.hits++
+			} else {
+				out.misses++
+			}
+			if err := e.scanRollup(tab, meta[day], req, &out); err != nil {
+				out.err = err
+				return out
+			}
+		}
+		return out
+	})
+	// Merge chunk accumulators; day-boundary windows may span chunks, so
+	// moments merge (Chan et al.) rather than concatenate.
+	merged := map[groupWindow]*stats.Moments{}
+	for _, s := range scans {
+		if s.err != nil {
+			return nil, s.err
+		}
+		res.Stats.RowsScanned += s.rows
+		res.Stats.CacheHits += s.hits
+		res.Stats.CacheMisses += s.misses
+		for k, m := range s.acc {
+			if dst, ok := merged[k]; ok {
+				dst.Merge(*m)
+			} else {
+				merged[k] = m
+			}
+		}
+	}
+	e.met.RowsScanned.Add(res.Stats.RowsScanned)
+	res.Series = buildSeries(merged, req.Group, e.floor)
+	return res, nil
+}
+
+// scanRollup accumulates one partition's rows into per-group windows.
+func (e *Engine) scanRollup(tab *store.Table, meta store.DayMeta, req RollupRequest, out *rollupScan) error {
+	times, err := timeColumn(tab, meta)
+	if err != nil {
+		return err
+	}
+	val := tab.Col(req.Column)
+	if val == nil {
+		return fmt.Errorf("query: dataset %q has no column %q: %w",
+			req.Dataset, req.Column, ErrNotFound)
+	}
+	nodeCol := tab.Col("node")
+	if nodeCol == nil || !nodeCol.IsInt() {
+		return fmt.Errorf("query: dataset %q has no node column; rollup unsupported: %w",
+			req.Dataset, ErrBadRequest)
+	}
+	nodes := nodeCol.Ints
+	for i, t := range times {
+		if t < req.T0 || t >= req.T1 {
+			continue
+		}
+		g, err := e.groupOf(req.Group, nodes[i])
+		if err != nil {
+			return err
+		}
+		k := groupWindow{group: g, window: t - floorMod(t, req.Step)}
+		m, ok := out.acc[k]
+		if !ok {
+			m = &stats.Moments{}
+			out.acc[k] = m
+		}
+		m.Add(colValue(val, i))
+	}
+	out.rows += int64(len(times))
+	return nil
+}
+
+// groupOf maps a node ID to its rollup group.
+func (e *Engine) groupOf(g GroupBy, node int64) (int, error) {
+	if g == GroupFleet {
+		return 0, nil
+	}
+	if node < 0 || int(node) >= e.floor.Nodes() {
+		return 0, fmt.Errorf("query: node %d outside the %d-node floor (check -nodes): %w",
+			node, e.floor.Nodes(), ErrBadRequest)
+	}
+	id := topology.NodeID(node)
+	if g == GroupCabinet {
+		return e.floor.Cabinet(id), nil
+	}
+	return int(e.floor.MSBOf(id)), nil
+}
+
+// buildSeries renders merged accumulators as sorted per-group series.
+func buildSeries(merged map[groupWindow]*stats.Moments, group GroupBy, floor *topology.Floor) []GroupSeries {
+	byGroup := map[int][]RollupWindow{}
+	for k, m := range merged {
+		byGroup[k.group] = append(byGroup[k.group], RollupWindow{
+			T: k.window, Count: m.N,
+			Min: m.Min, Max: m.Max, Mean: m.Mean(), Sum: m.Sum(),
+		})
+	}
+	groups := make([]int, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	out := make([]GroupSeries, 0, len(groups))
+	for _, g := range groups {
+		ws := byGroup[g]
+		sort.Slice(ws, func(i, j int) bool { return ws[i].T < ws[j].T })
+		out = append(out, GroupSeries{Group: g, Label: groupLabel(group, g, floor), Windows: ws})
+	}
+	return out
+}
+
+func groupLabel(group GroupBy, g int, floor *topology.Floor) string {
+	switch group {
+	case GroupCabinet:
+		return fmt.Sprintf("cab%03d", g)
+	case GroupMSB:
+		return topology.MSB(g).String()
+	default:
+		return "fleet"
+	}
+}
+
+// floorMod is the non-negative remainder, aligning negative timestamps to
+// the window below them (mirrors tsagg's window alignment).
+func floorMod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}

@@ -221,115 +221,11 @@ func WriteCodec(w io.Writer, t *Table, codec Codec) error {
 	return zw.Close()
 }
 
-// Read deserializes a table written by Write.
+// Read deserializes a table written by Write. It is ReadColumns with every
+// column selected; the streaming Reader in reader.go is the single decode
+// path.
 func Read(r io.Reader) (*Table, error) {
-	zr, err := gzip.NewReader(r)
-	if err != nil {
-		return nil, fmt.Errorf("store: gzip: %w", err)
-	}
-	defer zr.Close()
-	br := bufio.NewReader(zr)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("store: header: %w", err)
-	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("store: bad magic %q", head)
-	}
-	ver, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	if ver != version {
-		return nil, fmt.Errorf("store: unsupported version %d", ver)
-	}
-	codecByte, err := br.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	codec := Codec(codecByte)
-	if codec >= numCodecs {
-		return nil, fmt.Errorf("store: unknown codec %d", codec)
-	}
-	nCols, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	nRows, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	const maxCols, maxRows = 1 << 16, 1 << 32
-	if nCols > maxCols || nRows > maxRows {
-		return nil, fmt.Errorf("store: implausible dimensions %d x %d", nCols, nRows)
-	}
-	t := &Table{Cols: make([]Column, nCols)}
-	for i := range t.Cols {
-		nameLen, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		if nameLen > 4096 {
-			return nil, fmt.Errorf("store: column name too long")
-		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, err
-		}
-		kind, err := br.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		col := Column{Name: string(name)}
-		switch kind {
-		case colInt:
-			col.Ints = make([]int64, nRows)
-			if codec.delta() {
-				prev := int64(0)
-				for j := range col.Ints {
-					u, err := binary.ReadUvarint(br)
-					if err != nil {
-						return nil, fmt.Errorf("store: column %q row %d: %w", col.Name, j, err)
-					}
-					prev += unzigzag(u)
-					col.Ints[j] = prev
-				}
-			} else {
-				var raw [8]byte
-				for j := range col.Ints {
-					if _, err := io.ReadFull(br, raw[:]); err != nil {
-						return nil, fmt.Errorf("store: column %q row %d: %w", col.Name, j, err)
-					}
-					col.Ints[j] = int64(binary.LittleEndian.Uint64(raw[:]))
-				}
-			}
-		case colFlt:
-			col.Floats = make([]float64, nRows)
-			if codec.delta() {
-				prev := uint64(0)
-				for j := range col.Floats {
-					u, err := binary.ReadUvarint(br)
-					if err != nil {
-						return nil, fmt.Errorf("store: column %q row %d: %w", col.Name, j, err)
-					}
-					prev ^= u
-					col.Floats[j] = math.Float64frombits(prev)
-				}
-			} else {
-				var raw [8]byte
-				for j := range col.Floats {
-					if _, err := io.ReadFull(br, raw[:]); err != nil {
-						return nil, fmt.Errorf("store: column %q row %d: %w", col.Name, j, err)
-					}
-					col.Floats[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
-				}
-			}
-		default:
-			return nil, fmt.Errorf("store: unknown column kind %d", kind)
-		}
-		t.Cols[i] = col
-	}
-	return t, t.Validate()
+	return ReadColumns(r, nil)
 }
 
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }

@@ -54,17 +54,31 @@ func (d *Dataset) WriteDay(day int, t *Table) error {
 	return os.Rename(tmp, d.dayPath(day))
 }
 
+// partitionErr wraps a decode failure with the partition it came from, so a
+// truncated or corrupt day file is reported by name instead of failing
+// opaquely mid-scan.
+func (d *Dataset) partitionErr(day int, err error) error {
+	return fmt.Errorf("store: dataset %q partition %s: %w",
+		d.Name, filepath.Base(d.dayPath(day)), err)
+}
+
 // ReadDay loads the partition for the given day index.
 func (d *Dataset) ReadDay(day int) (*Table, error) {
 	f, err := os.Open(d.dayPath(day))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: dataset %q day %d: %w", d.Name, day, err)
 	}
 	defer f.Close()
-	return Read(f)
+	t, err := Read(f)
+	if err != nil {
+		return nil, d.partitionErr(day, err)
+	}
+	return t, nil
 }
 
-// Days lists the day indices present, sorted ascending.
+// Days lists the day indices present, sorted ascending. Stray files — other
+// datasets, in-flight .tmp files, directories, or names that do not
+// round-trip through the canonical partition format — are skipped.
 func (d *Dataset) Days() ([]int, error) {
 	entries, err := os.ReadDir(d.Dir)
 	if err != nil {
@@ -74,12 +88,17 @@ func (d *Dataset) Days() ([]int, error) {
 	var days []int
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".spwr") {
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".spwr") {
 			continue
 		}
 		numPart := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".spwr")
 		day, err := strconv.Atoi(numPart)
-		if err != nil {
+		if err != nil || day < 0 {
+			continue
+		}
+		// Require the canonical zero-padded form so ReadDay(day) opens
+		// exactly this file (e.g. "x-day7.spwr" is stray, not day 7).
+		if fmt.Sprintf("%05d", day) != numPart {
 			continue
 		}
 		days = append(days, day)

@@ -1,0 +1,368 @@
+package store
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// ColumnInfo describes one column of a table without its data.
+type ColumnInfo struct {
+	Name string
+	Int  bool // integer-typed (false = float)
+}
+
+// Reader streams a table written by Write one column at a time, letting the
+// caller decode or skip each column. This is the serving-path primitive: a
+// query that touches two of fourteen columns pays the varint walk for all of
+// them (the format is variable-width) but allocates and retains only the two
+// it asked for.
+//
+// Usage: NewReader, then repeat Next -> (Column | Skip) until Next returns
+// io.EOF, then Close.
+type Reader struct {
+	zr    *gzip.Reader
+	br    *bufio.Reader
+	codec Codec
+	nCols int
+	nRows int
+
+	read    int  // columns fully consumed
+	pending bool // Next announced a column not yet consumed
+	cur     ColumnInfo
+}
+
+// NewReader parses the header and positions the reader at the first column.
+func NewReader(r io.Reader) (*Reader, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: gzip: %w", err)
+	}
+	br := bufio.NewReader(zr)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		zr.Close()
+		return nil, fmt.Errorf("store: header: %w", err)
+	}
+	if string(head) != magic {
+		zr.Close()
+		return nil, fmt.Errorf("store: bad magic %q", head)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		zr.Close()
+		return nil, err
+	}
+	if ver != version {
+		zr.Close()
+		return nil, fmt.Errorf("store: unsupported version %d", ver)
+	}
+	codecByte, err := br.ReadByte()
+	if err != nil {
+		zr.Close()
+		return nil, err
+	}
+	codec := Codec(codecByte)
+	if codec >= numCodecs {
+		zr.Close()
+		return nil, fmt.Errorf("store: unknown codec %d", codec)
+	}
+	nCols, err := binary.ReadUvarint(br)
+	if err != nil {
+		zr.Close()
+		return nil, err
+	}
+	nRows, err := binary.ReadUvarint(br)
+	if err != nil {
+		zr.Close()
+		return nil, err
+	}
+	const maxCols, maxRows = 1 << 16, 1 << 32
+	if nCols > maxCols || nRows > maxRows {
+		zr.Close()
+		return nil, fmt.Errorf("store: implausible dimensions %d x %d", nCols, nRows)
+	}
+	return &Reader{zr: zr, br: br, codec: codec, nCols: int(nCols), nRows: int(nRows)}, nil
+}
+
+// NumCols returns the column count declared in the header.
+func (r *Reader) NumCols() int { return r.nCols }
+
+// NumRows returns the row count declared in the header.
+func (r *Reader) NumRows() int { return r.nRows }
+
+// Codec returns the codec the table was written with.
+func (r *Reader) Codec() Codec { return r.codec }
+
+// Next announces the next column's name and type. It returns io.EOF after
+// the last column. The caller must consume the column with Column or Skip
+// before calling Next again.
+func (r *Reader) Next() (ColumnInfo, error) {
+	if r.pending {
+		return ColumnInfo{}, fmt.Errorf("store: column %q not consumed", r.cur.Name)
+	}
+	if r.read >= r.nCols {
+		return ColumnInfo{}, io.EOF
+	}
+	nameLen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return ColumnInfo{}, fmt.Errorf("store: column %d header: %w", r.read, err)
+	}
+	if nameLen > 4096 {
+		return ColumnInfo{}, fmt.Errorf("store: column name too long")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r.br, name); err != nil {
+		return ColumnInfo{}, fmt.Errorf("store: column %d name: %w", r.read, err)
+	}
+	kind, err := r.br.ReadByte()
+	if err != nil {
+		return ColumnInfo{}, fmt.Errorf("store: column %q kind: %w", name, err)
+	}
+	switch kind {
+	case colInt, colFlt:
+	default:
+		return ColumnInfo{}, fmt.Errorf("store: unknown column kind %d", kind)
+	}
+	r.cur = ColumnInfo{Name: string(name), Int: kind == colInt}
+	r.pending = true
+	return r.cur, nil
+}
+
+// Column decodes the values of the column last announced by Next.
+func (r *Reader) Column() (*Column, error) {
+	if !r.pending {
+		return nil, fmt.Errorf("store: Column without Next")
+	}
+	col := Column{Name: r.cur.Name}
+	var err error
+	if r.cur.Int {
+		col.Ints, err = r.decodeInts()
+	} else {
+		col.Floats, err = r.decodeFloats()
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.pending = false
+	r.read++
+	return &col, nil
+}
+
+// Skip discards the values of the column last announced by Next without
+// retaining them.
+func (r *Reader) Skip() error {
+	if !r.pending {
+		return fmt.Errorf("store: Skip without Next")
+	}
+	var err error
+	if r.codec.delta() {
+		// Variable-width: the varints must still be walked.
+		for j := 0; j < r.nRows; j++ {
+			if _, err = binary.ReadUvarint(r.br); err != nil {
+				return fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
+			}
+		}
+	} else {
+		if _, err = r.br.Discard(8 * r.nRows); err != nil {
+			return fmt.Errorf("store: column %q: %w", r.cur.Name, err)
+		}
+	}
+	r.pending = false
+	r.read++
+	return nil
+}
+
+func (r *Reader) decodeInts() ([]int64, error) {
+	out := make([]int64, r.nRows)
+	if r.codec.delta() {
+		prev := int64(0)
+		for j := range out {
+			u, err := binary.ReadUvarint(r.br)
+			if err != nil {
+				return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
+			}
+			prev += unzigzag(u)
+			out[j] = prev
+		}
+		return out, nil
+	}
+	var raw [8]byte
+	for j := range out {
+		if _, err := io.ReadFull(r.br, raw[:]); err != nil {
+			return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
+		}
+		out[j] = int64(binary.LittleEndian.Uint64(raw[:]))
+	}
+	return out, nil
+}
+
+func (r *Reader) decodeFloats() ([]float64, error) {
+	out := make([]float64, r.nRows)
+	if r.codec.delta() {
+		prev := uint64(0)
+		for j := range out {
+			u, err := binary.ReadUvarint(r.br)
+			if err != nil {
+				return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
+			}
+			prev ^= u
+			out[j] = math.Float64frombits(prev)
+		}
+		return out, nil
+	}
+	var raw [8]byte
+	for j := range out {
+		if _, err := io.ReadFull(r.br, raw[:]); err != nil {
+			return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
+		}
+		out[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+	}
+	return out, nil
+}
+
+// Close releases the underlying gzip reader. It does not close the wrapped
+// io.Reader.
+func (r *Reader) Close() error { return r.zr.Close() }
+
+// ReadColumns deserializes only the named columns of a table written by
+// Write (nil selects every column, making it equivalent to Read). Requested
+// names absent from the table are ignored; check the result with Col.
+func ReadColumns(r io.Reader, names []string) (*Table, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer sr.Close()
+	var want map[string]bool
+	if names != nil {
+		want = make(map[string]bool, len(names))
+		for _, n := range names {
+			want[n] = true
+		}
+	}
+	t := &Table{}
+	for {
+		info, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if want != nil && !want[info.Name] {
+			if err := sr.Skip(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		col, err := sr.Column()
+		if err != nil {
+			return nil, err
+		}
+		t.Cols = append(t.Cols, *col)
+	}
+	return t, t.Validate()
+}
+
+// DayMeta is the row-range metadata of one day partition: its shape, column
+// inventory, and the time span covered by its time column. The query tier
+// uses it to prune partitions without decoding them fully.
+type DayMeta struct {
+	Day     int
+	Rows    int
+	Columns []ColumnInfo
+	// TimeColumn is the integer column the span was taken from ("" when
+	// none of the candidates is present; then HasTime is false and the
+	// partition cannot be pruned by time).
+	TimeColumn       string
+	HasTime          bool
+	MinTime, MaxTime int64
+}
+
+// DayMeta scans the partition for the given day and returns its metadata.
+// timeCols lists candidate time-column names in priority order; empty
+// defaults to "timestamp". Only the matched time column is decoded — every
+// other column is skipped, so the scan allocates O(rows) once instead of
+// O(rows x cols).
+func (d *Dataset) DayMeta(day int, timeCols ...string) (DayMeta, error) {
+	if len(timeCols) == 0 {
+		timeCols = []string{"timestamp"}
+	}
+	f, err := os.Open(d.dayPath(day))
+	if err != nil {
+		return DayMeta{}, fmt.Errorf("store: dataset %q day %d: %w", d.Name, day, err)
+	}
+	defer f.Close()
+	meta, err := readDayMeta(f, day, timeCols)
+	if err != nil {
+		return DayMeta{}, d.partitionErr(day, err)
+	}
+	return meta, nil
+}
+
+func readDayMeta(r io.Reader, day int, timeCols []string) (DayMeta, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return DayMeta{}, err
+	}
+	defer sr.Close()
+	isTime := make(map[string]bool, len(timeCols))
+	for _, n := range timeCols {
+		isTime[n] = true
+	}
+	meta := DayMeta{Day: day, Rows: sr.NumRows()}
+	for {
+		info, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return DayMeta{}, err
+		}
+		meta.Columns = append(meta.Columns, info)
+		if !meta.HasTime && info.Int && isTime[info.Name] {
+			col, err := sr.Column()
+			if err != nil {
+				return DayMeta{}, err
+			}
+			meta.TimeColumn = info.Name
+			if len(col.Ints) > 0 {
+				meta.HasTime = true
+				meta.MinTime, meta.MaxTime = col.Ints[0], col.Ints[0]
+				for _, t := range col.Ints[1:] {
+					if t < meta.MinTime {
+						meta.MinTime = t
+					}
+					if t > meta.MaxTime {
+						meta.MaxTime = t
+					}
+				}
+			}
+			continue
+		}
+		if err := sr.Skip(); err != nil {
+			return DayMeta{}, err
+		}
+	}
+	return meta, nil
+}
+
+// ReadDayColumns loads only the named columns of a day partition (nil loads
+// all, like ReadDay).
+func (d *Dataset) ReadDayColumns(day int, names []string) (*Table, error) {
+	f, err := os.Open(d.dayPath(day))
+	if err != nil {
+		return nil, fmt.Errorf("store: dataset %q day %d: %w", d.Name, day, err)
+	}
+	defer f.Close()
+	t, err := ReadColumns(f, names)
+	if err != nil {
+		return nil, d.partitionErr(day, err)
+	}
+	return t, nil
+}

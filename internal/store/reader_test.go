@@ -1,0 +1,282 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func metaTable() *Table {
+	n := 500
+	ts := make([]int64, n)
+	node := make([]int64, n)
+	power := make([]float64, n)
+	temp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = 1000 + int64(i*10)
+		node[i] = int64(i % 4)
+		power[i] = 1500 + 400*math.Sin(float64(i)/25)
+		temp[i] = 40 + 5*math.Sin(float64(i)/40)
+	}
+	return &Table{Cols: []Column{
+		{Name: "timestamp", Ints: ts},
+		{Name: "node", Ints: node},
+		{Name: "input_power.mean", Floats: power},
+		{Name: "gpu0_core_temp.mean", Floats: temp},
+	}}
+}
+
+func TestReaderStreamsColumns(t *testing.T) {
+	tab := metaTable()
+	for codec := Codec(0); codec < numCodecs; codec++ {
+		var buf bytes.Buffer
+		if err := WriteCodec(&buf, tab, codec); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatalf("codec %d: %v", codec, err)
+		}
+		if r.NumCols() != 4 || r.NumRows() != 500 || r.Codec() != codec {
+			t.Fatalf("codec %d header: cols=%d rows=%d codec=%d",
+				codec, r.NumCols(), r.NumRows(), r.Codec())
+		}
+		// Skip timestamp and node, decode power, skip temp.
+		for i := 0; i < 2; i++ {
+			info, err := r.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !info.Int {
+				t.Fatalf("column %d should be int", i)
+			}
+			if err := r.Skip(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		info, err := r.Next()
+		if err != nil || info.Name != "input_power.mean" || info.Int {
+			t.Fatalf("third column = %+v, %v", info, err)
+		}
+		col, err := r.Column()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range col.Floats {
+			if math.Float64bits(v) != math.Float64bits(tab.Cols[2].Floats[j]) {
+				t.Fatalf("codec %d row %d mismatch after skips", codec, j)
+			}
+		}
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Skip(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("want io.EOF after last column, got %v", err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReaderMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, metaTable()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Column(); err == nil {
+		t.Error("Column before Next accepted")
+	}
+	if err := r.Skip(); err == nil {
+		t.Error("Skip before Next accepted")
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("Next with unconsumed column accepted")
+	}
+}
+
+func TestReaderHeaderErrors(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestReadColumnsSubset(t *testing.T) {
+	tab := metaTable()
+	var buf bytes.Buffer
+	if err := Write(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadColumns(bytes.NewReader(buf.Bytes()), []string{"timestamp", "gpu0_core_temp.mean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cols) != 2 {
+		t.Fatalf("got %d columns, want 2", len(got.Cols))
+	}
+	if got.Col("timestamp") == nil || got.Col("gpu0_core_temp.mean") == nil {
+		t.Fatal("requested columns missing")
+	}
+	if got.Col("node") != nil {
+		t.Fatal("unrequested column decoded")
+	}
+	for j, v := range got.Col("gpu0_core_temp.mean").Floats {
+		if v != tab.Cols[3].Floats[j] {
+			t.Fatalf("row %d mismatch", j)
+		}
+	}
+	// Unknown names are ignored, not an error.
+	got, err = ReadColumns(bytes.NewReader(buf.Bytes()), []string{"nope"})
+	if err != nil || len(got.Cols) != 0 {
+		t.Fatalf("unknown-column select: %v cols, err %v", len(got.Cols), err)
+	}
+}
+
+func TestDayMeta(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDataset(dir, "node-power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := metaTable()
+	if err := ds.WriteDay(3, tab); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := ds.DayMeta(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Day != 3 || meta.Rows != 500 {
+		t.Errorf("day/rows = %d/%d", meta.Day, meta.Rows)
+	}
+	if !meta.HasTime || meta.TimeColumn != "timestamp" {
+		t.Errorf("time column = %q (has=%v)", meta.TimeColumn, meta.HasTime)
+	}
+	if meta.MinTime != 1000 || meta.MaxTime != 1000+499*10 {
+		t.Errorf("span = [%d, %d]", meta.MinTime, meta.MaxTime)
+	}
+	if len(meta.Columns) != 4 || meta.Columns[2].Name != "input_power.mean" {
+		t.Errorf("columns = %+v", meta.Columns)
+	}
+}
+
+func TestDayMetaTimeColumnFallback(t *testing.T) {
+	dir := t.TempDir()
+	ds, _ := NewDataset(dir, "jobs")
+	tab := &Table{Cols: []Column{
+		{Name: "begin_time", Ints: []int64{50, 10, 90}},
+		{Name: "energy", Floats: []float64{1, 2, 3}},
+	}}
+	if err := ds.WriteDay(0, tab); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := ds.DayMeta(0, "timestamp", "begin_time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.HasTime || meta.TimeColumn != "begin_time" {
+		t.Fatalf("fallback time column = %q (has=%v)", meta.TimeColumn, meta.HasTime)
+	}
+	// Unsorted times: min/max must be a scan, not first/last.
+	if meta.MinTime != 10 || meta.MaxTime != 90 {
+		t.Errorf("span = [%d, %d], want [10, 90]", meta.MinTime, meta.MaxTime)
+	}
+	// No candidate present at all.
+	meta, err = ds.DayMeta(0, "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.HasTime || meta.TimeColumn != "" {
+		t.Errorf("absent time column reported: %+v", meta)
+	}
+}
+
+func TestReadDayColumns(t *testing.T) {
+	dir := t.TempDir()
+	ds, _ := NewDataset(dir, "x")
+	if err := ds.WriteDay(0, metaTable()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadDayColumns(0, []string{"node"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cols) != 1 || got.Col("node") == nil {
+		t.Fatalf("cols = %d", len(got.Cols))
+	}
+}
+
+func TestDaysSkipsNonCanonicalNames(t *testing.T) {
+	dir := t.TempDir()
+	ds, _ := NewDataset(dir, "x")
+	if err := ds.WriteDay(2, metaTable()); err != nil {
+		t.Fatal(err)
+	}
+	// Stray files that match loosely but are not canonical partitions, an
+	// in-flight temp file, and a directory with a partition-like name.
+	for _, name := range []string{"x-day7.spwr", "x-day-0001.spwr", "x-day00003.spwr.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "x-day00009.spwr"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	days, err := ds.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 1 || days[0] != 2 {
+		t.Errorf("days = %v, want [2]", days)
+	}
+}
+
+func TestReadDayErrorsNamePartition(t *testing.T) {
+	dir := t.TempDir()
+	ds, _ := NewDataset(dir, "cluster-power")
+	// Corrupt partition: valid name, junk content.
+	if err := os.WriteFile(filepath.Join(dir, "cluster-power-day00004.spwr"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ds.ReadDay(4)
+	if err == nil {
+		t.Fatal("corrupt partition read succeeded")
+	}
+	if !strings.Contains(err.Error(), "cluster-power-day00004.spwr") {
+		t.Errorf("error does not name the partition: %v", err)
+	}
+	if _, err := ds.DayMeta(4); err == nil || !strings.Contains(err.Error(), "day00004") {
+		t.Errorf("DayMeta error does not name the partition: %v", err)
+	}
+	// Truncated partition: valid header, cut mid-stream.
+	var buf bytes.Buffer
+	if err := Write(&buf, metaTable()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if err := os.WriteFile(filepath.Join(dir, "cluster-power-day00005.spwr"), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.ReadDay(5); err == nil || !strings.Contains(err.Error(), "day00005") {
+		t.Errorf("truncated partition error = %v", err)
+	}
+	// Missing day names the dataset and day.
+	if _, err := ds.ReadDay(77); err == nil || !strings.Contains(err.Error(), "day 77") {
+		t.Errorf("missing day error = %v", err)
+	}
+}

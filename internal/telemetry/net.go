@@ -10,6 +10,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/topology"
 )
@@ -27,6 +28,12 @@ import (
 const (
 	sampleWire   = 4 + 2 + 8 + 8
 	maxFrameSize = 1 << 20
+
+	// defaultReadTimeout bounds how long a connection may sit idle between
+	// reads before the server drops it. The real aggregators see a sample
+	// batch from every BMC at least once a second; two minutes of silence
+	// means the exporter is gone or wedged.
+	defaultReadTimeout = 2 * time.Minute
 )
 
 // EncodeFrame serializes a batch of samples.
@@ -80,12 +87,14 @@ func DecodeFrame(payload []byte) ([]Sample, error) {
 // Server is the aggregation tier's ingest endpoint: it accepts BMC
 // connections and delivers decoded samples to the sink.
 type Server struct {
-	ln       net.Listener
-	sink     func([]Sample)
-	wg       sync.WaitGroup
-	closed   atomic.Bool
-	received atomic.Int64
-	frames   atomic.Int64
+	ln          net.Listener
+	sink        func([]Sample)
+	wg          sync.WaitGroup
+	closed      atomic.Bool
+	received    atomic.Int64
+	frames      atomic.Int64
+	dropped     atomic.Int64 // connections dropped for violations or stalls
+	readTimeout atomic.Int64 // nanoseconds; 0 disables the deadline
 }
 
 // NewServer starts listening on addr (use "127.0.0.1:0" for tests) and
@@ -100,9 +109,18 @@ func NewServer(addr string, sink func([]Sample)) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{ln: ln, sink: sink}
+	s.readTimeout.Store(int64(defaultReadTimeout))
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// SetReadTimeout replaces the per-connection read deadline (default two
+// minutes). A connection that produces no bytes for this long is dropped so
+// a stalled exporter cannot wedge a serving goroutine forever. d <= 0
+// disables the deadline. Applies to reads started after the call.
+func (s *Server) SetReadTimeout(d time.Duration) {
+	s.readTimeout.Store(int64(d))
 }
 
 // Addr returns the bound listen address.
@@ -113,6 +131,11 @@ func (s *Server) Received() int64 { return s.received.Load() }
 
 // Frames returns the total frames ingested.
 func (s *Server) Frames() int64 { return s.frames.Load() }
+
+// Dropped returns the connections the server terminated for protocol
+// violations (oversized or short frames, undecodable payloads) or read
+// stalls.
+func (s *Server) Dropped() int64 { return s.dropped.Load() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -133,20 +156,44 @@ func (s *Server) acceptLoop() {
 func (s *Server) serve(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var lenBuf [4]byte
-	for {
-		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			return // EOF or broken connection ends the session
+	// arm pushes the read deadline forward before each wire read so a
+	// connection that stops sending mid-frame (or between frames) times out
+	// instead of pinning this goroutine.
+	arm := func() bool {
+		d := time.Duration(s.readTimeout.Load())
+		if d <= 0 {
+			return conn.SetReadDeadline(time.Time{}) == nil
 		}
+		return conn.SetReadDeadline(time.Now().Add(d)) == nil
+	}
+	for {
+		if !arm() {
+			return
+		}
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.dropped.Add(1) // stalled or broken mid-stream
+			}
+			return // EOF is a clean session end
+		}
+		// Bound the frame size BEFORE allocating: a hostile or corrupt
+		// length prefix must not drive a 4 GiB allocation.
 		size := binary.LittleEndian.Uint32(lenBuf[:])
-		if size > maxFrameSize {
+		if size > maxFrameSize || size < 2 {
+			s.dropped.Add(1)
 			return // protocol violation: drop the connection
 		}
 		payload := make([]byte, size)
+		if !arm() {
+			return
+		}
 		if _, err := io.ReadFull(br, payload); err != nil {
+			s.dropped.Add(1) // truncated frame
 			return
 		}
 		samples, err := DecodeFrame(payload)
 		if err != nil {
+			s.dropped.Add(1)
 			return
 		}
 		s.frames.Add(1)

@@ -1,10 +1,13 @@
 package telemetry
 
 import (
+	"encoding/binary"
 	"math"
+	"net"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/topology"
 )
@@ -139,11 +142,14 @@ func TestServerExporterEndToEnd(t *testing.T) {
 		}(e)
 	}
 	wg.Wait()
+	// Delivery is asynchronous: connections the exporters already closed may
+	// still be waiting in the accept backlog, and Close only waits for
+	// accepted connections. Wait for the data before shutting down.
+	waitFor(t, "all samples", func() bool {
+		return srv.Received() == exporters*perExporter
+	})
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
-	}
-	if got := srv.Received(); got != exporters*perExporter {
-		t.Fatalf("server received %d, want %d", got, exporters*perExporter)
 	}
 	mu.Lock()
 	defer mu.Unlock()
@@ -160,6 +166,112 @@ func TestServerExporterEndToEnd(t *testing.T) {
 	}
 	if srv.Frames() == 0 {
 		t.Error("no frames counted")
+	}
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestServerDropsOversizedFramePrefix(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func([]Sample) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A hostile length prefix far over maxFrameSize: the server must drop
+	// the connection without attempting the allocation.
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], 1<<31)
+	if _, err := conn.Write(prefix[:]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "oversized-frame drop", func() bool { return srv.Dropped() == 1 })
+	// A short prefix (below the 2-byte count header) is also a violation.
+	conn2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	binary.LittleEndian.PutUint32(prefix[:], 1)
+	if _, err := conn2.Write(prefix[:]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "short-frame drop", func() bool { return srv.Dropped() == 2 })
+}
+
+func TestServerReadDeadlineDropsStalledExporter(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func([]Sample) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetReadTimeout(50 * time.Millisecond)
+
+	// A connection that writes half a frame and then stalls.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frame, err := EncodeFrame([]Sample{{Node: 1, Metric: MetricInputPower, T: 5, Value: 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame[:6]); err != nil { // prefix + 2 bytes of payload
+		t.Fatal(err)
+	}
+	waitFor(t, "stalled-connection drop", func() bool { return srv.Dropped() == 1 })
+
+	// A healthy exporter on the same server still gets through afterwards.
+	exp, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Push(Sample{Node: 2, Metric: MetricInputPower, T: 9, Value: 2.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "healthy frame after stall", func() bool { return srv.Received() == 1 })
+}
+
+func TestServerDropsUndecodableFrame(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func([]Sample) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Valid prefix, payload whose sample count disagrees with its length.
+	payload := []byte{100, 0, 1, 2, 3, 4}
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(len(payload)))
+	if _, err := conn.Write(append(prefix[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "undecodable-frame drop", func() bool { return srv.Dropped() == 1 })
+	if srv.Frames() != 0 {
+		t.Errorf("bad frame counted as ingested")
 	}
 }
 

@@ -89,6 +89,85 @@ func TestCoarsenNegativeTimes(t *testing.T) {
 	}
 }
 
+func TestModFloorsTowardNegativeInfinity(t *testing.T) {
+	// mod is the window-alignment primitive: it must return a value in
+	// [0, b) for any sign of a, so negative timestamps floor-align instead
+	// of truncating toward zero like Go's % operator.
+	cases := []struct{ a, b, want int64 }{
+		{0, 10, 0},
+		{7, 10, 7},
+		{10, 10, 0},
+		{-1, 10, 9},
+		{-10, 10, 0},
+		{-15, 10, 5},
+		{-1, 86400, 86399},
+		{math.MaxInt64, 3, math.MaxInt64 % 3},
+	}
+	for _, c := range cases {
+		if got := mod(c.a, c.b); got != c.want {
+			t.Errorf("mod(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCoarsenerFlushEmpty(t *testing.T) {
+	// Flush with nothing pending must not emit, and flushing twice after a
+	// sample must emit exactly once.
+	emitted := 0
+	c := NewCoarsener(10, func(WindowStat) { emitted++ })
+	c.Flush()
+	if emitted != 0 {
+		t.Fatalf("empty flush emitted %d windows", emitted)
+	}
+	c.Add(5, 1.0)
+	c.Flush()
+	c.Flush()
+	if emitted != 1 {
+		t.Errorf("flush after one sample emitted %d windows, want 1", emitted)
+	}
+}
+
+func TestCoarsenerOutOfOrderWithinWindow(t *testing.T) {
+	// Reordering WITHIN one window must not split it or change its stats.
+	ordered := Coarsen([]Sample{{T: 100, V: 1}, {T: 103, V: 5}, {T: 107, V: 3}}, 10)
+	shuffled := Coarsen([]Sample{{T: 107, V: 3}, {T: 100, V: 1}, {T: 103, V: 5}}, 10)
+	if len(ordered) != 1 || len(shuffled) != 1 {
+		t.Fatalf("windows = %d ordered, %d shuffled, want 1 each", len(ordered), len(shuffled))
+	}
+	a, b := ordered[0], shuffled[0]
+	if a.T != b.T || a.Count != b.Count || a.Min != b.Min || a.Max != b.Max ||
+		!approx(a.Mean, b.Mean, 1e-12) || !approx(a.Std, b.Std, 1e-12) {
+		t.Errorf("ordered %+v != shuffled %+v", a, b)
+	}
+}
+
+func TestCoarsenMatchesStreamingCoarsener(t *testing.T) {
+	// The batch helper and a hand-driven streaming Coarsener must agree
+	// window for window on the same input.
+	var samples []Sample
+	for i := 0; i < 500; i++ {
+		samples = append(samples, Sample{
+			T: int64(i*7) - 1000, // crosses zero; irregular spacing vs window
+			V: math.Sin(float64(i) / 9),
+		})
+	}
+	batch := Coarsen(samples, 60)
+	var streamed []WindowStat
+	c := NewCoarsener(60, func(w WindowStat) { streamed = append(streamed, w) })
+	for _, s := range samples {
+		c.Add(s.T, s.V)
+	}
+	c.Flush()
+	if len(batch) != len(streamed) {
+		t.Fatalf("batch %d windows, streamed %d", len(batch), len(streamed))
+	}
+	for i := range batch {
+		if batch[i] != streamed[i] {
+			t.Errorf("window %d: batch %+v, streamed %+v", i, batch[i], streamed[i])
+		}
+	}
+}
+
 func TestCoarsenerPanics(t *testing.T) {
 	for _, fn := range []func(){
 		func() { NewCoarsener(0, func(WindowStat) {}) },
