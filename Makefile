@@ -1,8 +1,11 @@
-# Developer entry points. CI runs `make check`.
+# Developer entry points. CI runs `make ci`.
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-query clean
+# Concurrency-heavy packages that get the race detector in CI.
+RACE_PKGS = ./internal/query/... ./internal/source/... ./internal/telemetry/...
+
+.PHONY: all build test vet race check ci bench bench-query clean
 
 all: check
 
@@ -20,6 +23,11 @@ race:
 
 # check is the full gate: compile, vet, unit tests, then the race detector.
 check: build vet test race
+
+# ci mirrors .github/workflows/ci.yml: full vet/build/test plus the race
+# detector on the concurrency-heavy packages only (keeps the gate fast).
+ci: vet build test
+	$(GO) test -race $(RACE_PKGS)
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

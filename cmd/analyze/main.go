@@ -1,95 +1,101 @@
 // Command analyze runs ad-hoc analyses over an archived run produced by
-// summitsim (or `repro -data`): cluster power summary, edge detection,
-// FFT swing characterization, and the failure-log analyses.
+// summitsim (or `repro -data`). Every subcommand consumes the archive
+// through the source.RunSource layer — the same entry points the in-memory
+// pipeline and queryd use — so results match the live data plane exactly.
 //
 // Usage:
 //
-//	analyze -data /path/to/archive [-cmd summary|edges|fft|failures] [-nodes N]
+//	analyze -data /path/to/archive
+//	        [-cmd summary|edges|fft|failures|jobs|bands|earlywarning|validation|overcooling]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"math"
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/dsp"
-	"repro/internal/failures"
 	"repro/internal/render"
+	"repro/internal/source"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyze: ")
 	dataDir := flag.String("data", "", "archive directory (required)")
-	cmd := flag.String("cmd", "summary", "analysis: summary|edges|fft|failures|jobs|bands|earlywarning")
-	nodes := flag.Int("nodes", 256, "system size the archive was produced with (for edge thresholds)")
-	step := flag.Int64("step", 10, "coarsening window of the archive in seconds")
+	cmd := flag.String("cmd", "summary",
+		"analysis: summary|edges|fft|failures|jobs|bands|earlywarning|validation|overcooling")
+	nodes := flag.Int("nodes", 256, "system size fallback for archives without a run manifest")
+	step := flag.Int64("step", 10, "coarsening window fallback for archives without a run manifest")
 	flag.Parse()
 	if *dataDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := dispatch(os.Stdout, *cmd, *dataDir, *step, *nodes); err != nil {
+	src, err := source.OpenArchive(source.ArchiveConfig{
+		Dir:     *dataDir,
+		StepSec: *step,
+		Nodes:   *nodes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dispatch(os.Stdout, *cmd, src); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // dispatch routes a subcommand to its analysis, writing to w.
-func dispatch(w io.Writer, cmd, dataDir string, step int64, nodes int) error {
+func dispatch(w io.Writer, cmd string, src source.RunSource) error {
 	switch cmd {
 	case "summary":
-		return summary(w, dataDir, step)
+		return summary(w, src)
 	case "edges":
-		return edges(w, dataDir, step, nodes)
+		return edges(w, src)
 	case "fft":
-		return fft(w, dataDir, step)
+		return fft(w, src)
 	case "failures":
-		return failureAnalysis(w, dataDir, nodes)
+		return failureAnalysis(w, src)
 	case "jobs":
-		return jobAnalysis(w, dataDir)
+		return jobAnalysis(w, src)
 	case "bands":
-		return bandAnalysis(w, dataDir, step, nodes)
+		return bandAnalysis(w, src)
 	case "earlywarning":
-		return earlyWarningAnalysis(w, dataDir, nodes)
+		return earlyWarningAnalysis(w, src)
+	case "validation":
+		return validationAnalysis(w, src)
+	case "overcooling":
+		return overcoolingAnalysis(w, src)
 	default:
 		return fmt.Errorf("unknown -cmd %q", cmd)
 	}
 }
 
-func summary(w io.Writer, dataDir string, step int64) error {
-	series, err := core.ReadClusterDataset(dataDir, step)
+func summary(w io.Writer, src source.RunSource) error {
+	rows, err := core.SummaryFromSource(src)
 	if err != nil {
 		return err
 	}
 	tab := render.NewTable("series", "windows", "min", "mean", "max", "std")
-	names := []string{"sum_inp", "cpu_power", "gpu_power", "pue", "mtwst", "mtwrt",
-		"tower_tons", "chiller_tons", "gpu_core_temp_mean", "gpu_core_temp_max"}
-	for _, name := range names {
-		s, ok := series[name]
-		if !ok {
-			continue
-		}
-		m := s.Stats()
-		tab.Row(name, m.N, m.Min, m.Mean(), m.Max, m.Std())
+	for _, r := range rows {
+		tab.Row(r.Name, r.N, r.Min, r.Mean, r.Max, r.Std)
 	}
 	_, err = tab.WriteTo(w)
 	return err
 }
 
-func edges(w io.Writer, dataDir string, step int64, nodes int) error {
-	series, err := core.ReadClusterDataset(dataDir, step)
+func edges(w io.Writer, src source.RunSource) error {
+	es, err := core.EdgesFromSource(src)
 	if err != nil {
 		return err
 	}
-	power, ok := series["sum_inp"]
-	if !ok {
-		return fmt.Errorf("archive has no sum_inp series")
+	meta, err := src.Meta()
+	if err != nil {
+		return err
 	}
-	es := core.DetectEdges(power, nodes)
 	tab := render.NewTable("t", "direction", "amplitude (MW)", "duration (s)")
 	for _, e := range es {
 		dir := "rise"
@@ -101,64 +107,36 @@ func edges(w io.Writer, dataDir string, step int64, nodes int) error {
 	if _, err := tab.WriteTo(w); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%d edges at threshold %.2f MW\n", len(es), core.ClusterEdgeThresholdMW(nodes))
+	fmt.Fprintf(w, "%d edges at threshold %.2f MW\n",
+		len(es), core.ClusterEdgeThresholdMW(meta.Nodes))
 	return nil
 }
 
-func fft(w io.Writer, dataDir string, step int64) error {
-	series, err := core.ReadClusterDataset(dataDir, step)
+func fft(w io.Writer, src source.RunSource) error {
+	rep, err := core.SwingsFromSource(src)
 	if err != nil {
 		return err
 	}
-	power, ok := series["sum_inp"]
-	if !ok {
-		return fmt.Errorf("archive has no sum_inp series")
-	}
-	vals := power.Clean()
-	freq, amp, ok := dsp.DominantSwing(vals, 1/float64(step))
-	if !ok {
+	if !rep.HasDominant {
 		return fmt.Errorf("series too short for FFT")
 	}
+	fmt.Fprintf(w, "steepest swings: +%.2f MW / %.2f MW per window\n",
+		rep.MaxRiseW/1e6, rep.MaxFallW/1e6)
 	fmt.Fprintf(w, "dominant swing: %.5f Hz (period %.0f s), amplitude %.2f MW\n",
-		freq, 1/freq, amp/1e6)
-	// Top-5 spectral components of the differenced series.
-	spec, err := dsp.NewSpectrum(dsp.Diff(vals), 1/float64(step))
-	if err != nil {
-		return err
-	}
-	type comp struct{ f, a float64 }
-	best := make([]comp, 0, 5)
-	for i, a := range spec.Amps {
-		best = append(best, comp{spec.Freqs[i], a})
-	}
-	// Partial selection of the 5 largest amplitudes.
-	for i := 0; i < 5 && i < len(best); i++ {
-		maxJ := i
-		for j := i + 1; j < len(best); j++ {
-			if best[j].a > best[maxJ].a {
-				maxJ = j
-			}
-		}
-		best[i], best[maxJ] = best[maxJ], best[i]
-	}
+		rep.DominantFreqHz, 1/rep.DominantFreqHz, rep.DominantAmpW/1e6)
 	tab := render.NewTable("rank", "freq (Hz)", "period (s)", "amplitude (W)")
-	for i := 0; i < 5 && i < len(best); i++ {
-		period := math.Inf(1)
-		if best[i].f > 0 {
-			period = 1 / best[i].f
-		}
-		tab.Row(i+1, best[i].f, period, best[i].a)
+	for i, c := range rep.Top {
+		tab.Row(i+1, c.FreqHz, c.PeriodSec, c.AmplitudeW)
 	}
 	_, err = tab.WriteTo(w)
 	return err
 }
 
-func failureAnalysis(w io.Writer, dataDir string, nodes int) error {
-	evs, err := core.ReadFailureDataset(dataDir)
+func failureAnalysis(w io.Writer, src source.RunSource) error {
+	rows, err := core.FailureCompositionFromSource(src)
 	if err != nil {
 		return err
 	}
-	rows := core.Table4Composition(evs, nodes)
 	tab := render.NewTable("GPU error", "count", "max/node", "max/node %")
 	for _, r := range rows {
 		tab.Row(r.Type.String(), r.Count, r.MaxPerNode,
@@ -167,7 +145,7 @@ func failureAnalysis(w io.Writer, dataDir string, nodes int) error {
 	if _, err := tab.WriteTo(w); err != nil {
 		return err
 	}
-	cells, err := core.Figure13Correlation(evs, nodes, 0.05)
+	cells, err := core.FailureCorrelationFromSource(src, 0.05)
 	if err != nil {
 		return err
 	}
@@ -180,6 +158,10 @@ func failureAnalysis(w io.Writer, dataDir string, nodes int) error {
 		return err
 	}
 	// Thermal context coverage.
+	evs, err := src.Failures()
+	if err != nil {
+		return err
+	}
 	withTemp := 0
 	for _, e := range evs {
 		if e.HasTemp() {
@@ -193,13 +175,13 @@ func failureAnalysis(w io.Writer, dataDir string, nodes int) error {
 	return nil
 }
 
-func jobAnalysis(w io.Writer, dataDir string) error {
-	rows, err := core.ReadJobDataset(dataDir)
+func jobAnalysis(w io.Writer, src source.RunSource) error {
+	rows, err := src.JobRecords()
 	if err != nil {
 		return err
 	}
 	// Top 20 by energy.
-	sortRows := append([]core.JobDatasetRow(nil), rows...)
+	sortRows := append([]source.JobRecord(nil), rows...)
 	for i := 1; i < len(sortRows); i++ {
 		for j := i; j > 0 && sortRows[j].EnergyJ > sortRows[j-1].EnergyJ; j-- {
 			sortRows[j], sortRows[j-1] = sortRows[j-1], sortRows[j]
@@ -221,69 +203,65 @@ func jobAnalysis(w io.Writer, dataDir string) error {
 	return nil
 }
 
-func bandAnalysis(w io.Writer, dataDir string, step int64, nodes int) error {
-	series, err := core.ReadClusterDataset(dataDir, step)
+func bandAnalysis(w io.Writer, src source.RunSource) error {
+	rows, err := core.ThermalBandsFromSource(src)
 	if err != nil {
+		if errors.Is(err, source.ErrUnknownSeries) {
+			return fmt.Errorf("archive has no band columns (re-archive with a current build)")
+		}
 		return err
 	}
 	tab := render.NewTable("band", "mean GPUs", "max GPUs", "mean share")
-	totalGPUs := float64(nodes * 6)
-	found := false
-	for b := 0; b < core.NumTempBands; b++ {
-		s, ok := series[fmt.Sprintf("gpu_band_%d", b)]
-		if !ok {
-			continue
-		}
-		found = true
-		m := s.Stats()
-		share := 0.0
-		if totalGPUs > 0 {
-			share = m.Mean() / totalGPUs
-		}
-		tab.Row(core.TempBandLabel(b), m.Mean(), m.Max, fmt.Sprintf("%.1f%%", share*100))
-	}
-	if !found {
-		return fmt.Errorf("archive has no band columns (re-archive with a current build)")
+	for _, r := range rows {
+		tab.Row(r.Label, r.MeanGPUs, r.MaxGPUs, fmt.Sprintf("%.1f%%", r.MeanShare*100))
 	}
 	_, err = tab.WriteTo(w)
 	return err
 }
 
-func earlyWarningAnalysis(w io.Writer, dataDir string, nodes int) error {
-	evs, err := core.ReadFailureDataset(dataDir)
+func earlyWarningAnalysis(w io.Writer, src source.RunSource) error {
+	stats, err := core.EarlyWarningFromSource(src, 3600)
 	if err != nil {
 		return err
 	}
-	if len(evs) == 0 {
-		return fmt.Errorf("failure log empty")
-	}
-	// Observation span from the log extents; one-hour windows.
-	lo, hi := evs[0].Time, evs[0].Time
-	for _, e := range evs {
-		if e.Time < lo {
-			lo = e.Time
-		}
-		if e.Time > hi {
-			hi = e.Time
-		}
-	}
-	const windowSec = 3600
-	spanSec := hi - lo + windowSec
-	gpuWindows := float64(nodes*6) * float64(spanSec) / windowSec
-	pairs := [][2]failures.Type{
-		{failures.MicrocontrollerWarning, failures.DriverErrorHandling},
-		{failures.DoubleBitError, failures.PageRetirementEvent},
-		{failures.PageRetirementEvent, failures.PageRetirementFailure},
-	}
 	tab := render.NewTable("precursor", "outcome", "precursors", "hit rate", "base rate", "lift", "median lead (s)")
-	for _, pr := range pairs {
-		st, err := core.EarlyWarning(evs, pr[0], pr[1], windowSec, gpuWindows)
-		if err != nil {
-			return err
-		}
+	for _, st := range stats {
 		tab.Row(st.Precursor.String(), st.Outcome.String(), st.Precursors,
 			st.HitRate, st.BaseRate, st.Lift, st.MedianLeadSec)
 	}
 	_, err = tab.WriteTo(w)
 	return err
+}
+
+func validationAnalysis(w io.Writer, src source.RunSource) error {
+	rep, err := core.ValidationFromSource(src)
+	if err != nil {
+		return err
+	}
+	tab := render.NewTable("MSB", "windows", "mean diff (kW)", "std (kW)", "corr", "meter mean (kW)", "sum mean (kW)")
+	for _, m := range rep.PerMSB {
+		tab.Row(m.MSB, m.N, m.MeanDiffW/1e3, m.StdDiffW/1e3, m.Corr,
+			m.MeanMeterW/1e3, m.MeanSumW/1e3)
+	}
+	if _, err := tab.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mean difference %.2f kW, relative error %.2f%%\n",
+		rep.MeanDiffAllW/1e3, rep.RelativeError*100)
+	return nil
+}
+
+func overcoolingAnalysis(w io.Writer, src source.RunSource) error {
+	rep, err := core.OvercoolingFromSource(src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "windows analyzed:   %d\n", rep.Windows)
+	fmt.Fprintf(w, "excess cooling:     %.1f ton-hours (%.1f%% of delivered)\n",
+		rep.ExcessTonHours, rep.ExcessFrac*100)
+	fmt.Fprintf(w, "deficit (transient): %.1f ton-hours\n", rep.DeficitTonHours)
+	fmt.Fprintf(w, "excess energy cost: %.1f kWh\n", rep.ExcessEnergyKWh)
+	fmt.Fprintf(w, "post-fall share:    %.1f%% within 10 min of falling edges\n",
+		rep.PostFallShare*100)
+	return nil
 }

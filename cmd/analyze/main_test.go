@@ -8,6 +8,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/source"
 )
 
 // testArchive builds one archive shared by the analyze subcommand tests.
@@ -32,7 +33,17 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
+func openTestArchive(t *testing.T) source.RunSource {
+	t.Helper()
+	src, err := source.OpenArchive(source.ArchiveConfig{Dir: archiveDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
 func TestDispatchSubcommands(t *testing.T) {
+	src := openTestArchive(t)
 	cases := []struct {
 		cmd  string
 		want string
@@ -44,10 +55,12 @@ func TestDispatchSubcommands(t *testing.T) {
 		{"jobs", "jobs total"},
 		{"bands", "<30°C"},
 		{"earlywarning", "precursor"},
+		{"validation", "relative error"},
+		{"overcooling", "excess cooling"},
 	}
 	for _, c := range cases {
 		var b strings.Builder
-		if err := dispatch(&b, c.cmd, archiveDir, 10, 36); err != nil {
+		if err := dispatch(&b, c.cmd, src); err != nil {
 			t.Errorf("%s: %v", c.cmd, err)
 			continue
 		}
@@ -59,10 +72,10 @@ func TestDispatchSubcommands(t *testing.T) {
 
 func TestDispatchUnknownAndMissing(t *testing.T) {
 	var b strings.Builder
-	if err := dispatch(&b, "nope", archiveDir, 10, 36); err == nil {
+	if err := dispatch(&b, "nope", openTestArchive(t)); err == nil {
 		t.Error("unknown command accepted")
 	}
-	if err := dispatch(&b, "summary", t.TempDir(), 10, 36); err == nil {
+	if _, err := source.OpenArchive(source.ArchiveConfig{Dir: t.TempDir()}); err == nil {
 		t.Error("missing archive accepted")
 	}
 }

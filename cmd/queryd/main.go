@@ -5,11 +5,17 @@
 //
 // Endpoints:
 //
-//	GET /api/v1/datasets — archive inventory (days, rows, time span, columns)
-//	GET /api/v1/range    — range query: ?dataset=&column=[&node=][&t0=][&t1=][&step=]
-//	GET /api/v1/rollup   — fleet rollup: ?dataset=&column=&group=cabinet|msb|fleet[&t0=][&t1=][&step=]
-//	GET /healthz         — liveness
-//	GET /debug/vars      — queries served, cache hit/miss, bytes decoded, latency histogram
+//	GET /api/v1/datasets    — archive inventory (days, rows, time span, columns)
+//	GET /api/v1/range       — range query: ?dataset=&column=[&node=][&t0=][&t1=][&step=]
+//	GET /api/v1/rollup      — fleet rollup: ?dataset=&column=&group=cabinet|msb|fleet[&t0=][&t1=][&step=]
+//	GET /api/v1/analysis/…  — server-side analyses (summary, edges, swings, bands,
+//	                          earlywarning, overcooling, validation, failures, jobs)
+//	GET /healthz            — liveness
+//	GET /debug/vars         — queries served, cache hit/miss, bytes decoded, latency histogram
+//
+// The analysis routes require a cluster dataset in the archive; without one
+// they answer 404 and the raw query routes still work. Both tiers share one
+// decoded-table cache budget (-cache-mb).
 //
 // Usage:
 //
@@ -31,6 +37,8 @@ import (
 	"time"
 
 	"repro/internal/query"
+	"repro/internal/source"
+	"repro/internal/store"
 )
 
 // options is the parsed flag set.
@@ -71,14 +79,32 @@ func parseFlags(args []string) (options, error) {
 // newServer opens the engine and binds the listener; the caller serves and
 // shuts down.
 func newServer(o options, out io.Writer) (*http.Server, net.Listener, *query.Engine, error) {
+	// One decoded-table cache backs both the raw query tier and the
+	// archive-backed analyses: a byte decoded for /api/v1/range is a byte
+	// /api/v1/analysis/* does not decode again, and vice versa.
+	cache := store.NewTableCache(int64(o.cacheMB) << 20)
 	eng, err := query.Open(query.Config{
-		Dir:        o.data,
-		Nodes:      o.nodes,
-		Workers:    o.workers,
-		CacheBytes: int64(o.cacheMB) << 20,
+		Dir:     o.data,
+		Nodes:   o.nodes,
+		Workers: o.workers,
+		Cache:   cache,
 	})
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	// The analysis routes need the cluster dataset; serve raw queries
+	// regardless (e.g. node-power-only archives). src stays a nil
+	// interface on failure so the handler can tell.
+	var src source.RunSource
+	if arc, aerr := source.OpenArchive(source.ArchiveConfig{
+		Dir:     o.data,
+		Nodes:   o.nodes,
+		Workers: o.workers,
+		Cache:   cache,
+	}); aerr == nil {
+		src = arc
+	} else if !o.quiet {
+		fmt.Fprintf(out, "analysis endpoints disabled: %v\n", aerr)
 	}
 	infos, err := eng.Datasets()
 	if err != nil {
@@ -94,6 +120,7 @@ func newServer(o options, out io.Writer) (*http.Server, net.Listener, *query.Eng
 		}
 	}
 	handler := query.NewHandler(eng, query.ServerConfig{
+		Source:        src,
 		Timeout:       o.timeout,
 		MaxConcurrent: o.maxConcurrent,
 		MaxPoints:     o.maxPoints,

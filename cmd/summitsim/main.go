@@ -38,6 +38,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := validateSize(*nodes, *days); err != nil {
+		log.Fatal(err)
+	}
 	cfg := repro.ScaledConfig(*nodes, time.Duration(*days*24*float64(time.Hour)))
 	cfg.Seed = *seed
 	start := time.Now()
@@ -118,6 +121,19 @@ func main() {
 			fmt.Printf("dataset %-14s %3d partition(s) %8.1f KiB\n", name, len(days), float64(size)/1024)
 		}
 	}
+}
+
+// validateSize rejects nonsense run dimensions up front: ScaledConfig
+// would silently clamp a non-positive span to 600 s, archiving a run the
+// caller never asked for.
+func validateSize(nodes int, days float64) error {
+	if nodes <= 0 {
+		return fmt.Errorf("-nodes must be positive, got %d", nodes)
+	}
+	if days <= 0 {
+		return fmt.Errorf("-days must be positive, got %g", days)
+	}
+	return nil
 }
 
 // writeCSV creates path and streams fn's output into it.

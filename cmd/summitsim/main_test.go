@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateSize(t *testing.T) {
+	cases := []struct {
+		nodes int
+		days  float64
+		want  string // substring of the error; "" means accept
+	}{
+		{256, 1, ""},
+		{1, 0.01, ""},
+		{0, 1, "-nodes must be positive"},
+		{-4, 1, "-nodes must be positive"},
+		{256, 0, "-days must be positive"},
+		{256, -0.5, "-days must be positive"},
+	}
+	for _, c := range cases {
+		err := validateSize(c.nodes, c.days)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("validateSize(%d, %g) = %v, want nil", c.nodes, c.days, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("validateSize(%d, %g) = %v, want error containing %q",
+				c.nodes, c.days, err, c.want)
+		}
+	}
+}

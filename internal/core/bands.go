@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/stats"
+	"repro/internal/tsagg"
 )
 
 // Temperature bands of the facility's component-wise summary (paper §2):
@@ -49,13 +50,18 @@ type BandSummary struct {
 // ThermalBandSummary reduces the per-window band counts to the §2
 // dashboard view. totalGPUs is nodes × 6.
 func ThermalBandSummary(d *RunData) ([]BandSummary, error) {
-	if d.GPUTempBands[0] == nil {
+	return thermalBandsFrom(d.GPUTempBands, d.Nodes)
+}
+
+// thermalBandsFrom is the series-level reduction both data planes share.
+func thermalBandsFrom(bands [NumTempBands]*tsagg.Series, nodes int) ([]BandSummary, error) {
+	if bands[0] == nil {
 		return nil, fmt.Errorf("core: run data has no band series")
 	}
-	totalGPUs := float64(d.Nodes * 6)
+	totalGPUs := float64(nodes * 6)
 	out := make([]BandSummary, NumTempBands)
 	for b := 0; b < NumTempBands; b++ {
-		vals := d.GPUTempBands[b].Clean()
+		vals := bands[b].Clean()
 		m := stats.Summarize(vals)
 		out[b] = BandSummary{
 			Band:     b,

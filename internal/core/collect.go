@@ -11,6 +11,7 @@ import (
 	"repro/internal/failures"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/tsagg"
 	"repro/internal/units"
 )
@@ -255,7 +256,7 @@ func (c *Collector) Observe(snap *sim.Snapshot) {
 			continue // telemetry lost for this node-window
 		}
 		nodePower := snap.NodeStat[i].Mean
-		msbSum[msbIndexForNode(d.Nodes, len(msbSum), i)] += nodePower
+		msbSum[topology.MSBForNode(d.Nodes, len(msbSum), i)] += nodePower
 		aIdx := snap.AllocIdx[i]
 		if aIdx < 0 {
 			continue
@@ -313,33 +314,6 @@ func (c *Collector) Observe(snap *sim.Snapshot) {
 // likeSeries clones the shape of s with fresh NaN storage.
 func likeSeries(s *tsagg.Series) *tsagg.Series {
 	return tsagg.NewSeries(s.Start, s.Step, s.Len())
-}
-
-// msbIndexForNode mirrors topology's contiguous-block MSB assignment
-// without holding a Floor reference: nodes are split over cabinets of 18,
-// cabinets over MSBs in equal contiguous blocks.
-func msbIndexForNode(nodes, msbs, node int) int {
-	if msbs <= 0 {
-		return 0
-	}
-	cabinets := (nodes + units.NodesPerCabinet - 1) / units.NodesPerCabinet
-	cab := node / units.NodesPerCabinet
-	base, rem := cabinets/msbs, cabinets%msbs
-	// Walk the same distribution as topology.New.
-	idx := 0
-	start := 0
-	for m := 0; m < msbs; m++ {
-		size := base
-		if m < rem {
-			size++
-		}
-		if cab < start+size {
-			idx = m
-			break
-		}
-		start += size
-	}
-	return idx
 }
 
 // SetFailures attaches the run's failure log after Run completes.

@@ -6,21 +6,29 @@ import (
 
 	"repro/internal/failures"
 	"repro/internal/sim"
+	"repro/internal/source"
 	"repro/internal/store"
 	"repro/internal/topology"
 	"repro/internal/tsagg"
 )
 
-// Dataset names mirroring the paper's artifact appendix.
+// Dataset names mirroring the paper's artifact appendix. The canonical
+// definitions live in internal/source (the archive's decode side); these
+// aliases keep the historical core names working.
 const (
-	DatasetClusterPower = "cluster-power" // Datasets 1–2 + facility (B/12)
-	DatasetJobRecords   = "job-records"   // Datasets 5–7
-	DatasetFailures     = "gpu-xid"       // Dataset E
+	DatasetClusterPower = source.DatasetClusterPower // Datasets 1–2 + facility (B/12)
+	DatasetJobRecords   = source.DatasetJobRecords   // Datasets 5–7
+	DatasetFailures     = source.DatasetFailures     // Dataset E
 )
 
 // WriteDatasets archives the run data into dir as daily-partitioned
-// columnar files, mirroring the paper's one-file-per-day layout.
+// columnar files, mirroring the paper's one-file-per-day layout. A one-row
+// run-meta manifest makes the archive self-describing, so readers recover
+// the system size and coarsening grid without out-of-band flags.
 func WriteDatasets(dir string, d *RunData) error {
+	if err := writeManifest(dir, d); err != nil {
+		return err
+	}
 	if err := writeClusterDataset(dir, d); err != nil {
 		return err
 	}
@@ -28,6 +36,19 @@ func WriteDatasets(dir string, d *RunData) error {
 		return err
 	}
 	return writeFailureDataset(dir, d)
+}
+
+func writeManifest(dir string, d *RunData) error {
+	ds, err := store.NewDataset(dir, source.DatasetRunMeta)
+	if err != nil {
+		return err
+	}
+	return ds.WriteDay(0, source.ManifestTable(source.Meta{
+		StartTime: d.StartTime,
+		StepSec:   d.StepSec,
+		Nodes:     d.Nodes,
+		Windows:   d.ClusterPower.Len(),
+	}))
 }
 
 func writeClusterDataset(dir string, d *RunData) error {
@@ -61,14 +82,26 @@ func writeClusterDataset(dir string, d *RunData) error {
 			{Name: "gpu_core_temp_mean", Floats: slice(d.GPUTempMean)},
 			{Name: "gpu_core_temp_max", Floats: slice(d.GPUTempMax)},
 		}}
-		for b := 0; b < NumTempBands; b++ {
-			if d.GPUTempBands[b] == nil {
-				continue
+		optional := func(name string, s *tsagg.Series) {
+			if s == nil {
+				return
 			}
-			tab.Cols = append(tab.Cols, store.Column{
-				Name:   fmt.Sprintf("gpu_band_%d", b),
-				Floats: slice(d.GPUTempBands[b]),
-			})
+			tab.Cols = append(tab.Cols, store.Column{Name: name, Floats: slice(s)})
+		}
+		optional(source.SeriesTowerCount, d.TowerCount)
+		optional(source.SeriesChillerCount, d.ChillerCount)
+		optional(source.SeriesCPUTempMean, d.CPUTempMean)
+		optional(source.SeriesCPUTempMax, d.CPUTempMax)
+		for b := 0; b < NumTempBands; b++ {
+			optional(source.GPUBandSeries(b), d.GPUTempBands[b])
+		}
+		// The per-MSB validation pairs ride along in the cluster dataset so
+		// Figure 4 runs against an archive too.
+		for m := range d.MeterPower {
+			optional(source.MeterSeriesName(m), d.MeterPower[m])
+			if m < len(d.MSBSensorSum) {
+				optional(source.MSBSumSeriesName(m), d.MSBSensorSum[m])
+			}
 		}
 		if err := ds.WriteDay(day, tab); err != nil {
 			return fmt.Errorf("core: write cluster day %d: %w", day, err)
@@ -247,7 +280,7 @@ func ReadFailureDataset(dir string) ([]failures.Event, error) {
 // DatasetNodePower is the per-node window dataset (the paper's Dataset 0:
 // per-node per-component 10-second aggregates). It is opt-in because its
 // volume scales with nodes × windows.
-const DatasetNodePower = "node-power"
+const DatasetNodePower = source.DatasetNodePower
 
 // NodeDatasetWriter is a sim.Observer that archives per-node input-power
 // window statistics day by day — the Dataset 0 equivalent.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dsp"
 	"repro/internal/stats"
+	"repro/internal/tsagg"
 	"repro/internal/units"
 )
 
@@ -146,7 +147,11 @@ func ClusterEdgeThresholdMW(nodes int) float64 {
 // the cluster power series, matching the paper's complementary statistic
 // (+5.79 MW / −5.89 MW at full scale).
 func SteepestSwings(d *RunData) (maxRise, maxFall float64) {
-	s := d.ClusterPower
+	return steepestSwings(d.ClusterPower)
+}
+
+// steepestSwings is the series-level scan both data planes share.
+func steepestSwings(s *tsagg.Series) (maxRise, maxFall float64) {
 	for i := 1; i < s.Len(); i++ {
 		a, b := s.Vals[i-1], s.Vals[i]
 		if math.IsNaN(a) || math.IsNaN(b) {

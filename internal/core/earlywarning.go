@@ -111,11 +111,18 @@ func EarlyWarning(evs []failures.Event, precursor, outcome failures.Type,
 // retirement chain over a run, deriving the observation denominator from
 // the run dimensions.
 func EarlyWarningFromRun(d *RunData, windowSec int64) ([]PrecursorStats, error) {
+	spanSec := int64(d.ClusterPower.Len()) * d.StepSec
+	return earlyWarningPairs(d.Failures, d.Nodes, spanSec, windowSec)
+}
+
+// earlyWarningPairs evaluates the paper's precursor→outcome pairs over any
+// failure log, deriving the observation denominator from the run span and
+// system size. Both data planes share this path.
+func earlyWarningPairs(evs []failures.Event, nodes int, spanSec, windowSec int64) ([]PrecursorStats, error) {
 	if windowSec <= 0 {
 		windowSec = 3600
 	}
-	spanSec := int64(d.ClusterPower.Len()) * d.StepSec
-	gpuWindows := float64(d.Nodes*6) * float64(spanSec) / float64(windowSec)
+	gpuWindows := float64(nodes*6) * float64(spanSec) / float64(windowSec)
 	pairs := [][2]failures.Type{
 		{failures.MicrocontrollerWarning, failures.DriverErrorHandling},
 		{failures.DoubleBitError, failures.PageRetirementEvent},
@@ -123,7 +130,7 @@ func EarlyWarningFromRun(d *RunData, windowSec int64) ([]PrecursorStats, error) 
 	}
 	var out []PrecursorStats
 	for _, pr := range pairs {
-		st, err := EarlyWarning(d.Failures, pr[0], pr[1], windowSec, gpuWindows)
+		st, err := EarlyWarning(evs, pr[0], pr[1], windowSec, gpuWindows)
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/tsagg"
 	"repro/internal/units"
 )
 
@@ -33,32 +34,37 @@ const postFallWindowSec = 600
 
 // Overcooling computes the report from a run's cooling and power series.
 func Overcooling(d *RunData) (*OvercoolingReport, error) {
-	if d.TowerTons == nil || d.ChillerTons == nil || d.ClusterTruePower == nil {
+	return overcoolingFrom(d.ClusterTruePower, d.TowerTons, d.ChillerTons, d.Nodes, d.StepSec)
+}
+
+// overcoolingFrom is the series-level computation both data planes share.
+func overcoolingFrom(truePower, towerTonsS, chillerTonsS *tsagg.Series, nodes int, stepSec int64) (*OvercoolingReport, error) {
+	if towerTonsS == nil || chillerTonsS == nil || truePower == nil {
 		return nil, fmt.Errorf("core: run data missing cooling series")
 	}
-	n := d.TowerTons.Len()
-	if n == 0 || d.ClusterTruePower.Len() != n {
+	n := towerTonsS.Len()
+	if n == 0 || truePower.Len() != n {
 		return nil, fmt.Errorf("core: run data missing cooling series")
 	}
 	// Falling-edge windows for attribution.
-	edges := DetectEdgesThreshold(d.ClusterTruePower, ScaleEquivalentMW(d.Nodes))
+	edges := DetectEdgesThreshold(truePower, ScaleEquivalentMW(nodes))
 	inPostFall := make([]bool, n)
 	for _, e := range edges {
 		if e.Rising {
 			continue
 		}
-		for k := e.EndIdx; k < n && d.TowerTons.TimeAt(k)-e.T <= postFallWindowSec; k++ {
+		for k := e.EndIdx; k < n && towerTonsS.TimeAt(k)-e.T <= postFallWindowSec; k++ {
 			inPostFall[k] = true
 		}
 	}
 	rep := &OvercoolingReport{}
-	stepHours := float64(d.StepSec) / 3600
+	stepHours := float64(stepSec) / 3600
 	var deliveredTonHours, postFallExcess float64
 	// Blended electric cost per ton from the run itself.
 	var towerTons, chillerTons float64
 	for i := 0; i < n; i++ {
-		tw, ch := d.TowerTons.Vals[i], d.ChillerTons.Vals[i]
-		load := d.ClusterTruePower.Vals[i]
+		tw, ch := towerTonsS.Vals[i], chillerTonsS.Vals[i]
+		load := truePower.Vals[i]
 		if math.IsNaN(tw) || math.IsNaN(ch) || math.IsNaN(load) {
 			continue
 		}

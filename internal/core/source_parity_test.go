@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// TestSourcePlaneParity is the golden guarantee of the RunSource layer: a
+// simulated run archived and re-opened answers every accessor and every
+// refactored analysis bit-identically (tolerance 0) to its in-memory
+// source. The run spans more than one day so the archive path exercises
+// multi-partition reconstruction.
+func TestSourcePlaneParity(t *testing.T) {
+	cfg := sim.Config{
+		Seed:             7,
+		Nodes:            36,
+		StartTime:        1_577_836_800,
+		DurationSec:      30 * 3600, // 1.25 days -> two partitions
+		StepSec:          10,
+		SamplesPerWindow: 2,
+		Jobs:             60,
+		FailureRateScale: 2000,
+		FailureCheckSec:  120,
+	}
+	d, _, err := CollectRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteDatasets(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	mem := d.Source()
+	arc, err := source.OpenArchive(source.ArchiveConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memMeta, err := mem.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcMeta, err := arc.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memMeta != arcMeta {
+		t.Fatalf("meta differs: mem %+v, archive %+v", memMeta, arcMeta)
+	}
+
+	// Every series both planes list must match bit for bit.
+	memNames, err := mem.SeriesNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcNames, err := arc.SeriesNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(memNames) != fmt.Sprint(arcNames) {
+		t.Fatalf("series inventories differ:\nmem     %v\narchive %v", memNames, arcNames)
+	}
+	for _, name := range memNames {
+		ms, err := mem.Series(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, err := arc.Series(name)
+		if err != nil {
+			t.Fatalf("archive series %q: %v", name, err)
+		}
+		if ms.Start != as.Start || ms.Step != as.Step || ms.Len() != as.Len() {
+			t.Fatalf("series %q shape differs: mem (%d,%d,%d) archive (%d,%d,%d)",
+				name, ms.Start, ms.Step, ms.Len(), as.Start, as.Step, as.Len())
+		}
+		for i := range ms.Vals {
+			if math.Float64bits(ms.Vals[i]) != math.Float64bits(as.Vals[i]) {
+				t.Fatalf("series %q window %d: mem %v, archive %v",
+					name, i, ms.Vals[i], as.Vals[i])
+			}
+		}
+	}
+
+	// Job records row for row.
+	memJobs, err := mem.JobRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcJobs, err := arc.JobRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memJobs) == 0 || len(memJobs) != len(arcJobs) {
+		t.Fatalf("job counts differ: mem %d, archive %d", len(memJobs), len(arcJobs))
+	}
+	for i := range memJobs {
+		if fmt.Sprintf("%+v", memJobs[i]) != fmt.Sprintf("%+v", arcJobs[i]) {
+			t.Fatalf("job %d differs:\nmem     %+v\narchive %+v", i, memJobs[i], arcJobs[i])
+		}
+	}
+
+	// Failure log event for event. The archive cannot carry project
+	// strings, so Project is excluded from the comparison.
+	memEvs, err := mem.Failures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcEvs, err := arc.Failures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memEvs) == 0 || len(memEvs) != len(arcEvs) {
+		t.Fatalf("failure counts differ: mem %d, archive %d", len(memEvs), len(arcEvs))
+	}
+	for i := range memEvs {
+		a, b := memEvs[i], arcEvs[i]
+		if a.Time != b.Time || a.Node != b.Node || a.Slot != b.Slot ||
+			a.Type != b.Type || a.JobID != b.JobID ||
+			math.Float64bits(a.TempC) != math.Float64bits(b.TempC) ||
+			math.Float64bits(a.TempZ) != math.Float64bits(b.TempZ) {
+			t.Fatalf("failure %d differs:\nmem     %+v\narchive %+v", i, a, b)
+		}
+	}
+
+	// Every refactored analysis must produce identical output from both
+	// planes. Reports are plain data; %#v captures every field.
+	check := func(what string, fromMem, fromArc any, errM, errA error) {
+		t.Helper()
+		if errM != nil || errA != nil {
+			t.Fatalf("%s: mem err %v, archive err %v", what, errM, errA)
+		}
+		gm, ga := fmt.Sprintf("%#v", fromMem), fmt.Sprintf("%#v", fromArc)
+		if gm != ga {
+			t.Errorf("%s differs:\nmem     %.400s\narchive %.400s", what, gm, ga)
+		}
+	}
+	{
+		a, e1 := EdgesFromSource(mem)
+		b, e2 := EdgesFromSource(arc)
+		check("edges", a, b, e1, e2)
+	}
+	{
+		a, e1 := SwingsFromSource(mem)
+		b, e2 := SwingsFromSource(arc)
+		check("swings", a, b, e1, e2)
+	}
+	{
+		a, e1 := ThermalBandsFromSource(mem)
+		b, e2 := ThermalBandsFromSource(arc)
+		check("bands", a, b, e1, e2)
+	}
+	{
+		a, e1 := EarlyWarningFromSource(mem, 3600)
+		b, e2 := EarlyWarningFromSource(arc, 3600)
+		check("earlywarning", a, b, e1, e2)
+	}
+	{
+		a, e1 := OvercoolingFromSource(mem)
+		b, e2 := OvercoolingFromSource(arc)
+		check("overcooling", a, b, e1, e2)
+	}
+	{
+		a, e1 := ValidationFromSource(mem)
+		b, e2 := ValidationFromSource(arc)
+		check("validation", a, b, e1, e2)
+	}
+	{
+		a, e1 := FailureCompositionFromSource(mem)
+		b, e2 := FailureCompositionFromSource(arc)
+		check("composition", a, b, e1, e2)
+	}
+	{
+		a, e1 := FailureCorrelationFromSource(mem, 0.05)
+		b, e2 := FailureCorrelationFromSource(arc, 0.05)
+		check("correlation", a, b, e1, e2)
+	}
+	{
+		a, e1 := SummaryFromSource(mem)
+		b, e2 := SummaryFromSource(arc)
+		check("summary", a, b, e1, e2)
+	}
+}
+
+// TestArchiveSourcePruning verifies that a ranged read prunes partitions:
+// asking for a window inside day 0 must not decode day 1.
+func TestArchiveSourcePruning(t *testing.T) {
+	cfg := sim.Config{
+		Seed: 3, Nodes: 12, StartTime: 1_577_836_800,
+		DurationSec: 2 * 86400, StepSec: 60, SamplesPerWindow: 1,
+		Jobs: 10, FailureRateScale: 1,
+	}
+	d, _, err := CollectRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteDatasets(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	arc, err := source.OpenArchive(source.ArchiveConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := cfg.StartTime + 3600
+	s, err := arc.SeriesRange(source.SeriesClusterPower, t0, t0+3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inRange := 0
+	for i, v := range s.Vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		tv := s.TimeAt(i)
+		if tv < t0 || tv >= t0+3600 {
+			t.Fatalf("value outside requested range at %d", tv)
+		}
+		inRange++
+	}
+	if want := int(3600 / cfg.StepSec); inRange != want {
+		t.Fatalf("ranged read returned %d values, want %d", inRange, want)
+	}
+	// Only day 0 should be resident: one cached (timestamp, sum_inp) pair.
+	entries, _ := arc.CacheStats()
+	if entries != 1 {
+		t.Fatalf("pruned read cached %d partitions, want 1", entries)
+	}
+}

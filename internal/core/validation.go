@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/stats"
+	"repro/internal/tsagg"
 )
 
 // MSBValidation is the Figure 4 comparison for one main switchboard:
@@ -35,16 +36,21 @@ type ValidationReport struct {
 // Figure4Validation compares the per-node summation against the MSB meters
 // over the run.
 func Figure4Validation(d *RunData) (*ValidationReport, error) {
-	if len(d.MeterPower) == 0 || len(d.MeterPower) != len(d.MSBSensorSum) {
+	return validationFrom(d.MeterPower, d.MSBSensorSum)
+}
+
+// validationFrom is the series-level comparison both data planes share.
+func validationFrom(meters, sums []*tsagg.Series) (*ValidationReport, error) {
+	if len(meters) == 0 || len(meters) != len(sums) {
 		return nil, fmt.Errorf("core: run data has no meter series")
 	}
 	rep := &ValidationReport{}
 	var diffSum float64
 	var diffN int
 	var meterTotal, sumTotal float64
-	for m := range d.MeterPower {
-		meter := d.MeterPower[m]
-		sum := d.MSBSensorSum[m]
+	for m := range meters {
+		meter := meters[m]
+		sum := sums[m]
 		var diffs []float64
 		var meterVals, sumVals []float64
 		for i := 0; i < meter.Len() && i < sum.Len(); i++ {

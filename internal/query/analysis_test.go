@@ -1,0 +1,123 @@
+package query
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/source"
+)
+
+// analysisServer serves the shared fixture archive with its RunSource
+// attached, the way cmd/queryd wires it: one cache for both tiers.
+func analysisServer(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	dir := t.TempDir()
+	writeTestArchive(t, dir)
+	eng, err := Open(Config{Dir: dir, Nodes: fixNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.OpenArchive(source.ArchiveConfig{
+		Dir:     dir,
+		StepSec: fixStep,
+		Nodes:   fixNodes,
+		Cache:   eng.Cache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(eng, ServerConfig{Source: src}))
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+func TestHTTPAnalysisSummary(t *testing.T) {
+	srv, eng := analysisServer(t)
+	var body struct {
+		Series []struct {
+			Name    string   `json:"name"`
+			Windows int64    `json:"windows"`
+			Mean    *float64 `json:"mean"`
+		} `json:"series"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/analysis/summary", &body); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(body.Series) != 1 || body.Series[0].Name != source.SeriesClusterPower {
+		t.Fatalf("series = %+v", body.Series)
+	}
+	wantWindows := int64(fixDays) * daySec / fixStep
+	if body.Series[0].Windows != wantWindows || body.Series[0].Mean == nil {
+		t.Errorf("summary row = %+v, want %d windows", body.Series[0], wantWindows)
+	}
+	if got := eng.Metrics().AnalysisQueries.Load(); got != 1 {
+		t.Errorf("analysis counter = %d, want 1", got)
+	}
+}
+
+func TestHTTPAnalysisEdgesAndSwings(t *testing.T) {
+	srv, _ := analysisServer(t)
+	var edges struct {
+		ThresholdMW *float64 `json:"threshold_mw"`
+		Edges       []struct {
+			T int64 `json:"t"`
+		} `json:"edges"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/analysis/edges", &edges); code != 200 {
+		t.Fatalf("edges status %d", code)
+	}
+	if edges.ThresholdMW == nil || *edges.ThresholdMW <= 0 {
+		t.Errorf("threshold = %v", edges.ThresholdMW)
+	}
+	var swings struct {
+		MaxRiseW *float64 `json:"max_rise_w"`
+		Top      []struct {
+			FreqHz *float64 `json:"freq_hz"`
+		} `json:"top"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/analysis/swings", &swings); code != 200 {
+		t.Fatalf("swings status %d", code)
+	}
+	if swings.MaxRiseW == nil || len(swings.Top) == 0 {
+		t.Errorf("swings = %+v", swings)
+	}
+}
+
+// TestHTTPAnalysisUnavailable covers the two degraded modes: analyses whose
+// datasets the archive lacks answer 404, and a handler with no Source at
+// all answers 404 on every analysis route while raw queries still work.
+func TestHTTPAnalysisUnavailable(t *testing.T) {
+	srv, _ := analysisServer(t)
+	for _, route := range []string{"bands", "validation", "earlywarning", "failures", "jobs"} {
+		var body struct {
+			Error string `json:"error"`
+		}
+		if code := getJSON(t, srv.URL+"/api/v1/analysis/"+route, &body); code != 404 {
+			t.Errorf("%s: status %d (%s), want 404", route, code, body.Error)
+		}
+	}
+
+	bare, _ := testServer(t, ServerConfig{}) // no Source
+	var body struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, bare.URL+"/api/v1/analysis/summary", &body); code != 404 {
+		t.Fatalf("nil-source status %d", code)
+	}
+	if body.Error == "" {
+		t.Error("nil-source 404 carries no error message")
+	}
+	if code := getJSON(t, bare.URL+"/api/v1/datasets", nil); code != 200 {
+		t.Errorf("raw query tier broken without Source: status %d", code)
+	}
+}
+
+func TestHTTPAnalysisBadWindow(t *testing.T) {
+	srv, _ := analysisServer(t)
+	var body struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/analysis/earlywarning?window=-5", &body); code != 400 {
+		t.Fatalf("status %d (%s), want 400", code, body.Error)
+	}
+}

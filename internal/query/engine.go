@@ -18,7 +18,6 @@ import (
 	"os"
 	"regexp"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
@@ -47,8 +46,13 @@ type Config struct {
 	Nodes int
 	// Workers bounds the parallel partition scan (<= 0: GOMAXPROCS).
 	Workers int
-	// CacheBytes bounds the decoded-table cache (<= 0: 256 MiB).
+	// CacheBytes bounds the decoded-table cache (<= 0: 256 MiB). Ignored
+	// when Cache is set.
 	CacheBytes int64
+	// Cache optionally supplies a shared decoded-table cache so the query
+	// tier and the archive-backed analyses draw on one byte budget. Nil
+	// gives the engine a private cache of CacheBytes.
+	Cache *store.TableCache
 	// TimeColumns are candidate time-axis column names in priority order
 	// (nil: "timestamp", then "begin_time").
 	TimeColumns []string
@@ -59,7 +63,7 @@ type Config struct {
 type Engine struct {
 	cfg      Config
 	floor    *topology.Floor
-	cache    *tableCache
+	cache    *store.TableCache
 	met      *Metrics
 	datasets map[string]*datasetState // immutable after Open
 }
@@ -97,9 +101,13 @@ func Open(cfg Config) (*Engine, error) {
 			names[m[1]] = true
 		}
 	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = store.NewTableCache(cfg.CacheBytes)
+	}
 	e := &Engine{
 		cfg:      cfg,
-		cache:    newTableCache(cfg.CacheBytes),
+		cache:    cache,
 		met:      &Metrics{},
 		datasets: make(map[string]*datasetState, len(names)),
 	}
@@ -126,12 +134,16 @@ func Open(cfg Config) (*Engine, error) {
 // Metrics returns the engine's instrumentation counters.
 func (e *Engine) Metrics() *Metrics { return e.met }
 
+// Cache returns the engine's decoded-table cache so other archive readers
+// (the source layer, notably) can share its byte budget.
+func (e *Engine) Cache() *store.TableCache { return e.cache }
+
 // CacheStats returns the resident entry count and byte total of the decoded
 // table cache.
 func (e *Engine) CacheStats() (entries int, bytes int64) { return e.cache.Stats() }
 
-// CacheBytesMax returns the configured cache budget.
-func (e *Engine) CacheBytesMax() int64 { return e.cfg.CacheBytes }
+// CacheBytesMax returns the cache's byte budget.
+func (e *Engine) CacheBytesMax() int64 { return e.cache.Max() }
 
 // FlushCache drops every cached table (benchmarks use this to measure the
 // cold path).
@@ -183,7 +195,7 @@ func pruneDays(days []int, meta map[int]store.DayMeta, t0, t1 int64) (keep []int
 // table loads one decoded day partition through the cache. The boolean
 // reports a cache hit.
 func (e *Engine) table(st *datasetState, day int) (*store.Table, bool, error) {
-	key := st.ds.Name + "|" + strconv.Itoa(day)
+	key := store.CacheKey(st.ds.Name, day, nil)
 	if tab, ok := e.cache.Get(key); ok {
 		e.met.CacheHits.Add(1)
 		return tab, true, nil
@@ -193,7 +205,7 @@ func (e *Engine) table(st *datasetState, day int) (*store.Table, bool, error) {
 		return nil, false, err
 	}
 	e.met.CacheMisses.Add(1)
-	e.met.BytesDecoded.Add(tableBytes(tab))
+	e.met.BytesDecoded.Add(store.TableBytes(tab))
 	if n := e.cache.Put(key, tab); n > 0 {
 		e.met.CacheEvictions.Add(int64(n))
 	}

@@ -10,11 +10,16 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/source"
 	"repro/internal/tsagg"
 )
 
 // ServerConfig bounds the HTTP serving layer.
 type ServerConfig struct {
+	// Source, when set, enables the /api/v1/analysis/* routes, serving
+	// the paper's analyses over the archive. Leave nil for archives
+	// without a cluster dataset; the routes then answer 404.
+	Source source.RunSource
 	// Timeout is the per-request deadline (<= 0: 30 s).
 	Timeout time.Duration
 	// MaxConcurrent bounds in-flight queries; excess requests are shed
@@ -53,11 +58,12 @@ type handler struct {
 
 // NewHandler returns the queryd HTTP API:
 //
-//	GET /api/v1/range    — range/downsample query over one dataset column
-//	GET /api/v1/rollup   — per-cabinet / per-MSB / fleet aggregation
-//	GET /api/v1/datasets — archive inventory
-//	GET /healthz         — liveness
-//	GET /debug/vars      — instrumentation counters
+//	GET /api/v1/range       — range/downsample query over one dataset column
+//	GET /api/v1/rollup      — per-cabinet / per-MSB / fleet aggregation
+//	GET /api/v1/datasets    — archive inventory
+//	GET /api/v1/analysis/…  — server-side analyses over the RunSource layer
+//	GET /healthz            — liveness
+//	GET /debug/vars         — instrumentation counters
 //
 // Every API route runs under the concurrency limiter, a per-request
 // timeout, and the request-size limits of cfg.
@@ -73,6 +79,15 @@ func NewHandler(eng *Engine, cfg ServerConfig) http.Handler {
 	mux.HandleFunc("/api/v1/datasets", h.guard(h.datasets))
 	mux.HandleFunc("/api/v1/range", h.guard(h.rangeQuery))
 	mux.HandleFunc("/api/v1/rollup", h.guard(h.rollup))
+	mux.HandleFunc("/api/v1/analysis/summary", h.guard(h.analysisSummary))
+	mux.HandleFunc("/api/v1/analysis/edges", h.guard(h.analysisEdges))
+	mux.HandleFunc("/api/v1/analysis/swings", h.guard(h.analysisSwings))
+	mux.HandleFunc("/api/v1/analysis/bands", h.guard(h.analysisBands))
+	mux.HandleFunc("/api/v1/analysis/earlywarning", h.guard(h.analysisEarlyWarning))
+	mux.HandleFunc("/api/v1/analysis/overcooling", h.guard(h.analysisOvercooling))
+	mux.HandleFunc("/api/v1/analysis/validation", h.guard(h.analysisValidation))
+	mux.HandleFunc("/api/v1/analysis/failures", h.guard(h.analysisFailures))
+	mux.HandleFunc("/api/v1/analysis/jobs", h.guard(h.analysisJobs))
 	return mux
 }
 

@@ -10,12 +10,13 @@ import (
 // bookkeeping. Snapshot renders them as a JSON-friendly map for the
 // /debug/vars endpoint.
 type Metrics struct {
-	RangeQueries   atomic.Int64
-	RollupQueries  atomic.Int64
-	DatasetQueries atomic.Int64
-	Errors         atomic.Int64
-	Rejected       atomic.Int64 // shed by the concurrency limiter
-	InFlight       atomic.Int64
+	RangeQueries    atomic.Int64
+	RollupQueries   atomic.Int64
+	DatasetQueries  atomic.Int64
+	AnalysisQueries atomic.Int64
+	Errors          atomic.Int64
+	Rejected        atomic.Int64 // shed by the concurrency limiter
+	InFlight        atomic.Int64
 
 	CacheHits      atomic.Int64
 	CacheMisses    atomic.Int64
@@ -37,6 +38,7 @@ func (m *Metrics) Snapshot() map[string]any {
 			"range":    m.RangeQueries.Load(),
 			"rollup":   m.RollupQueries.Load(),
 			"datasets": m.DatasetQueries.Load(),
+			"analysis": m.AnalysisQueries.Load(),
 			"errors":   m.Errors.Load(),
 			"rejected": m.Rejected.Load(),
 			"inflight": m.InFlight.Load(),

@@ -1,0 +1,480 @@
+package source
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/failures"
+	"repro/internal/parallel"
+	"repro/internal/store"
+	"repro/internal/topology"
+	"repro/internal/tsagg"
+	"repro/internal/units"
+)
+
+// Canonical dataset names of the archive layout, mirroring the paper's
+// artifact appendix. internal/core re-exports these; they live here so the
+// decode path and the layout definition share one home.
+const (
+	DatasetClusterPower = "cluster-power" // Datasets 1–2 + facility (B/12)
+	DatasetJobRecords   = "job-records"   // Datasets 5–7
+	DatasetFailures     = "gpu-xid"       // Dataset E
+	DatasetNodePower    = "node-power"    // Dataset 0 (opt-in, large)
+	// DatasetRunMeta is the one-row manifest WriteDatasets emits so an
+	// archive is self-describing: system size, coarsening grid and span.
+	DatasetRunMeta = "run-meta"
+)
+
+// Manifest column names.
+const (
+	manifestNodes    = "nodes"
+	manifestStepSec  = "step_sec"
+	manifestStart    = "start_time"
+	manifestDuration = "duration_sec"
+)
+
+// ManifestTable encodes run dimensions as the one-row run-meta table the
+// archive writer stores and OpenArchive reads back.
+func ManifestTable(m Meta) *store.Table {
+	return &store.Table{Cols: []store.Column{
+		{Name: manifestNodes, Ints: []int64{int64(m.Nodes)}},
+		{Name: manifestStepSec, Ints: []int64{m.StepSec}},
+		{Name: manifestStart, Ints: []int64{m.StartTime}},
+		{Name: manifestDuration, Ints: []int64{m.SpanSec()}},
+	}}
+}
+
+// ArchiveConfig parameterizes OpenArchive.
+type ArchiveConfig struct {
+	// Dir is the archive directory, as written by summitsim / WriteDatasets.
+	Dir string
+	// StepSec is the coarsening grid to assume when the archive predates
+	// the run manifest (<= 0: the paper's 10 s window).
+	StepSec int64
+	// Nodes is the system size to assume when the archive has no manifest
+	// (analyses needing a size fail cleanly when both are absent).
+	Nodes int
+	// Cache optionally shares a decoded-table cache with other consumers
+	// (queryd passes the engine's). Nil gives the source a private 256 MiB
+	// cache.
+	Cache *store.TableCache
+	// Workers bounds the parallel partition scan (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+// ArchiveSource is the archived plane: a RunSource over a store-backed
+// archive directory. Reads follow the shared hot path — prune partitions by
+// per-day row-range metadata, stream only the requested columns, keep
+// decoded tables in the (possibly shared) LRU cache. Safe for concurrent
+// use.
+type ArchiveSource struct {
+	cfg   ArchiveConfig
+	cache *store.TableCache
+	meta  Meta
+
+	cluster  *store.Dataset
+	jobs     *store.Dataset
+	fails    *store.Dataset
+	nodeData *store.Dataset
+
+	clusterDays []int
+	clusterMeta map[int]store.DayMeta
+
+	floorOnce sync.Once
+	floorErr  error
+	floor     *topology.Floor
+}
+
+var _ RunSource = (*ArchiveSource)(nil)
+
+// OpenArchive opens dir as a RunSource. The cluster dataset must exist;
+// every other dataset is resolved lazily. Run dimensions come from the
+// archive's manifest when present, falling back to cfg and to the cluster
+// partitions' time metadata.
+func OpenArchive(cfg ArchiveConfig) (*ArchiveSource, error) {
+	cache := cfg.Cache
+	if cache == nil {
+		cache = store.NewTableCache(256 << 20)
+	}
+	a := &ArchiveSource{cfg: cfg, cache: cache}
+	var err error
+	if a.cluster, err = store.NewDataset(cfg.Dir, DatasetClusterPower); err != nil {
+		return nil, err
+	}
+	if a.jobs, err = store.NewDataset(cfg.Dir, DatasetJobRecords); err != nil {
+		return nil, err
+	}
+	if a.fails, err = store.NewDataset(cfg.Dir, DatasetFailures); err != nil {
+		return nil, err
+	}
+	if a.nodeData, err = store.NewDataset(cfg.Dir, DatasetNodePower); err != nil {
+		return nil, err
+	}
+	if a.clusterDays, err = a.cluster.Days(); err != nil {
+		return nil, err
+	}
+	if len(a.clusterDays) == 0 {
+		return nil, fmt.Errorf("source: no %s partitions in %s", DatasetClusterPower, cfg.Dir)
+	}
+	// Per-day row-range metadata: the pruning index. Loaded once, in
+	// parallel; each scan decodes only the timestamp column.
+	metas, err := parallel.MapErr(len(a.clusterDays), cfg.Workers,
+		func(i int) (store.DayMeta, error) {
+			return a.cluster.DayMeta(a.clusterDays[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+	a.clusterMeta = make(map[int]store.DayMeta, len(metas))
+	for _, m := range metas {
+		a.clusterMeta[m.Day] = m
+	}
+	if err := a.resolveMeta(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// resolveMeta fills a.meta from the manifest, falling back to the config
+// and the cluster partitions' time metadata.
+func (a *ArchiveSource) resolveMeta() error {
+	manifest, err := store.NewDataset(a.cfg.Dir, DatasetRunMeta)
+	if err != nil {
+		return err
+	}
+	days, err := manifest.Days()
+	if err != nil {
+		return err
+	}
+	if len(days) > 0 {
+		// One row read exactly once at open; not worth a cache slot.
+		tab, err := manifest.ReadDay(days[0])
+		if err != nil {
+			return err
+		}
+		get := func(name string) (int64, bool) {
+			c := tab.Col(name)
+			if c == nil || !c.IsInt() || len(c.Ints) == 0 {
+				return 0, false
+			}
+			return c.Ints[0], true
+		}
+		nodes, okN := get(manifestNodes)
+		step, okS := get(manifestStepSec)
+		start, okT := get(manifestStart)
+		dur, okD := get(manifestDuration)
+		if okN && okS && okT && okD && step > 0 {
+			a.meta = Meta{
+				StartTime: start,
+				StepSec:   step,
+				Nodes:     int(nodes),
+				Windows:   int(dur / step),
+			}
+			return nil
+		}
+	}
+	// Pre-manifest archive: dimensions from the caller and the partitions.
+	step := a.cfg.StepSec
+	if step <= 0 {
+		step = units.CoarsenWindowSec
+	}
+	m := Meta{StepSec: step, Nodes: a.cfg.Nodes}
+	first := true
+	var maxTime int64
+	rows := 0
+	for _, dm := range a.clusterMeta {
+		rows += dm.Rows
+		if !dm.HasTime {
+			continue
+		}
+		if first || dm.MinTime < m.StartTime {
+			m.StartTime = dm.MinTime
+		}
+		if first || dm.MaxTime > maxTime {
+			maxTime = dm.MaxTime
+		}
+		first = false
+	}
+	if first {
+		return fmt.Errorf("source: cluster dataset in %s has no time column", a.cfg.Dir)
+	}
+	m.Windows = int((maxTime-m.StartTime)/step) + 1
+	if rows > m.Windows {
+		m.Windows = rows
+	}
+	a.meta = m
+	return nil
+}
+
+// Meta implements RunSource.
+func (a *ArchiveSource) Meta() (Meta, error) { return a.meta, nil }
+
+// CacheStats exposes the decoded-table cache occupancy (for tooling).
+func (a *ArchiveSource) CacheStats() (entries int, bytes int64) { return a.cache.Stats() }
+
+// hasFloatColumn reports whether any cluster partition carries a float
+// column of the given name.
+func (a *ArchiveSource) hasFloatColumn(name string) bool {
+	for _, dm := range a.clusterMeta {
+		for _, c := range dm.Columns {
+			if c.Name == name && !c.Int {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Series implements RunSource: the full-span read.
+func (a *ArchiveSource) Series(name string) (*tsagg.Series, error) {
+	return a.SeriesRange(name, math.MinInt64, math.MaxInt64)
+}
+
+// SeriesRange reads the named series over [t0, t1): partitions whose time
+// span misses the range are pruned via their metadata; survivors stream
+// only the timestamp column and the requested column through the cache.
+// The returned series always starts on the run's grid origin.
+func (a *ArchiveSource) SeriesRange(name string, t0, t1 int64) (*tsagg.Series, error) {
+	if !a.hasFloatColumn(name) {
+		return nil, fmt.Errorf("source: series %q: %w", name, ErrUnknownSeries)
+	}
+	var scanDays []int
+	for _, day := range a.clusterDays {
+		dm := a.clusterMeta[day]
+		if dm.HasTime && (dm.MaxTime < t0 || dm.MinTime >= t1) {
+			continue // pruned
+		}
+		scanDays = append(scanDays, day)
+	}
+	cols := []string{"timestamp", name}
+	tabs, err := parallel.MapErr(len(scanDays), a.cfg.Workers,
+		func(i int) (*store.Table, error) {
+			tab, _, err := a.cluster.ReadDayColumnsCached(a.cache, scanDays[i], cols)
+			return tab, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	s := tsagg.NewSeries(a.meta.StartTime, a.meta.StepSec, 0)
+	for _, tab := range tabs {
+		tsCol := tab.Col("timestamp")
+		val := tab.Col(name)
+		if tsCol == nil || !tsCol.IsInt() || val == nil || val.IsInt() {
+			continue
+		}
+		for i, tv := range tsCol.Ints {
+			if tv < t0 || tv >= t1 {
+				continue
+			}
+			idx := int((tv - s.Start) / s.Step)
+			if idx < 0 {
+				continue
+			}
+			for idx >= len(s.Vals) {
+				s.Vals = append(s.Vals, math.NaN())
+			}
+			s.Vals[idx] = val.Floats[i]
+		}
+	}
+	return s, nil
+}
+
+// SeriesNames implements RunSource: every float column of the cluster
+// dataset, sorted.
+func (a *ArchiveSource) SeriesNames() ([]string, error) {
+	seen := map[string]bool{}
+	var names []string
+	for _, day := range a.clusterDays {
+		for _, c := range a.clusterMeta[day].Columns {
+			if c.Int || seen[c.Name] {
+				continue
+			}
+			seen[c.Name] = true
+			names = append(names, c.Name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MeterSeries implements RunSource: the meter_power_<m> / msb_sensor_sum_<m>
+// column pairs, in switchboard order.
+func (a *ArchiveSource) MeterSeries() ([]*tsagg.Series, []*tsagg.Series, error) {
+	var meters, sums []*tsagg.Series
+	for m := 0; ; m++ {
+		if !a.hasFloatColumn(MeterSeriesName(m)) || !a.hasFloatColumn(MSBSumSeriesName(m)) {
+			break
+		}
+		meter, err := a.Series(MeterSeriesName(m))
+		if err != nil {
+			return nil, nil, err
+		}
+		sum, err := a.Series(MSBSumSeriesName(m))
+		if err != nil {
+			return nil, nil, err
+		}
+		meters = append(meters, meter)
+		sums = append(sums, sum)
+	}
+	if len(meters) == 0 {
+		return nil, nil, fmt.Errorf("source: archive has no meter columns (re-archive with a current build): %w",
+			ErrUnavailable)
+	}
+	return meters, sums, nil
+}
+
+// readAllDays concatenates every partition of ds, loading only the named
+// columns (nil = all).
+func (a *ArchiveSource) readAllDays(ds *store.Dataset, names []string) ([]*store.Table, error) {
+	days, err := ds.Days()
+	if err != nil {
+		return nil, err
+	}
+	if len(days) == 0 {
+		return nil, fmt.Errorf("source: dataset %q has no partitions in %s: %w",
+			ds.Name, a.cfg.Dir, ErrUnavailable)
+	}
+	return parallel.MapErr(len(days), a.cfg.Workers, func(i int) (*store.Table, error) {
+		tab, _, err := ds.ReadDayColumnsCached(a.cache, days[i], names)
+		return tab, err
+	})
+}
+
+// jobColumns is the job-records schema, in archive column order.
+var jobColumns = []string{
+	"allocation_id", "class", "domain", "num_nodes", "begin_time", "end_time",
+	"max_sum_inp", "mean_sum_inp", "energy",
+	"mean_mean_cpu_pwr", "max_cpu_pwr", "mean_mean_gpu_pwr", "max_gpu_pwr",
+}
+
+// JobRecords implements RunSource.
+func (a *ArchiveSource) JobRecords() ([]JobRecord, error) {
+	tabs, err := a.readAllDays(a.jobs, jobColumns)
+	if err != nil {
+		return nil, err
+	}
+	var out []JobRecord
+	for _, tab := range tabs {
+		cols := map[string]*store.Column{}
+		for _, name := range jobColumns {
+			c := tab.Col(name)
+			if c == nil {
+				return nil, fmt.Errorf("source: job dataset missing column %q", name)
+			}
+			cols[name] = c
+		}
+		for i := 0; i < tab.NumRows(); i++ {
+			out = append(out, JobRecord{
+				AllocationID:  cols["allocation_id"].Ints[i],
+				Class:         int(cols["class"].Ints[i]),
+				Domain:        int(cols["domain"].Ints[i]),
+				Nodes:         int(cols["num_nodes"].Ints[i]),
+				BeginTime:     cols["begin_time"].Ints[i],
+				EndTime:       cols["end_time"].Ints[i],
+				MaxPowerW:     cols["max_sum_inp"].Floats[i],
+				MeanPowerW:    cols["mean_sum_inp"].Floats[i],
+				EnergyJ:       cols["energy"].Floats[i],
+				MeanCPUPowerW: cols["mean_mean_cpu_pwr"].Floats[i],
+				MaxCPUPowerW:  cols["max_cpu_pwr"].Floats[i],
+				MeanGPUPowerW: cols["mean_mean_gpu_pwr"].Floats[i],
+				MaxGPUPowerW:  cols["max_gpu_pwr"].Floats[i],
+			})
+		}
+	}
+	return out, nil
+}
+
+// failureColumns is the failure-log schema.
+var failureColumns = []string{
+	"timestamp", "node", "slot", "xid_type", "allocation_id",
+	"gpu_core_temp", "temp_zscore",
+}
+
+// Failures implements RunSource.
+func (a *ArchiveSource) Failures() ([]failures.Event, error) {
+	tabs, err := a.readAllDays(a.fails, failureColumns)
+	if err != nil {
+		return nil, err
+	}
+	var out []failures.Event
+	for _, tab := range tabs {
+		cols := map[string]*store.Column{}
+		for _, name := range failureColumns {
+			c := tab.Col(name)
+			if c == nil {
+				return nil, fmt.Errorf("source: failure dataset missing column %q", name)
+			}
+			cols[name] = c
+		}
+		for i := 0; i < tab.NumRows(); i++ {
+			out = append(out, failures.Event{
+				Time:  cols["timestamp"].Ints[i],
+				Node:  topology.NodeID(cols["node"].Ints[i]),
+				Slot:  topology.GPUSlot(cols["slot"].Ints[i]),
+				Type:  failures.Type(cols["xid_type"].Ints[i]),
+				JobID: cols["allocation_id"].Ints[i],
+				TempC: cols["gpu_core_temp"].Floats[i],
+				TempZ: cols["temp_zscore"].Floats[i],
+			})
+		}
+	}
+	return out, nil
+}
+
+// nodeColumns is the per-node window schema.
+var nodeColumns = []string{
+	"timestamp", "node", "input_power.count",
+	"input_power.min", "input_power.max", "input_power.mean", "input_power.std",
+}
+
+// NodeWindows implements RunSource.
+func (a *ArchiveSource) NodeWindows(day int) (map[int][]tsagg.WindowStat, error) {
+	days, err := a.nodeData.Days()
+	if err != nil {
+		return nil, err
+	}
+	if len(days) == 0 {
+		return nil, fmt.Errorf("source: archive has no %s dataset (run summitsim -nodedata): %w",
+			DatasetNodePower, ErrUnavailable)
+	}
+	tab, _, err := a.nodeData.ReadDayColumnsCached(a.cache, day, nodeColumns)
+	if err != nil {
+		return nil, err
+	}
+	cols := map[string]*store.Column{}
+	for _, name := range nodeColumns {
+		c := tab.Col(name)
+		if c == nil {
+			return nil, fmt.Errorf("source: node dataset missing column %q", name)
+		}
+		cols[name] = c
+	}
+	out := map[int][]tsagg.WindowStat{}
+	for i := 0; i < tab.NumRows(); i++ {
+		n := int(cols["node"].Ints[i])
+		out[n] = append(out[n], tsagg.WindowStat{
+			T:     cols["timestamp"].Ints[i],
+			Count: cols["input_power.count"].Ints[i],
+			Min:   cols["input_power.min"].Floats[i],
+			Max:   cols["input_power.max"].Floats[i],
+			Mean:  cols["input_power.mean"].Floats[i],
+			Std:   cols["input_power.std"].Floats[i],
+		})
+	}
+	return out, nil
+}
+
+// Floor lazily builds the floor topology for the archive's system size
+// (rollup-style consumers need it; plain analyses do not).
+func (a *ArchiveSource) Floor() (*topology.Floor, error) {
+	a.floorOnce.Do(func() {
+		if a.meta.Nodes <= 0 {
+			a.floorErr = fmt.Errorf("source: archive system size unknown: %w", ErrUnavailable)
+			return
+		}
+		a.floor, a.floorErr = topology.New(topology.ScaledConfig(a.meta.Nodes))
+	})
+	return a.floor, a.floorErr
+}

@@ -1,0 +1,120 @@
+package source
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// writeFixture builds a two-day cluster-power archive plus a run manifest.
+const (
+	fixStart = int64(1_600_000_000)
+	fixStep  = int64(60)
+	fixDays  = 2
+)
+
+func fixVal(tm int64) float64 { return 5e6 + float64(tm%7200) }
+
+func writeFixture(t testing.TB, dir string) Meta {
+	t.Helper()
+	ds, err := store.NewDataset(dir, DatasetClusterPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := 0
+	for day := 0; day < fixDays; day++ {
+		var ts []int64
+		var vals []float64
+		for tm := fixStart + int64(day)*86400; tm < fixStart+int64(day+1)*86400; tm += fixStep {
+			ts = append(ts, tm)
+			vals = append(vals, fixVal(tm))
+		}
+		windows += len(ts)
+		err := ds.WriteDay(day, &store.Table{Cols: []store.Column{
+			{Name: "timestamp", Ints: ts},
+			{Name: SeriesClusterPower, Floats: vals},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := Meta{StartTime: fixStart, StepSec: fixStep, Nodes: 40, Windows: windows}
+	manifest, err := store.NewDataset(dir, DatasetRunMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := manifest.WriteDay(0, ManifestTable(meta)); err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func TestOpenArchiveMetaFromManifest(t *testing.T) {
+	dir := t.TempDir()
+	want := writeFixture(t, dir)
+	arc, err := OpenArchive(ArchiveConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := arc.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("meta = %+v, want %+v", got, want)
+	}
+	if _, err := arc.Series("no_such_series"); err == nil {
+		t.Error("unknown series accepted")
+	}
+	if _, err := arc.Failures(); err == nil {
+		t.Error("missing failure dataset accepted")
+	}
+}
+
+// TestConcurrentSeriesReads hammers one ArchiveSource from many goroutines:
+// the shared decoded-table cache and the lazily built topology floor must
+// hold under the race detector.
+func TestConcurrentSeriesReads(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir)
+	arc, err := OpenArchive(ArchiveConfig{Dir: dir, Cache: store.NewTableCache(1 << 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				t0 := fixStart + int64((g*4+i)%fixDays)*86400
+				s, err := arc.SeriesRange(SeriesClusterPower, t0, t0+3600)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j, v := range s.Vals {
+					if math.IsNaN(v) {
+						continue
+					}
+					if want := fixVal(s.TimeAt(j)); v != want {
+						t.Errorf("goroutine %d: value at %d = %v, want %v", g, s.TimeAt(j), v, want)
+						return
+					}
+				}
+				if _, err := arc.Floor(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

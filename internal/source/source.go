@@ -1,0 +1,130 @@
+// Package source unifies the reproduction's two data planes — the live
+// in-memory run data produced by the simulator's collector, and the
+// daily-partitioned columnar archive on disk — behind one RunSource
+// interface. Every analysis consumes a RunSource, so the identical analysis
+// code runs over a just-simulated span and over an archived year (the
+// paper's workflow: the same pipeline serves near-real-time dashboards and
+// the 8.5 TB historical archive).
+//
+// Two implementations exist: MemorySource (a run's collected series,
+// job records and failure log, held in memory) and ArchiveSource (the
+// store-backed archive, read through partition pruning, column-selective
+// streaming decode, and the shared decoded-table cache). A simulated run
+// archived and re-opened must answer every accessor bit-identically to its
+// in-memory source — the parity test in internal/core enforces this.
+package source
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/failures"
+	"repro/internal/tsagg"
+)
+
+// Canonical series names: the cluster/facility/thermal series every
+// RunSource serves, named exactly as the archive's cluster-dataset columns
+// so the live plane, the archive and the query tier agree on one schema.
+const (
+	SeriesClusterPower     = "sum_inp"      // Σ sensor input power (W)
+	SeriesClusterTruePower = "sum_inp_true" // ground-truth Σ input power (W)
+	SeriesCPUPower         = "cpu_power"    // Σ CPU component power (W)
+	SeriesGPUPower         = "gpu_power"    // Σ GPU component power (W)
+	SeriesPUE              = "pue"
+	SeriesSupplyC          = "mtwst" // medium-temp water supply (°C)
+	SeriesReturnC          = "mtwrt" // medium-temp water return (°C)
+	SeriesTowerTons        = "tower_tons"
+	SeriesChillerTons      = "chiller_tons"
+	SeriesTowerCount       = "tower_count"
+	SeriesChillerCount     = "chiller_count"
+	SeriesWetBulbC         = "wet_bulb"
+	SeriesGPUTempMean      = "gpu_core_temp_mean"
+	SeriesGPUTempMax       = "gpu_core_temp_max"
+	SeriesCPUTempMean      = "cpu_core_temp_mean"
+	SeriesCPUTempMax       = "cpu_core_temp_max"
+)
+
+// GPUBandSeries names the per-window GPU temperature-band count series for
+// band b (the §2 dashboard histogram).
+func GPUBandSeries(b int) string { return fmt.Sprintf("gpu_band_%d", b) }
+
+// MeterSeriesName names the per-MSB meter reading series for switchboard m.
+func MeterSeriesName(m int) string { return fmt.Sprintf("meter_power_%d", m) }
+
+// MSBSumSeriesName names the per-MSB sensor summation series for
+// switchboard m.
+func MSBSumSeriesName(m int) string { return fmt.Sprintf("msb_sensor_sum_%d", m) }
+
+// Sentinel errors shared by every implementation.
+var (
+	// ErrUnknownSeries marks a series name the source does not carry.
+	ErrUnknownSeries = errors.New("source: unknown series")
+	// ErrUnavailable marks data the source cannot provide at all (e.g. an
+	// archive written without the optional per-node dataset, or one predating
+	// the meter columns).
+	ErrUnavailable = errors.New("source: unavailable")
+)
+
+// Meta describes the run a source covers: the coarsening grid and the
+// system size, from which the analyses derive thresholds and denominators.
+type Meta struct {
+	// StartTime is the unix time of the first coarsening window.
+	StartTime int64
+	// StepSec is the coarsening window size (the paper's 10 s grid).
+	StepSec int64
+	// Nodes is the system size the run was produced with.
+	Nodes int
+	// Windows is the run's span in coarsening windows.
+	Windows int
+}
+
+// SpanSec is the covered span in seconds.
+func (m Meta) SpanSec() int64 { return int64(m.Windows) * m.StepSec }
+
+// JobRecord is one observed job's summary row — the neutral form both
+// planes serve (the archive's job-records dataset carries exactly these
+// columns). Class and Domain are the raw identifiers; consumers needing
+// the typed views convert via units/workload.
+type JobRecord struct {
+	AllocationID  int64
+	Class         int
+	Domain        int
+	Nodes         int
+	BeginTime     int64
+	EndTime       int64
+	MaxPowerW     float64
+	MeanPowerW    float64
+	EnergyJ       float64
+	MeanCPUPowerW float64
+	MaxCPUPowerW  float64
+	MeanGPUPowerW float64
+	MaxGPUPowerW  float64
+}
+
+// RunSource is the single data plane behind every analysis: cluster,
+// facility and thermal series on the coarsening grid, per-MSB meter
+// validation series, job records, the failure log, and (optionally)
+// per-node window statistics.
+//
+// Implementations must be safe for concurrent use: queryd runs analyses
+// from concurrent requests over one source.
+type RunSource interface {
+	// Meta returns the run's dimensions.
+	Meta() (Meta, error)
+	// Series returns the named series over the full run on the coarsening
+	// grid. Unknown names return ErrUnknownSeries.
+	Series(name string) (*tsagg.Series, error)
+	// SeriesNames lists every series Series can serve, sorted.
+	SeriesNames() ([]string, error)
+	// MeterSeries returns the per-MSB meter readings and per-node sensor
+	// summations (parallel slices, one entry per switchboard), or
+	// ErrUnavailable when the plane does not carry them.
+	MeterSeries() (meters, sums []*tsagg.Series, err error)
+	// JobRecords returns one row per observed job.
+	JobRecords() ([]JobRecord, error)
+	// Failures returns the run's failure log.
+	Failures() ([]failures.Event, error)
+	// NodeWindows returns one day's per-node window statistics grouped by
+	// node, or ErrUnavailable when per-node data was not collected.
+	NodeWindows(day int) (map[int][]tsagg.WindowStat, error)
+}

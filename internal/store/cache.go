@@ -1,19 +1,24 @@
-package query
+package store
 
 import (
 	"container/list"
 	"hash/fnv"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/store"
 )
 
-// tableCache is a sharded, size-bounded LRU over decoded day tables. The
-// gzip+delta decode of a partition is the measured hot path of a range
-// query; keeping decoded tables resident lets repeated range queries over
-// the same days skip it entirely. Sharding keeps lock contention off the
-// serving path when many queries hit the cache concurrently.
+// TableCache is a sharded, size-bounded LRU over decoded day tables. The
+// gzip+delta decode of a partition is the measured hot path of both the
+// query tier and the archive-backed analyses; keeping decoded tables
+// resident lets repeated reads of the same days skip it entirely. Sharding
+// keeps lock contention off the serving path when many readers hit the
+// cache concurrently.
+//
+// The cache lives in store — not in any one consumer — so the query engine
+// and the analysis source layer can share a single byte budget: one cache,
+// one eviction policy, however many data planes read through it.
 //
 // The byte budget is global, not per shard: one day of per-node telemetry
 // decodes to tens of megabytes, so a per-shard budget would refuse exactly
@@ -22,9 +27,11 @@ import (
 // cannot deadlock).
 const cacheShards = 16
 
-type tableCache struct {
-	max   int64
-	bytes atomic.Int64 // resident decoded bytes across all shards
+// TableCache is safe for concurrent use. The zero value is not usable;
+// construct with NewTableCache.
+type TableCache struct {
+	max    int64
+	bytes  atomic.Int64 // resident decoded bytes across all shards
 	shards [cacheShards]cacheShard
 }
 
@@ -36,14 +43,14 @@ type cacheShard struct {
 
 type cacheEntry struct {
 	key  string
-	tab  *store.Table
+	tab  *Table
 	size int64
 }
 
-// newTableCache bounds total decoded bytes across all shards. maxBytes <= 0
+// NewTableCache bounds total decoded bytes across all shards. maxBytes <= 0
 // disables caching (every Get misses, Put is a no-op).
-func newTableCache(maxBytes int64) *tableCache {
-	c := &tableCache{max: maxBytes}
+func NewTableCache(maxBytes int64) *TableCache {
+	c := &TableCache{max: maxBytes}
 	for i := range c.shards {
 		c.shards[i].ll = list.New()
 		c.shards[i].items = make(map[string]*list.Element)
@@ -51,14 +58,17 @@ func newTableCache(maxBytes int64) *tableCache {
 	return c
 }
 
-func (c *tableCache) shardIndex(key string) int {
+// Max returns the configured byte budget.
+func (c *TableCache) Max() int64 { return c.max }
+
+func (c *TableCache) shardIndex(key string) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
 	return int(h.Sum32() % cacheShards)
 }
 
 // Get returns the cached table for key, promoting it to most recently used.
-func (c *tableCache) Get(key string) (*store.Table, bool) {
+func (c *TableCache) Get(key string) (*Table, bool) {
 	s := &c.shards[c.shardIndex(key)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -73,8 +83,8 @@ func (c *tableCache) Get(key string) (*store.Table, bool) {
 // Put inserts (or refreshes) the table under key and returns how many
 // entries were evicted to stay under the byte budget. A table larger than
 // the entire budget is not cached at all.
-func (c *tableCache) Put(key string, tab *store.Table) (evicted int) {
-	size := tableBytes(tab)
+func (c *TableCache) Put(key string, tab *Table) (evicted int) {
+	size := TableBytes(tab)
 	if size > c.max {
 		return 0
 	}
@@ -109,7 +119,7 @@ func (c *tableCache) Put(key string, tab *store.Table) (evicted int) {
 }
 
 // evictOldest removes the LRU entry of s. Caller holds s.mu.
-func (c *tableCache) evictOldest(s *cacheShard) int {
+func (c *TableCache) evictOldest(s *cacheShard) int {
 	oldest := s.ll.Back()
 	if oldest == nil {
 		return 0
@@ -122,7 +132,7 @@ func (c *tableCache) evictOldest(s *cacheShard) int {
 }
 
 // Flush empties the cache.
-func (c *tableCache) Flush() {
+func (c *TableCache) Flush() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -136,7 +146,7 @@ func (c *tableCache) Flush() {
 }
 
 // Stats returns the resident entry count and decoded byte total.
-func (c *tableCache) Stats() (entries int, bytes int64) {
+func (c *TableCache) Stats() (entries int, bytes int64) {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -146,9 +156,42 @@ func (c *tableCache) Stats() (entries int, bytes int64) {
 	return entries, c.bytes.Load()
 }
 
-// tableBytes approximates the resident size of a decoded table: 8 bytes per
-// value plus per-column slice overhead.
-func tableBytes(t *store.Table) int64 {
+// CacheKey builds the canonical cache key of one decoded partition read:
+// dataset, day, and the column selection (nil = every column). Consumers
+// sharing one TableCache must key reads this way so a full-table load and a
+// column-selective load never alias.
+func CacheKey(dataset string, day int, cols []string) string {
+	key := dataset + "|" + strconv.Itoa(day) + "|"
+	if cols == nil {
+		return key + "*"
+	}
+	return key + strings.Join(cols, ",")
+}
+
+// ReadDayColumnsCached is the shared hot-path read: load the named columns
+// of one day partition (nil = all) through the cache. The boolean reports a
+// cache hit. A nil cache degrades to an uncached read.
+func (d *Dataset) ReadDayColumnsCached(c *TableCache, day int, names []string) (*Table, bool, error) {
+	if c == nil {
+		t, err := d.ReadDayColumns(day, names)
+		return t, false, err
+	}
+	key := CacheKey(d.Name, day, names)
+	if tab, ok := c.Get(key); ok {
+		return tab, true, nil
+	}
+	tab, err := d.ReadDayColumns(day, names)
+	if err != nil {
+		return nil, false, err
+	}
+	c.Put(key, tab)
+	return tab, false, nil
+}
+
+// TableBytes approximates the resident size of a decoded table: 8 bytes per
+// value plus per-column slice overhead. Cache accounting and decode metrics
+// share this estimate.
+func TableBytes(t *Table) int64 {
 	var b int64
 	for i := range t.Cols {
 		b += int64(t.Cols[i].Len())*8 + 64

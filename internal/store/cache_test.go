@@ -1,29 +1,27 @@
-package query
+package store
 
 import (
 	"fmt"
 	"sync"
 	"testing"
-
-	"repro/internal/store"
 )
 
-func testTable(rows int) *store.Table {
+func cacheTestTable(rows int) *Table {
 	ts := make([]int64, rows)
 	v := make([]float64, rows)
 	for i := range ts {
 		ts[i] = int64(i)
 		v[i] = float64(i)
 	}
-	return &store.Table{Cols: []store.Column{
+	return &Table{Cols: []Column{
 		{Name: "timestamp", Ints: ts},
 		{Name: "v", Floats: v},
 	}}
 }
 
 func TestCacheHitAndPromote(t *testing.T) {
-	c := newTableCache(1 << 20)
-	tab := testTable(10)
+	c := NewTableCache(1 << 20)
+	tab := cacheTestTable(10)
 	c.Put("a", tab)
 	got, ok := c.Get("a")
 	if !ok || got != tab {
@@ -33,7 +31,7 @@ func TestCacheHitAndPromote(t *testing.T) {
 		t.Fatal("phantom hit")
 	}
 	entries, bytes := c.Stats()
-	if entries != 1 || bytes != tableBytes(tab) {
+	if entries != 1 || bytes != TableBytes(tab) {
 		t.Errorf("stats = %d entries, %d bytes", entries, bytes)
 	}
 }
@@ -41,11 +39,11 @@ func TestCacheHitAndPromote(t *testing.T) {
 func TestCacheEvictsLRU(t *testing.T) {
 	// Budget of ~32 tables, 200 inserted: eviction must kick in and the
 	// global byte accounting must stay under budget throughout.
-	budget := int64(cacheShards) * (tableBytes(testTable(100)) * 2)
-	c := newTableCache(budget)
+	budget := int64(cacheShards) * (TableBytes(cacheTestTable(100)) * 2)
+	c := NewTableCache(budget)
 	evicted := 0
 	for i := 0; i < 200; i++ {
-		evicted += c.Put(fmt.Sprintf("k%d", i), testTable(100))
+		evicted += c.Put(fmt.Sprintf("k%d", i), cacheTestTable(100))
 	}
 	if evicted == 0 {
 		t.Error("no evictions despite exceeding the budget")
@@ -57,8 +55,8 @@ func TestCacheEvictsLRU(t *testing.T) {
 }
 
 func TestCacheOversizedEntryNotCached(t *testing.T) {
-	c := newTableCache(1024) // smaller than any real table: nothing fits
-	c.Put("big", testTable(1000))
+	c := NewTableCache(1024) // smaller than any real table: nothing fits
+	c.Put("big", cacheTestTable(1000))
 	if _, ok := c.Get("big"); ok {
 		t.Error("oversized table cached")
 	}
@@ -68,11 +66,11 @@ func TestCacheAdmitsEntryLargerThanShardShare(t *testing.T) {
 	// The budget is global: a table bigger than budget/shards (one day of
 	// per-node telemetry vs the default budget) must still be cached, with
 	// eviction spilling into other shards to make room.
-	big := testTable(2000)
-	budget := tableBytes(big) + tableBytes(big)/2
-	c := newTableCache(budget)
+	big := cacheTestTable(2000)
+	budget := TableBytes(big) + TableBytes(big)/2
+	c := NewTableCache(budget)
 	for i := 0; i < 32; i++ {
-		c.Put(fmt.Sprintf("small%d", i), testTable(10))
+		c.Put(fmt.Sprintf("small%d", i), cacheTestTable(10))
 	}
 	c.Put("big", big)
 	if _, ok := c.Get("big"); !ok {
@@ -84,8 +82,8 @@ func TestCacheAdmitsEntryLargerThanShardShare(t *testing.T) {
 }
 
 func TestCacheFlush(t *testing.T) {
-	c := newTableCache(1 << 20)
-	c.Put("a", testTable(5))
+	c := NewTableCache(1 << 20)
+	c.Put("a", cacheTestTable(5))
 	c.Flush()
 	if _, ok := c.Get("a"); ok {
 		t.Error("Flush left entries behind")
@@ -96,21 +94,21 @@ func TestCacheFlush(t *testing.T) {
 }
 
 func TestCacheUpdateSameKey(t *testing.T) {
-	c := newTableCache(1 << 20)
-	c.Put("a", testTable(5))
-	bigger := testTable(50)
+	c := NewTableCache(1 << 20)
+	c.Put("a", cacheTestTable(5))
+	bigger := cacheTestTable(50)
 	c.Put("a", bigger)
 	got, ok := c.Get("a")
 	if !ok || got != bigger {
 		t.Fatal("update lost")
 	}
-	if entries, bytes := c.Stats(); entries != 1 || bytes != tableBytes(bigger) {
+	if entries, bytes := c.Stats(); entries != 1 || bytes != TableBytes(bigger) {
 		t.Errorf("stats after update = %d entries, %d bytes", entries, bytes)
 	}
 }
 
 func TestCacheConcurrent(t *testing.T) {
-	c := newTableCache(1 << 18)
+	c := NewTableCache(1 << 18)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -119,7 +117,7 @@ func TestCacheConcurrent(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				key := fmt.Sprintf("k%d", (w*31+i)%64)
 				if _, ok := c.Get(key); !ok {
-					c.Put(key, testTable(20))
+					c.Put(key, cacheTestTable(20))
 				}
 			}
 		}(w)

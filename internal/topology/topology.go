@@ -92,19 +92,37 @@ func New(cfg Config) (*Floor, error) {
 	// MSBs feed contiguous blocks of cabinets, mirroring the physical
 	// power-distribution zoning of the floor.
 	msbOf := make([]MSB, cabinets)
-	base, rem := cabinets/cfg.MSBs, cabinets%cfg.MSBs
-	i := 0
-	for m := 0; m < cfg.MSBs; m++ {
-		n := base
-		if m < rem {
-			n++
-		}
-		for j := 0; j < n && i < cabinets; j++ {
-			msbOf[i] = MSB(m)
-			i++
-		}
+	for cab := range msbOf {
+		msbOf[cab] = cabinetMSB(cabinets, cfg.MSBs, cab)
 	}
 	return &Floor{cfg: cfg, cabinets: cabinets, rows: rows, msbOf: msbOf}, nil
+}
+
+// cabinetMSB assigns cabinet cab under the contiguous-block distribution of
+// cabinets over msbs switchboards: the first cabinets%msbs switchboards feed
+// one extra cabinet. Floor.MSBOf and MSBForNode both resolve through here,
+// so the two can never drift.
+func cabinetMSB(cabinets, msbs, cab int) MSB {
+	base, rem := cabinets/msbs, cabinets%msbs
+	boundary := rem * (base + 1)
+	if cab < boundary {
+		return MSB(cab / (base + 1))
+	}
+	return MSB(rem + (cab-boundary)/base)
+}
+
+// MSBForNode returns the switchboard feeding the given node on a floor of
+// nodes total nodes and msbs switchboards with the standard Summit cabinet
+// size, without building a Floor. Out-of-range arguments clamp to MSB 0.
+func MSBForNode(nodes, msbs, node int) MSB {
+	if nodes <= 0 || msbs <= 0 || node < 0 {
+		return 0
+	}
+	cabinets := (nodes + units.NodesPerCabinet - 1) / units.NodesPerCabinet
+	if msbs > cabinets {
+		msbs = cabinets // more feeds than cabinets: trailing MSBs are unused
+	}
+	return cabinetMSB(cabinets, msbs, node/units.NodesPerCabinet)
 }
 
 // MustNew is New but panics on error; for use with known-good configs.

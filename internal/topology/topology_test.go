@@ -225,3 +225,31 @@ func TestLocationRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMSBForNodeMatchesFloor(t *testing.T) {
+	for _, nodes := range []int{1, 17, 18, 19, 36, 90, 256, 500, 4626} {
+		for _, msbs := range []int{1, 2, 3, 5, 7} {
+			cfg := ScaledConfig(nodes)
+			cfg.MSBs = msbs
+			f := MustNew(cfg)
+			for id := NodeID(0); int(id) < nodes; id++ {
+				if got, want := MSBForNode(nodes, msbs, int(id)), f.MSBOf(id); got != want {
+					t.Fatalf("MSBForNode(%d, %d, %d) = %v, Floor says %v",
+						nodes, msbs, id, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMSBForNodeClamps(t *testing.T) {
+	if got := MSBForNode(0, 5, 0); got != 0 {
+		t.Errorf("zero nodes: got %v", got)
+	}
+	if got := MSBForNode(100, 0, 0); got != 0 {
+		t.Errorf("zero msbs: got %v", got)
+	}
+	if got := MSBForNode(100, 5, -1); got != 0 {
+		t.Errorf("negative node: got %v", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/failures"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
+	"repro/internal/source"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -130,6 +131,72 @@ func SimulateWithVariability(cfg Config) (*RunData, *core.VariabilityCollector, 
 	}
 	col.SetFailures(res.Failures)
 	return col.Data(), vc, res, nil
+}
+
+// Data planes. A RunSource abstracts where a run's telemetry lives — in
+// memory right after Simulate, or in a columnar archive on disk — so the
+// same analyses run over both and cannot drift.
+
+// RunSource is the unified read interface over a run (live or archived).
+type RunSource = source.RunSource
+
+// ArchiveConfig parameterizes OpenArchive.
+type ArchiveConfig = source.ArchiveConfig
+
+// NewMemorySource wraps collected run data as a RunSource (the live plane).
+func NewMemorySource(d *RunData) RunSource { return d.Source() }
+
+// OpenArchive opens an archive directory written by WriteDatasets (or the
+// summitsim CLI) as a RunSource (the archived plane). Reads are
+// partition-pruned, column-selective and cached.
+func OpenArchive(cfg ArchiveConfig) (RunSource, error) { return source.OpenArchive(cfg) }
+
+// WriteDatasets archives a run into dir as daily-partitioned columnar
+// datasets readable by OpenArchive, cmd/analyze and cmd/queryd.
+func WriteDatasets(dir string, d *RunData) error { return core.WriteDatasets(dir, d) }
+
+// Source-based analysis entry points: each works identically on either
+// plane (the parity test in internal/core holds them bit-identical).
+
+// EdgesFromSource detects cluster-level power edges (>|10 MW|-equivalent).
+func EdgesFromSource(src RunSource) ([]core.Edge, error) { return core.EdgesFromSource(src) }
+
+// SwingsFromSource measures steepest swings and the FFT swing spectrum.
+func SwingsFromSource(src RunSource) (*core.SwingReport, error) { return core.SwingsFromSource(src) }
+
+// ThermalBandsFromSource reduces GPU temperature band occupancy.
+func ThermalBandsFromSource(src RunSource) ([]core.BandSummary, error) {
+	return core.ThermalBandsFromSource(src)
+}
+
+// EarlyWarningFromSource evaluates the §6.1 precursor→outcome pairs.
+func EarlyWarningFromSource(src RunSource, window time.Duration) ([]core.PrecursorStats, error) {
+	return core.EarlyWarningFromSource(src, int64(window/time.Second))
+}
+
+// OvercoolingFromSource quantifies cooling delivered beyond the heat load.
+func OvercoolingFromSource(src RunSource) (*core.OvercoolingReport, error) {
+	return core.OvercoolingFromSource(src)
+}
+
+// ValidationFromSource compares MSB meters against sensor summation.
+func ValidationFromSource(src RunSource) (*core.ValidationReport, error) {
+	return core.ValidationFromSource(src)
+}
+
+// FailureCompositionFromSource tallies the failure log by XID type.
+func FailureCompositionFromSource(src RunSource) ([]core.FailureComposition, error) {
+	return core.FailureCompositionFromSource(src)
+}
+
+// FailureCorrelationFromSource computes failure co-occurrence correlation.
+func FailureCorrelationFromSource(src RunSource, alpha float64) ([]core.CorrelationCell, error) {
+	return core.FailureCorrelationFromSource(src, alpha)
+}
+
+// SummaryFromSource reduces every canonical series to run-long statistics.
+func SummaryFromSource(src RunSource) ([]core.SeriesSummary, error) {
+	return core.SummaryFromSource(src)
 }
 
 // Analysis entry points (one per paper table/figure). These are thin,
