@@ -2,10 +2,7 @@
 
 GO ?= go
 
-# Concurrency-heavy packages that get the race detector in CI.
-RACE_PKGS = ./internal/query/... ./internal/source/... ./internal/telemetry/...
-
-.PHONY: all build test vet race check ci bench bench-query clean
+.PHONY: all build test vet fmt lint race check ci bench bench-query clean
 
 all: check
 
@@ -18,16 +15,28 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt fails (listing the files) when anything needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint runs reprolint, the repository's own static-analysis suite
+# (see internal/lint): determinism, unit safety, float comparison,
+# error wrapping, and lock/goroutine hygiene.
+lint:
+	$(GO) run ./cmd/reprolint ./...
+
+# race runs every package under the race detector; the heavyweight
+# simulation tests are trimmed so this stays bounded.
 race:
 	$(GO) test -race ./...
 
-# check is the full gate: compile, vet, unit tests, then the race detector.
-check: build vet test race
+# check is the full gate: compile, format, vet, lint, unit tests, then the
+# race detector.
+check: build fmt vet lint test race
 
-# ci mirrors .github/workflows/ci.yml: full vet/build/test plus the race
-# detector on the concurrency-heavy packages only (keeps the gate fast).
-ci: vet build test
-	$(GO) test -race $(RACE_PKGS)
+# ci mirrors .github/workflows/ci.yml.
+ci: fmt vet lint build test race
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/render"
 	"repro/internal/source"
+	"repro/internal/units"
 )
 
 func main() {
@@ -102,7 +103,7 @@ func edges(w io.Writer, src source.RunSource) error {
 		if !e.Rising {
 			dir = "fall"
 		}
-		tab.Row(e.T, dir, e.AmplitudeW/1e6, e.DurationSec)
+		tab.Row(e.T, dir, e.AmplitudeW/units.WattsPerMW, e.DurationSec)
 	}
 	if _, err := tab.WriteTo(w); err != nil {
 		return err
@@ -121,9 +122,9 @@ func fft(w io.Writer, src source.RunSource) error {
 		return fmt.Errorf("series too short for FFT")
 	}
 	fmt.Fprintf(w, "steepest swings: +%.2f MW / %.2f MW per window\n",
-		rep.MaxRiseW/1e6, rep.MaxFallW/1e6)
+		rep.MaxRiseW/units.WattsPerMW, rep.MaxFallW/units.WattsPerMW)
 	fmt.Fprintf(w, "dominant swing: %.5f Hz (period %.0f s), amplitude %.2f MW\n",
-		rep.DominantFreqHz, 1/rep.DominantFreqHz, rep.DominantAmpW/1e6)
+		rep.DominantFreqHz, 1/rep.DominantFreqHz, rep.DominantAmpW/units.WattsPerMW)
 	tab := render.NewTable("rank", "freq (Hz)", "period (s)", "amplitude (W)")
 	for i, c := range rep.Top {
 		tab.Row(i+1, c.FreqHz, c.PeriodSec, c.AmplitudeW)
@@ -193,8 +194,8 @@ func jobAnalysis(w io.Writer, src source.RunSource) error {
 			break
 		}
 		tab.Row(r.AllocationID, r.Class, r.Nodes,
-			float64(r.EndTime-r.BeginTime)/3600, r.MeanPowerW/1e3,
-			r.MaxPowerW/1e3, r.EnergyJ/3.6e6)
+			float64(r.EndTime-r.BeginTime)/units.SecondsPerHour, r.MeanPowerW/units.WattsPerKW,
+			r.MaxPowerW/units.WattsPerKW, r.EnergyJ/units.JoulesPerKWh)
 	}
 	if _, err := tab.WriteTo(w); err != nil {
 		return err
@@ -220,7 +221,7 @@ func bandAnalysis(w io.Writer, src source.RunSource) error {
 }
 
 func earlyWarningAnalysis(w io.Writer, src source.RunSource) error {
-	stats, err := core.EarlyWarningFromSource(src, 3600)
+	stats, err := core.EarlyWarningFromSource(src, units.SecondsPerHour)
 	if err != nil {
 		return err
 	}
@@ -240,14 +241,14 @@ func validationAnalysis(w io.Writer, src source.RunSource) error {
 	}
 	tab := render.NewTable("MSB", "windows", "mean diff (kW)", "std (kW)", "corr", "meter mean (kW)", "sum mean (kW)")
 	for _, m := range rep.PerMSB {
-		tab.Row(m.MSB, m.N, m.MeanDiffW/1e3, m.StdDiffW/1e3, m.Corr,
-			m.MeanMeterW/1e3, m.MeanSumW/1e3)
+		tab.Row(m.MSB, m.N, m.MeanDiffW/units.WattsPerKW, m.StdDiffW/units.WattsPerKW, m.Corr,
+			m.MeanMeterW/units.WattsPerKW, m.MeanSumW/units.WattsPerKW)
 	}
 	if _, err := tab.WriteTo(w); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "mean difference %.2f kW, relative error %.2f%%\n",
-		rep.MeanDiffAllW/1e3, rep.RelativeError*100)
+		rep.MeanDiffAllW/units.WattsPerKW, rep.RelativeError*100)
 	return nil
 }
 

@@ -1,0 +1,84 @@
+// Command reprolint runs the repository's static-analysis suite (see
+// internal/lint) over module packages and exits non-zero on any violation.
+// It is the multichecker `make ci` runs; stock `go vet` runs alongside it
+// in the same CI target, covering the standard passes.
+//
+// Usage:
+//
+//	reprolint [-analyzers list] [-list] [packages ...]
+//
+// Package patterns are directories relative to the working directory, with
+// ./... expansion; the default is ./... . Intentional exceptions are
+// annotated at the offending line:
+//
+//	//lint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reprolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list  = fs.Bool("list", false, "list analyzers and exit")
+		names = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := lint.All()
+	if *names != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*names, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags, err := lint.LintPackages(cwd, fs.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, relativize(cwd, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "reprolint: %d violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relativize shortens absolute diagnostic paths to the working directory
+// for readable, clickable output.
+func relativize(cwd string, d lint.Diagnostic) string {
+	s := d.String()
+	if rel, ok := strings.CutPrefix(s, cwd+string(os.PathSeparator)); ok {
+		return rel
+	}
+	return s
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run -list = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run -analyzers nope = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing explanation: %s", stderr.String())
+	}
+}
+
+// TestRepoIsLintClean is the merge gate in test form: the whole module must
+// be violation-free under the full suite, matching what `make lint` runs.
+func TestRepoIsLintClean(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.LintPackages(loader.ModuleDir(), nil, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/store"
+	"repro/internal/units"
 )
 
 func main() {
@@ -59,7 +60,7 @@ func main() {
 	power := series["sum_inp"]
 	m := power.Stats()
 	fmt.Printf("restored cluster power: %d windows, mean %.1f kW, max %.1f kW\n",
-		m.N, m.Mean()/1e3, m.Max/1e3)
+		m.N, m.Mean()/units.WattsPerKW, m.Max/units.WattsPerKW)
 
 	edges := core.DetectEdgesThreshold(power, core.ScaleEquivalentMW(cfg.Nodes))
 	fmt.Printf("scale-equivalent-MW edges on restored series: %d\n", len(edges))

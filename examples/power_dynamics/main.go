@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/units"
 )
 
 func main() {
@@ -58,7 +59,7 @@ func main() {
 
 	// Cluster-level edges with superimposed snapshots (Figure 11).
 	sets := repro.Figure11EdgeSnapshots(data, time.Minute, 4*time.Minute)
-	fmt.Printf("\ncluster edge threshold: %.2f MW\n", float64(cfg.Nodes)*868/1e6)
+	fmt.Printf("\ncluster edge threshold: %.2f MW\n", float64(cfg.Nodes)*868/units.WattsPerMW)
 	for _, s := range sets {
 		// Power at the aligned edge offset vs one minute before.
 		var before, at float64
@@ -71,7 +72,7 @@ func main() {
 			}
 		}
 		fmt.Printf("  %d MW bin: %d rising edges, power %.2f → %.2f MW across the edge\n",
-			s.AmplitudeMW, s.Count, before/1e6, at/1e6)
+			s.AmplitudeMW, s.Count, before/units.WattsPerMW, at/units.WattsPerMW)
 	}
 	if len(sets) == 0 {
 		fmt.Println("  (no >=1 MW cluster edges this run — try a different seed)")

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/units"
 )
 
 func main() {
@@ -26,8 +27,8 @@ func main() {
 	fmt.Printf("jobs placed:        %d (utilization %.1f%%)\n",
 		len(result.Allocations), result.Utilization*100)
 	fmt.Printf("cluster power:      min %.1f kW  mean %.1f kW  max %.1f kW\n",
-		power.Min/1e3, power.Mean()/1e3, power.Max/1e3)
-	fmt.Printf("energy consumed:    %.1f kWh\n", data.ClusterPower.Integrate()/3.6e6)
+		power.Min/units.WattsPerKW, power.Mean()/units.WattsPerKW, power.Max/units.WattsPerKW)
+	fmt.Printf("energy consumed:    %.1f kWh\n", data.ClusterPower.Integrate()/units.JoulesPerKWh)
 
 	pue := data.PUE.Stats()
 	fmt.Printf("PUE:                mean %.3f (min %.3f, max %.3f)\n",
@@ -47,7 +48,7 @@ func main() {
 	}
 	if biggest.id != 0 {
 		fmt.Printf("biggest job:        #%d on %d nodes, %.1f kWh\n",
-			biggest.id, biggest.nodes, biggest.energy/3.6e6)
+			biggest.id, biggest.nodes, biggest.energy/units.JoulesPerKWh)
 	}
 	fmt.Printf("GPU XID failures:   %d injected\n", len(result.Failures))
 }

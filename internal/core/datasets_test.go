@@ -158,7 +158,7 @@ func TestJobSeriesDatasetRoundTrip(t *testing.T) {
 				continue
 			}
 			got := v.SumPower.At(js.SumPower.TimeAt(w))
-			if got != orig {
+			if got != orig { //lint:allow floatcompare archive round-trip is lossless by design
 				t.Fatalf("job %d window %d: %v != %v", a.Job.ID, w, got, orig)
 			}
 		}

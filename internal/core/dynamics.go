@@ -140,7 +140,7 @@ func Figure11EdgeSnapshots(d *RunData, beforeSec, afterSec int64) []EdgeSnapshot
 // ClusterEdgeThresholdMW returns the cluster-level edge threshold in MW
 // for the run's system size.
 func ClusterEdgeThresholdMW(nodes int) float64 {
-	return float64(units.EdgeThresholdPerNode) * float64(nodes) / 1e6
+	return float64(units.EdgeThresholdPerNode) * float64(nodes) / units.WattsPerMW
 }
 
 // SteepestSwings returns the largest single-window rise and fall (W) on

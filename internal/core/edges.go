@@ -130,7 +130,7 @@ func FilterEdges(edges []Edge, rising bool, minAmpW float64) []Edge {
 // BinEdgesByMW groups rising edges into 1 MW amplitude bins (paper
 // Figure 11): bin k holds edges with amplitude in [k MW, (k+1) MW).
 func BinEdgesByMW(edges []Edge) map[int][]Edge {
-	return BinEdges(edges, 1e6, true)
+	return BinEdges(edges, units.WattsPerMW, true)
 }
 
 // BinEdges groups edges of the requested direction into amplitude bins of
@@ -158,7 +158,7 @@ func BinEdges(edges []Edge, binW float64, rising bool) map[int][]Edge {
 // Summit scale for a system of the given node count — the amplitude-bin
 // width used by the scaled Figure 11/12 analyses.
 func ScaleEquivalentMW(nodes int) float64 {
-	return 1e6 * float64(nodes) / float64(units.SummitNodes)
+	return units.WattsPerMW * float64(nodes) / float64(units.SummitNodes)
 }
 
 // SnapshotStack is a set of series windows superimposed and aligned at

@@ -146,10 +146,10 @@ func Figure7JobCDFs(recs []JobRecord) []JobCDFs {
 				continue
 			}
 			nodes = append(nodes, float64(r.Nodes))
-			wall = append(wall, float64(r.WallSec)/3600)
-			mean = append(mean, r.MeanPower/1e6)
-			max = append(max, r.MaxPower/1e6)
-			diff = append(diff, r.PowerDiff()/1e6)
+			wall = append(wall, float64(r.WallSec)/units.SecondsPerHour)
+			mean = append(mean, r.MeanPower/units.WattsPerMW)
+			max = append(max, r.MaxPower/units.WattsPerMW)
+			diff = append(diff, r.PowerDiff()/units.WattsPerMW)
 		}
 		if len(nodes) == 0 {
 			continue
@@ -304,7 +304,7 @@ func SchedulingByClass(d *RunData) []SchedulingStats {
 		}
 		x.waits = append(x.waits, float64(a.WaitSec()))
 		x.durSum += float64(a.EndTime - a.StartTime)
-		x.nh += float64(a.EndTime-a.StartTime) / 3600 * float64(a.Job.Nodes)
+		x.nh += float64(a.EndTime-a.StartTime) / units.SecondsPerHour * float64(a.Job.Nodes)
 	}
 	var out []SchedulingStats
 	for c := units.Class1; c <= units.Class5; c++ {

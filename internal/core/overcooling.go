@@ -58,7 +58,7 @@ func overcoolingFrom(truePower, towerTonsS, chillerTonsS *tsagg.Series, nodes in
 		}
 	}
 	rep := &OvercoolingReport{}
-	stepHours := float64(stepSec) / 3600
+	stepHours := float64(stepSec) / units.SecondsPerHour
 	var deliveredTonHours, postFallExcess float64
 	// Blended electric cost per ton from the run itself.
 	var towerTons, chillerTons float64

@@ -138,7 +138,7 @@ func Figure14FailuresPerProject(d *RunData, hardwareOnly bool, topN int) []Proje
 	nodeHours := map[string]float64{}
 	for i := range d.Allocations {
 		a := &d.Allocations[i]
-		hours := float64(a.EndTime-a.StartTime) / 3600 * float64(a.Job.Nodes)
+		hours := float64(a.EndTime-a.StartTime) / units.SecondsPerHour * float64(a.Job.Nodes)
 		nodeHours[a.Job.Project] += hours
 	}
 	byProject := map[string]*ProjectFailureRate{}

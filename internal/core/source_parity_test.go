@@ -17,12 +17,12 @@ import (
 func TestSourcePlaneParity(t *testing.T) {
 	cfg := sim.Config{
 		Seed:             7,
-		Nodes:            36,
+		Nodes:            18, // trimmed so the race-detector CI run stays bounded
 		StartTime:        1_577_836_800,
-		DurationSec:      30 * 3600, // 1.25 days -> two partitions
+		DurationSec:      26 * 3600, // just over a day -> two partitions
 		StepSec:          10,
 		SamplesPerWindow: 2,
-		Jobs:             60,
+		Jobs:             40,
 		FailureRateScale: 2000,
 		FailureCheckSec:  120,
 	}

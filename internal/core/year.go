@@ -7,6 +7,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 // MonthlyTrend is one month's summary in the year survey — the sampled
@@ -43,7 +44,7 @@ func YearSurvey(cfg YearSurveyConfig) ([]MonthlyTrend, error) {
 		return nil, fmt.Errorf("core: non-positive node count %d", cfg.Nodes)
 	}
 	if cfg.SpanPerMonthSec <= 0 {
-		cfg.SpanPerMonthSec = 6 * 3600
+		cfg.SpanPerMonthSec = 6 * units.SecondsPerHour
 	}
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = 40

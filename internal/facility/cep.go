@@ -135,8 +135,8 @@ func (c *CEP) ChillerTons() units.TonsRefrigeration {
 
 // CoolingPower returns the electrical power the plant draws right now.
 func (c *CEP) CoolingPower() units.Watts {
-	return units.Watts(c.towerTons*c.TowerKWPerTon*1000 +
-		c.chillerTons*c.ChillerKWPerTon*1000 + c.FixedOverheadW)
+	return units.Watts(c.towerTons*c.TowerKWPerTon*units.WattsPerKW +
+		c.chillerTons*c.ChillerKWPerTon*units.WattsPerKW + c.FixedOverheadW)
 }
 
 // PUE returns the instantaneous power usage effectiveness:

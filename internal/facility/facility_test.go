@@ -248,7 +248,7 @@ func TestMSBMeterDeterministicGains(t *testing.T) {
 	a := NewMSBMeters(floor, rng.New(5))
 	b := NewMSBMeters(floor, rng.New(5))
 	for id := topology.NodeID(0); int(id) < 64; id++ {
-		if a.NodeSensor(id, 1500) != b.NodeSensor(id, 1500) {
+		if a.NodeSensor(id, 1500) != b.NodeSensor(id, 1500) { //lint:allow floatcompare same seed must give bit-identical sensor readings
 			t.Fatal("sensor gains not deterministic")
 		}
 	}

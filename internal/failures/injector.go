@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/topology"
+	"repro/internal/units"
 )
 
 // InjectorConfig parameterizes the failure model.
@@ -133,7 +134,7 @@ func (in *Injector) Sample(t int64, windowSec float64, node topology.NodeID,
 		return nil
 	}
 	var out []Event
-	hours := windowSec / 3600
+	hours := windowSec / units.SecondsPerHour
 	activity := 0.05
 	projMult := 1.0
 	if ctx.Active {

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"strings"
+)
+
+// LintPackages loads and analyzes the module packages matched by patterns
+// (resolved relative to dir) and returns all surviving diagnostics in
+// position order. Each package is analyzed in up to three views: the plain
+// package, the package plus its in-package test files, and its external
+// _test package. Diagnostics from the augmented view are filtered to the
+// test files so plain-package findings are not reported twice.
+func LintPackages(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := loader.Expand(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, path := range paths {
+		pkgs, err := loader.LoadVariants(path)
+		if err != nil {
+			return nil, err
+		}
+		seenPlain := false
+		for _, pkg := range pkgs {
+			diags := Run(pkg, analyzers)
+			if seenPlain {
+				// Augmented or external test view: only test-file findings
+				// are new.
+				filtered := diags[:0]
+				for _, d := range diags {
+					if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+						filtered = append(filtered, d)
+					}
+				}
+				diags = filtered
+			}
+			if !strings.HasSuffix(pkg.Path, "_test") {
+				seenPlain = true
+			}
+			out = append(out, diags...)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces reproducibility in the simulation packages: the same
+// seed and the same telemetry bytes must yield bit-identical results every
+// run (the archive/live parity test depends on it). It forbids wall-clock
+// and timer reads, the globally-seeded math/rand functions, and
+// order-dependent accumulation across map iteration. The serving layer
+// (telemetry, query, cmd/*) is exempt — wall-clock latency measurement and
+// deadlines are its job.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall clocks, global math/rand, and map-iteration-order-dependent " +
+		"accumulation in simulation packages; use internal/rng and injected clocks",
+	Skip: func(path string) bool { return !simPackages[pathBase(path)] },
+	Run:  runDeterminism,
+}
+
+// simPackages are the packages whose outputs must be bit-reproducible.
+var simPackages = map[string]bool{
+	"nodesim":   true,
+	"workload":  true,
+	"scheduler": true,
+	"facility":  true,
+	"sim":       true,
+	"core":      true,
+	"dsp":       true,
+	"stats":     true,
+}
+
+// wallClockFuncs are the time package entry points that read or depend on
+// the wall clock or real timers.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// randConstructors are the math/rand functions that build explicitly-seeded
+// generators; everything else draws from the global, non-reproducible
+// stream.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true,
+	"NewChaCha8": true, "NewZipf": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkDeterminismSelector(pass, n)
+			case *ast.RangeStmt:
+				checkMapRangeAccumulation(pass, f, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkDeterminismSelector(pass *Pass, sel *ast.SelectorExpr) {
+	pkgPath, ok := pass.PkgNameOf(sel.X)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	switch pkgPath {
+	case "time":
+		if wallClockFuncs[name] {
+			pass.Report(sel.Pos(),
+				"time.%s reads the wall clock; inject a simulated clock instead", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); isFunc && !randConstructors[name] {
+			pass.Report(sel.Pos(),
+				"global rand.%s is not seed-reproducible; draw from internal/rng", name)
+		}
+	}
+}
+
+// checkMapRangeAccumulation flags order-dependent accumulation inside a
+// range over a map: appending to an outer slice, or compound-assigning an
+// outer float or string. Integer compound assignment is exact and
+// commutative, so it is allowed — and so is the collect-then-sort idiom,
+// where the appended slice is handed to a sort call after the loop, which
+// is exactly how order-dependence is repaired.
+func checkMapRangeAccumulation(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	// Variables introduced by the range clause itself get fresh values each
+	// iteration; writes to them never accumulate.
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	outer := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[e]
+			if obj == nil || loopVars[obj] {
+				return false
+			}
+			return obj.Pos() < rs.Body.Pos() || obj.Pos() > rs.Body.End()
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			// Field, element, and pointer targets outlive the loop body.
+			return true
+		}
+		return false
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if !outer(lhs) {
+					continue
+				}
+				lt := pass.Info.TypeOf(lhs)
+				if lt == nil {
+					continue
+				}
+				if bt, ok := lt.Underlying().(*types.Basic); ok &&
+					bt.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0 {
+					pass.Report(as.Pos(),
+						"%s accumulation across map iteration is order-dependent; iterate over sorted keys", bt.Name())
+				}
+			}
+		case token.ASSIGN:
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltin(pass, call.Fun, "append") {
+					continue
+				}
+				if i < len(as.Lhs) && outer(as.Lhs[i]) && !sortedAfter(pass, file, as.Lhs[i], rs.End()) {
+					pass.Report(as.Pos(),
+						"append across map iteration is order-dependent; sort the result or iterate over sorted keys")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortFuncs are the sort-package entry points that impose a total order on
+// their first argument.
+var sortFuncs = map[string]bool{
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"Ints": true, "Strings": true, "Float64s": true,
+}
+
+// sortedAfter reports whether the accumulated expression is passed to a
+// sort.* or slices.Sort* call later in the same file, which restores a
+// deterministic order.
+func sortedAfter(pass *Pass, file *ast.File, target ast.Expr, after token.Pos) bool {
+	want := types.ExprString(target)
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after || len(call.Args) == 0 {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !sorted
+		}
+		pkg, ok := pass.PkgNameOf(sel.X)
+		if !ok {
+			return !sorted
+		}
+		name := sel.Sel.Name
+		if (pkg == "sort" && sortFuncs[name]) ||
+			(pkg == "slices" && strings.HasPrefix(name, "Sort")) {
+			if types.ExprString(ast.Unparen(call.Args[0])) == want {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,96 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func testdata(elem string) string {
+	return filepath.Join("testdata", "src", elem)
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "example/core", testdata("determinism"))
+}
+
+// The serving layer is allowlisted wholesale: the same constructs that are
+// violations in example/core are silent under example/telemetry.
+func TestDeterminismAllowsServingLayer(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "example/telemetry", testdata("determinism_ok"))
+}
+
+func TestUnitSafetyGolden(t *testing.T) {
+	linttest.Run(t, lint.UnitSafety, "example/facility", testdata("unitsafety"))
+}
+
+func TestFloatCompareGolden(t *testing.T) {
+	linttest.Run(t, lint.FloatCompare, "example/dsp", testdata("floatcompare"))
+}
+
+func TestErrWrapGolden(t *testing.T) {
+	linttest.Run(t, lint.ErrWrap, "repro/internal/store", testdata("errwrap"))
+}
+
+// Outside store/source/query, statement-level error discards are not
+// errwrap's business.
+func TestErrWrapDiscardScope(t *testing.T) {
+	linttest.Run(t, lint.ErrWrap, "example/util", testdata("errwrap_ok"))
+}
+
+func TestLockSafetyGolden(t *testing.T) {
+	linttest.Run(t, lint.LockSafety, "example/telemetry", testdata("locksafety"))
+}
+
+func TestLockSafetyGoroutineScope(t *testing.T) {
+	linttest.Run(t, lint.LockSafety, "example/core", testdata("locksafety_ok"))
+}
+
+// TestMalformedDirectives pins directive validation: a //lint:allow without
+// a reason or with an unknown analyzer name is reported as a violation and
+// suppresses nothing, while a well-formed directive suppresses its line.
+func TestMalformedDirectives(t *testing.T) {
+	pkg := linttest.Load(t, "example/core", testdata("directive"))
+	var malformed, determinism int
+	for _, d := range lint.Run(pkg, []*lint.Analyzer{lint.Determinism}) {
+		switch d.Analyzer {
+		case "lint":
+			malformed++
+			if !strings.Contains(d.Message, "malformed directive") {
+				t.Errorf("unexpected lint diagnostic: %s", d)
+			}
+		case "determinism":
+			determinism++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if malformed != 2 {
+		t.Errorf("got %d malformed-directive diagnostics, want 2", malformed)
+	}
+	if determinism != 2 {
+		t.Errorf("got %d determinism diagnostics, want 2 (malformed directives must not suppress)", determinism)
+	}
+}
+
+// TestNoFalsePositivesOnUnits runs the full suite over the real
+// internal/units package — the one place raw scale factors are sanctioned —
+// and requires silence in every view (plain, in-package tests, external
+// tests).
+func TestNoFalsePositivesOnUnits(t *testing.T) {
+	pkgs, err := linttest.Shared(t, ".").LoadVariants("repro/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no package views loaded for repro/internal/units")
+	}
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, lint.All()) {
+			t.Errorf("false positive in %s: %s", pkg.Path, d)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package lint implements reprolint, the repository's static-analysis
+// suite. It enforces the invariants the reproduction depends on — bitwise
+// determinism of the simulation pipeline, unit-safe arithmetic, tolerance-
+// based float comparison, error-wrapping hygiene on the archive I/O paths,
+// and lock/goroutine discipline in the serving layer.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis design (Analyzer,
+// Pass, Report, analysistest-style golden tests) but is implemented on the
+// standard library alone: this module is dependency-free, so the suite
+// type-checks packages itself via go/parser + go/types with a recursive
+// source importer (see load.go).
+//
+// Intentional exceptions are annotated in source:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. A directive
+// without a reason is itself reported as a violation.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one reported violation, with its position resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Skip, when non-nil, exempts whole packages by
+// import path before Run is invoked (the coarse allowlist; //lint:allow is
+// the per-line escape hatch).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Skip func(pkgPath string) bool
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // import path under analysis ("<path>_test" for external test packages)
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Report records a violation at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTest reports whether pos lies in a _test.go file.
+func (p *Pass) InTest(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgNameOf resolves expr to an imported package path, if expr is the
+// package side of a qualified identifier (e.g. the "time" in time.Now).
+func (p *Pass) PkgNameOf(expr ast.Expr) (string, bool) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// All returns the full suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, UnitSafety, FloatCompare, ErrWrap, LockSafety}
+}
+
+// ByName returns the named analyzers from the full suite.
+func ByName(names []string) ([]*Analyzer, error) {
+	index := make(map[string]*Analyzer)
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// scopePath strips the external-test suffix so package allowlists treat a
+// _test package like the package it tests.
+func scopePath(path string) string { return strings.TrimSuffix(path, "_test") }
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// allowRe matches //lint:allow directives. Group 1 is the analyzer name,
+// group 2 the (required) reason.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)(?:\s+(\S.*))?$`)
+
+// allowKey identifies one suppressed (file, line, analyzer) site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowDirectives scans the package's comments for //lint:allow directives.
+// Malformed directives (unknown analyzer, missing reason) are returned as
+// diagnostics so they fail the build rather than silently suppressing.
+func allowDirectives(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	allowed := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:allow") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil || m[2] == "" || !known[m[1]] {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed directive: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				allowed[allowKey{pos.Filename, pos.Line, m[1]}] = true
+			}
+		}
+	}
+	return allowed, bad
+}
+
+// Run applies the analyzers to one loaded package and returns the surviving
+// diagnostics sorted by position. Package-level Skip allowlists and
+// //lint:allow line suppressions are applied here.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	allowed, out := allowDirectives(pkg.Fset, pkg.Files)
+	scope := scopePath(pkg.Path)
+	for _, a := range analyzers {
+		if a.Skip != nil && a.Skip(scope) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+		}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+				allowed[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,131 @@
+// Package linttest runs analyzer golden tests over testdata packages,
+// mirroring the analysistest package of golang.org/x/tools: expected
+// diagnostics are declared in the source under test with trailing
+//
+//	// want `regexp`
+//
+// comments on the offending line. Run fails the test when a diagnostic
+// appears on a line with no matching want comment, and when a want comment
+// matches no diagnostic. A testdata package with no want comments therefore
+// asserts the analyzer stays silent — that is how allowlist behavior and
+// no-false-positive cases are pinned.
+package linttest
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	loaderMu sync.Mutex
+	loader   *lint.Loader
+)
+
+// Shared returns a loader shared by every golden test in the binary, rooted
+// at the module containing dir, so the standard-library dependencies of the
+// fixtures are type-checked once rather than once per test. The loader is
+// not safe for concurrent use; callers run sequentially under loaderMu via
+// Load, and direct callers must not run in parallel tests.
+func Shared(tb testing.TB, dir string) *lint.Loader {
+	tb.Helper()
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if loader == nil {
+		l, err := lint.NewLoader(dir)
+		if err != nil {
+			tb.Fatalf("loader: %v", err)
+		}
+		loader = l
+	}
+	return loader
+}
+
+// Load parses and type-checks the package in dir under importPath using the
+// shared loader.
+func Load(tb testing.TB, importPath, dir string) *lint.Package {
+	tb.Helper()
+	l := Shared(tb, dir)
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	pkg, err := l.LoadDir(importPath, dir)
+	if err != nil {
+		tb.Fatalf("load %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// wantRe matches one backquoted expectation; a line may carry several.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// expectation is one want comment awaiting a matching diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run analyzes the package in dir under the given import path with one
+// analyzer and compares the diagnostics against the // want comments in the
+// package's files. The import path is what the analyzer's package allowlist
+// sees, so scoped behavior is exercised by loading the same kind of fixture
+// under an in-scope and an out-of-scope path.
+func Run(t *testing.T, a *lint.Analyzer, importPath, dir string) {
+	t.Helper()
+	pkg := Load(t, importPath, dir)
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatalf("parse want comments: %v", err)
+	}
+	for _, d := range lint.Run(pkg, []*lint.Analyzer{a}) {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmet expectation on the diagnostic's line whose
+// pattern matches the message, and reports whether one was found.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants scans the package's source files for want comments, in file
+// then line order.
+func parseWants(pkg *lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, &expectation{file: name, line: i + 1, re: re, raw: m[1]})
+			}
+		}
+	}
+	return out, nil
+}

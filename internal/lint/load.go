@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("<path>_test" for external test packages)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source. It resolves imports
+// of this module by path prefix and everything else through go/build's
+// GOROOT lookup, so it works offline with no toolchain export data and no
+// third-party dependencies. Cgo is disabled so the pure-Go fallbacks of
+// stdlib packages are used. Not safe for concurrent use.
+type Loader struct {
+	Fset    *token.FileSet
+	ctxt    build.Context
+	modPath string
+	modDir  string
+	// typed caches dependency type-checks keyed by resolved import path.
+	typed map[string]*types.Package
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		ctxt:    ctxt,
+		modPath: modPath,
+		modDir:  modDir,
+		typed:   map[string]*types.Package{},
+	}, nil
+}
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// ModuleDir returns the module root directory.
+func (l *Loader) ModuleDir() string { return l.modDir }
+
+// findModule walks up from dir to the enclosing go.mod and parses its
+// module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// inModule reports whether path names a package of this module, and if so
+// returns its directory.
+func (l *Loader) inModule(path string) (string, bool) {
+	if path == l.modPath {
+		return l.modDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.modDir, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.modDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom. Module-internal paths resolve
+// against the module root; all other paths resolve through go/build, which
+// finds GOROOT packages (including GOROOT/src/vendor) without invoking the
+// go command.
+func (l *Loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	var dir, key string
+	var files []string
+	if mdir, ok := l.inModule(path); ok {
+		bp, err := l.ctxt.ImportDir(mdir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("lint: import %q: %w", path, err)
+		}
+		dir, files, key = mdir, bp.GoFiles, path
+	} else {
+		bp, err := l.ctxt.Import(path, srcDir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("lint: import %q: %w", path, err)
+		}
+		dir, files, key = bp.Dir, bp.GoFiles, bp.ImportPath
+	}
+	if pkg, ok := l.typed[key]; ok {
+		return pkg, nil
+	}
+	checked, err := l.check(key, dir, files, false)
+	if err != nil {
+		return nil, err
+	}
+	l.typed[key] = checked.Pkg
+	return checked.Pkg, nil
+}
+
+// check parses the named files in dir and type-checks them as one package.
+// withInfo controls whether the (memory-heavy) types.Info maps are filled;
+// they are only needed for packages under analysis, not dependencies.
+func (l *Loader) check(path, dir string, files []string, withInfo bool) (*Package, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: package %q has no Go files", path)
+	}
+	asts := make([]*ast.File, 0, len(files))
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse: %w", err)
+		}
+		asts = append(asts, f)
+	}
+	var info *types.Info
+	if withInfo {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", l.ctxt.GOARCH),
+	}
+	pkg, err := conf.Check(path, l.Fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: asts, Pkg: pkg, Info: info}, nil
+}
+
+// importDir wraps build.ImportDir, tolerating directories that hold only
+// test files (a *build.NoGoError still carries the test file lists).
+func (l *Loader) importDir(dir string) (*build.Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		var noGo *build.NoGoError
+		if errors.As(err, &noGo) && (len(bp.TestGoFiles) > 0 || len(bp.XTestGoFiles) > 0) {
+			return bp, nil
+		}
+		return nil, err
+	}
+	return bp, nil
+}
+
+// LoadVariants loads every linted view of the module package with the given
+// import path: the package itself, the package augmented with its in-package
+// test files, and its external _test package. The plain package is cached
+// for importers; test views are not.
+func (l *Loader) LoadVariants(path string) ([]*Package, error) {
+	dir, ok := l.inModule(path)
+	if !ok {
+		return nil, fmt.Errorf("lint: %q is not in module %s", path, l.modPath)
+	}
+	bp, err := l.importDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var out []*Package
+	if len(bp.GoFiles) > 0 {
+		pkg, err := l.check(path, dir, bp.GoFiles, true)
+		if err != nil {
+			return nil, err
+		}
+		if _, cached := l.typed[path]; !cached {
+			l.typed[path] = pkg.Pkg
+		}
+		out = append(out, pkg)
+	}
+	if len(bp.TestGoFiles) > 0 {
+		pkg, err := l.check(path, dir, append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...), true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		pkg, err := l.check(path+"_test", dir, bp.XTestGoFiles, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks every non-test Go file in dir under the given import
+// path, bypassing module resolution. Golden tests use it to analyze testdata
+// packages under the package paths the analyzers scope to.
+func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
+	bp, err := l.importDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	return l.check(importPath, dir, bp.GoFiles, true)
+}
+
+// Expand resolves package patterns relative to base (a directory inside the
+// module) to module import paths. Supported forms: "./...", "dir/...",
+// "dir", ".". Directories named testdata, hidden directories, and
+// directories without Go files are skipped.
+func (l *Loader) Expand(base string, patterns []string) ([]string, error) {
+	absBase, err := filepath.Abs(base)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) error {
+		path, err := l.dirImportPath(dir)
+		if err != nil {
+			return err
+		}
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(absBase, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			dirs, err := goSourceDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				if err := add(d); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err := add(filepath.Join(absBase, filepath.FromSlash(pat))); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Loader) dirImportPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modDir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.modDir)
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// goSourceDirs walks root collecting directories that contain Go files,
+// skipping testdata, hidden, and vendor directories.
+func goSourceDirs(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				out = append(out, path)
+				break
+			}
+		}
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafety enforces concurrency hygiene. Copying a value that holds a
+// sync.Mutex (or RWMutex, WaitGroup, Once, Cond) forks the lock state and
+// silently breaks mutual exclusion, so by-value receivers, parameters,
+// range variables, and assignments of such types are flagged. In the
+// long-running serving packages (telemetry, query, source, cmd/*) it also
+// flags goroutines whose body spins an unbounded for-loop with no
+// cancellation path — no context, no channel receive or select, and no
+// return or break — which can never be shut down cleanly.
+var LockSafety = &Analyzer{
+	Name: "locksafety",
+	Doc: "forbid by-value copies of lock-holding types; require a cancellation " +
+		"path for goroutines in long-running server code",
+	Run: runLockSafety,
+}
+
+// goroutineScopes are the packages whose goroutines must be cancellable:
+// the serving layer and the long-running binaries.
+func inGoroutineScope(path string) bool {
+	switch pathBase(path) {
+	case "telemetry", "query", "source":
+		return true
+	}
+	return len(path) > len("repro/cmd/") && path[:len("repro/cmd/")] == "repro/cmd/"
+}
+
+// syncLockTypes are the sync types whose by-value copy is always a bug.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// containsLock reports whether t holds a sync lock type by value, directly
+// or nested in struct fields or array elements.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func holdsLock(t types.Type) bool { return containsLock(t, map[types.Type]bool{}) }
+
+func runLockSafety(pass *Pass) {
+	goroutines := inGoroutineScope(scopePath(pass.Path))
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLockParams(pass, n.Recv)
+				checkLockParams(pass, n.Type.Params)
+			case *ast.FuncLit:
+				checkLockParams(pass, n.Type.Params)
+			case *ast.RangeStmt:
+				checkLockRangeCopy(pass, n)
+			case *ast.AssignStmt:
+				checkLockAssignCopy(pass, n)
+			case *ast.GoStmt:
+				if goroutines && !pass.InTest(n.Pos()) {
+					checkGoroutineCancellation(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkLockParams(pass *Pass, fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if holdsLock(t) {
+			pass.Report(field.Pos(), "%s passed by value copies its lock; pass a pointer", t.String())
+		}
+	}
+}
+
+func checkLockRangeCopy(pass *Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil || rs.Tok != token.DEFINE {
+		return
+	}
+	id, ok := rs.Value.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if t := pass.Info.TypeOf(rs.Value); t != nil && holdsLock(t) {
+		pass.Report(rs.Value.Pos(),
+			"range copies %s which holds a lock; range over indices instead", t.String())
+	}
+}
+
+// checkLockAssignCopy flags x := y / x = y where y is an existing value
+// (identifier, field, element, or dereference) whose type holds a lock.
+// Composite literals and function-call results are fresh values and fine.
+func checkLockAssignCopy(pass *Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	for _, rhs := range as.Rhs {
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		if t := pass.Info.TypeOf(rhs); t != nil && holdsLock(t) {
+			pass.Report(rhs.Pos(), "assignment copies %s which holds a lock", t.String())
+		}
+	}
+}
+
+// checkGoroutineCancellation flags `go func() { ... }()` whose body contains
+// an unbounded for-loop (no condition, no return, no break) while the body
+// as a whole never consults a cancellation source: a context value, a
+// channel receive, a select, or a range over a channel.
+func checkGoroutineCancellation(pass *Pass, g *ast.GoStmt) {
+	fl, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	if hasCancellationSignal(pass, fl.Body) {
+		return
+	}
+	var unbounded bool
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		exits := false
+		ast.Inspect(fs.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.BranchStmt:
+				if m.Tok == token.BREAK || m.Tok == token.GOTO {
+					exits = true
+				}
+			case *ast.FuncLit:
+				return false // returns inside nested literals do not exit the loop
+			}
+			return !exits
+		})
+		if !exits {
+			unbounded = true
+		}
+		return !unbounded
+	})
+	if unbounded {
+		pass.Report(g.Pos(),
+			"goroutine spins an unbounded loop with no cancellation path (context, channel receive, or return)")
+	}
+}
+
+// hasCancellationSignal reports whether body consults anything that can end
+// the goroutine from outside: a context.Context value, a channel receive, a
+// select statement, or ranging over a channel.
+func hasCancellationSignal(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if t := pass.Info.TypeOf(n); t != nil && isContextType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,24 @@
+// Package core exercises //lint:allow directive validation; it is loaded
+// under example/core so the determinism analyzer applies. The malformed
+// directives below must be reported rather than honored, and the violations
+// they fail to suppress must surface too.
+package core
+
+import "time"
+
+// MissingReason omits the mandatory reason, so the directive is malformed
+// and the wall-clock violation is still reported.
+func MissingReason() time.Time {
+	return time.Now() //lint:allow determinism
+}
+
+// UnknownAnalyzer names no known analyzer, so the directive is malformed and
+// the wall-clock violation is still reported.
+func UnknownAnalyzer() time.Time {
+	return time.Now() //lint:allow clock skew is fine here
+}
+
+// Valid carries a well-formed directive and is suppressed.
+func Valid() time.Time {
+	return time.Now() //lint:allow determinism wall clock feeds the log banner only
+}

@@ -1,0 +1,10 @@
+// Package util is the errwrap fixture loaded under example/util, outside
+// the store/source/query discard scope: a statement-level error discard is
+// not flagged there. No diagnostics are expected.
+package util
+
+import "os"
+
+func Discard(f *os.File) {
+	f.Close()
+}

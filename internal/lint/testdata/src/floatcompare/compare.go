@@ -1,0 +1,50 @@
+// Package dsp is a floatcompare fixture loaded under example/dsp.
+package dsp
+
+import "sort"
+
+func Equal(a, b float64) bool {
+	return a == b // want `floating-point == comparison is rounding-sensitive`
+}
+
+func NotEqual(a, b float64) bool {
+	return a != b // want `floating-point != comparison is rounding-sensitive`
+}
+
+// IsNaN uses the x != x idiom, which is exact by definition.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// GuardZero compares against an exact constant zero, the standard guard
+// before division.
+func GuardZero(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// WithinTol is named as a tolerance helper, where direct comparison is the
+// implementation.
+func WithinTol(a, b float64) bool {
+	return a == b || (a-b < 1e-9 && b-a < 1e-9)
+}
+
+type pair struct{ K, V float64 }
+
+// SortPairs tie-breaks inside a comparator closure, where comparison must be
+// exact or the ordering is not a strict weak order.
+func SortPairs(xs []pair) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].K == xs[j].K {
+			return xs[i].V < xs[j].V
+		}
+		return xs[i].K < xs[j].K
+	})
+}
+
+// Annotated shows the per-line escape hatch.
+func Annotated(a, b float64) bool {
+	return a == b //lint:allow floatcompare bitwise equality is the contract here
+}

@@ -1,0 +1,50 @@
+// Package telemetry is a locksafety fixture loaded under example/telemetry,
+// which puts its goroutines inside the cancellation scope.
+package telemetry
+
+import (
+	"context"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func BadParam(c counter) int { // want `passed by value copies its lock`
+	return c.n
+}
+
+func GoodParam(c *counter) int {
+	return c.n
+}
+
+func BadCopy(c *counter) int {
+	snapshot := *c // want `which holds a lock`
+	return snapshot.n
+}
+
+func BadSpin() {
+	go func() { // want `unbounded loop with no cancellation path`
+		for {
+			work()
+		}
+	}()
+}
+
+// GoodSpin consults a context through a select arm, so it can be shut down.
+func GoodSpin(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func work() {}

@@ -1,0 +1,14 @@
+// Package core is the locksafety fixture loaded under example/core, outside
+// the goroutine-cancellation scope: simulation code may run tight loops
+// freely. No diagnostics are expected.
+package core
+
+func Spin() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+func step() {}

@@ -1,0 +1,17 @@
+// Package units is a stand-in for repro/internal/units in analyzer golden
+// tests. The unitsafety analyzer recognizes any package whose import path
+// ends in "/units", so fixtures can exercise unit-type rules without
+// depending on the real package.
+package units
+
+// Watts is power in watts.
+type Watts float64
+
+// Joules is energy in joules.
+type Joules float64
+
+// WattsPerMW converts megawatts to watts.
+const WattsPerMW = 1e6
+
+// MW returns the power in megawatts.
+func (w Watts) MW() float64 { return float64(w) / WattsPerMW }

@@ -1,0 +1,36 @@
+// Package facility is a unitsafety fixture loaded under example/facility.
+package facility
+
+import units "repro/internal/lint/testdata/src/units"
+
+func BadKW(w float64) float64 {
+	return w / 1000 // want `magic unit-scale constant 1000`
+}
+
+func BadMW(w units.Watts) float64 {
+	return float64(w) / 1e6 // want `magic unit-scale constant 1e6`
+}
+
+// GoodMW spells the scale factor through the named constant.
+func GoodMW(w units.Watts) float64 {
+	return float64(w) / units.WattsPerMW
+}
+
+func Mixed(w units.Watts, j units.Joules) float64 {
+	return float64(w) + float64(j) // want `mixing units.Watts and units.Joules`
+}
+
+func BadCast(w units.Watts) units.Joules {
+	return units.Joules(w) // want `raw cast from units.Watts to units.Joules`
+}
+
+// SameType arithmetic and plain dimensionless math stay silent.
+func SameType(a, b units.Watts) units.Watts {
+	return a + b
+}
+
+// Annotated shows the per-line escape hatch for a genuinely dimensionless
+// factor that happens to collide with a unit scale.
+func Annotated(n float64) float64 {
+	return n * 3600 //lint:allow unitsafety sample count per sweep, not seconds
+}

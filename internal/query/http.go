@@ -73,7 +73,7 @@ func NewHandler(eng *Engine, cfg ServerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		_, _ = fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/vars", h.vars)
 	mux.HandleFunc("/api/v1/datasets", h.guard(h.datasets))

@@ -82,7 +82,7 @@ func ScheduleWithPolicy(jobs []workload.Job, nodes int, policy Policy) (*Result,
 		copy(queue[pos+1:], queue[pos:])
 		queue[pos] = j
 	}
-	const drainAfterSec = 6 * 3600
+	const drainAfterSec = 6 * units.SecondsPerHour
 	tryStart := func(now int64) {
 		i := 0
 		for i < len(queue) {

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/topology"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -175,7 +176,7 @@ func Schedule(jobs []workload.Job, nodes int) (*Result, error) {
 	// drainAfterSec guards leadership jobs against backfill starvation:
 	// once the head of the queue has waited this long, no lower-priority
 	// job may start until it does (the system drains for it).
-	const drainAfterSec = 6 * 3600
+	const drainAfterSec = 6 * units.SecondsPerHour
 	// tryStart scans the queue in priority order and starts everything
 	// that fits (greedy backfill without reservations).
 	tryStart := func(now int64) {

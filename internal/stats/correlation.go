@@ -131,7 +131,7 @@ func ranks(xs []float64) []float64 {
 	i := 0
 	for i < n {
 		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] { //lint:allow floatcompare rank ties are defined by exact equality
 			j++
 		}
 		// Average rank for the tie group [i, j].

@@ -211,7 +211,7 @@ func TestRanks(t *testing.T) {
 	got := ranks([]float64{30, 10, 20})
 	want := []float64{3, 1, 2}
 	for i := range want {
-		if got[i] != want[i] {
+		if got[i] != want[i] { //lint:allow floatcompare ranks are exact small-integer arithmetic
 			t.Fatalf("ranks = %v, want %v", got, want)
 		}
 	}

@@ -63,7 +63,7 @@ func (c *TableCache) Max() int64 { return c.max }
 
 func (c *TableCache) shardIndex(key string) int {
 	h := fnv.New32a()
-	h.Write([]byte(key))
+	_, _ = h.Write([]byte(key)) // fnv.Write cannot fail
 	return int(h.Sum32() % cacheShards)
 }
 

@@ -43,12 +43,12 @@ func (d *Dataset) WriteDay(day int, t *Table) error {
 		return err
 	}
 	if err := Write(f, t); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	return os.Rename(tmp, d.dayPath(day))

@@ -45,45 +45,45 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(zr)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		zr.Close()
+		_ = zr.Close()
 		return nil, fmt.Errorf("store: header: %w", err)
 	}
 	if string(head) != magic {
-		zr.Close()
+		_ = zr.Close()
 		return nil, fmt.Errorf("store: bad magic %q", head)
 	}
 	ver, err := binary.ReadUvarint(br)
 	if err != nil {
-		zr.Close()
+		_ = zr.Close()
 		return nil, err
 	}
 	if ver != version {
-		zr.Close()
+		_ = zr.Close()
 		return nil, fmt.Errorf("store: unsupported version %d", ver)
 	}
 	codecByte, err := br.ReadByte()
 	if err != nil {
-		zr.Close()
+		_ = zr.Close()
 		return nil, err
 	}
 	codec := Codec(codecByte)
 	if codec >= numCodecs {
-		zr.Close()
+		_ = zr.Close()
 		return nil, fmt.Errorf("store: unknown codec %d", codec)
 	}
 	nCols, err := binary.ReadUvarint(br)
 	if err != nil {
-		zr.Close()
+		_ = zr.Close()
 		return nil, err
 	}
 	nRows, err := binary.ReadUvarint(br)
 	if err != nil {
-		zr.Close()
+		_ = zr.Close()
 		return nil, err
 	}
 	const maxCols, maxRows = 1 << 16, 1 << 32
 	if nCols > maxCols || nRows > maxRows {
-		zr.Close()
+		_ = zr.Close()
 		return nil, fmt.Errorf("store: implausible dimensions %d x %d", nCols, nRows)
 	}
 	return &Reader{zr: zr, br: br, codec: codec, nCols: int(nCols), nRows: int(nRows)}, nil
@@ -177,50 +177,56 @@ func (r *Reader) Skip() error {
 	return nil
 }
 
+// maxPreallocRows bounds the rows allocated up front when decoding a
+// column. The header's row count is attacker-controlled up to 2^32; a claim
+// beyond this cap must surface as a decode error when the stream runs dry,
+// not as a multi-gigabyte allocation.
+const maxPreallocRows = 1 << 20
+
 func (r *Reader) decodeInts() ([]int64, error) {
-	out := make([]int64, r.nRows)
+	out := make([]int64, 0, min(r.nRows, maxPreallocRows))
 	if r.codec.delta() {
 		prev := int64(0)
-		for j := range out {
+		for j := 0; j < r.nRows; j++ {
 			u, err := binary.ReadUvarint(r.br)
 			if err != nil {
 				return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
 			}
 			prev += unzigzag(u)
-			out[j] = prev
+			out = append(out, prev)
 		}
 		return out, nil
 	}
 	var raw [8]byte
-	for j := range out {
+	for j := 0; j < r.nRows; j++ {
 		if _, err := io.ReadFull(r.br, raw[:]); err != nil {
 			return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
 		}
-		out[j] = int64(binary.LittleEndian.Uint64(raw[:]))
+		out = append(out, int64(binary.LittleEndian.Uint64(raw[:])))
 	}
 	return out, nil
 }
 
 func (r *Reader) decodeFloats() ([]float64, error) {
-	out := make([]float64, r.nRows)
+	out := make([]float64, 0, min(r.nRows, maxPreallocRows))
 	if r.codec.delta() {
 		prev := uint64(0)
-		for j := range out {
+		for j := 0; j < r.nRows; j++ {
 			u, err := binary.ReadUvarint(r.br)
 			if err != nil {
 				return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
 			}
 			prev ^= u
-			out[j] = math.Float64frombits(prev)
+			out = append(out, math.Float64frombits(prev))
 		}
 		return out, nil
 	}
 	var raw [8]byte
-	for j := range out {
+	for j := 0; j < r.nRows; j++ {
 		if _, err := io.ReadFull(r.br, raw[:]); err != nil {
 			return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
 		}
-		out[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(raw[:])))
 	}
 	return out, nil
 }

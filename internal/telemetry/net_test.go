@@ -159,7 +159,7 @@ func TestServerExporterEndToEnd(t *testing.T) {
 			if !ok {
 				t.Fatalf("sample (%d, %d) lost", e, i)
 			}
-			if v != float64(e*100000+i) {
+			if v != float64(e*100000+i) { //lint:allow floatcompare wire transport must be lossless
 				t.Fatalf("sample (%d, %d) corrupted: %v", e, i, v)
 			}
 		}

@@ -140,7 +140,7 @@ func channelKey(n topology.NodeID, m Metric) uint32 {
 // observation of the channel).
 func (f *ChangeFilter) Pass(s Sample) bool {
 	k := channelKey(s.Node, s.Metric)
-	if prev, ok := f.last[k]; ok && prev == s.Value {
+	if prev, ok := f.last[k]; ok && prev == s.Value { //lint:allow floatcompare change filter drops only bit-identical repeats
 		return false
 	}
 	f.last[k] = s.Value

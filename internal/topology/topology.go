@@ -222,15 +222,15 @@ func (f *Floor) ParseHostname(name string) (NodeID, error) {
 	slotPart := name[nIdx+1:]
 	row, err := strconv.Atoi(rowPart)
 	if err != nil {
-		return 0, fmt.Errorf("topology: bad row in %q: %v", name, err)
+		return 0, fmt.Errorf("topology: bad row in %q: %w", name, err)
 	}
 	cab, err := strconv.Atoi(cabPart)
 	if err != nil {
-		return 0, fmt.Errorf("topology: bad cabinet in %q: %v", name, err)
+		return 0, fmt.Errorf("topology: bad cabinet in %q: %w", name, err)
 	}
 	slot, err := strconv.Atoi(slotPart)
 	if err != nil {
-		return 0, fmt.Errorf("topology: bad slot in %q: %v", name, err)
+		return 0, fmt.Errorf("topology: bad slot in %q: %w", name, err)
 	}
 	id, ok := f.NodeAt(Location{Row: row - 9, Cabinet: cab - 1, Slot: slot - 1})
 	if !ok {

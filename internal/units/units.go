@@ -28,7 +28,9 @@ type TonsRefrigeration float64
 // GPM is a volumetric water flow rate in US gallons per minute.
 type GPM float64
 
-// Conversion factors.
+// Conversion factors. These named constants are the only sanctioned spelling
+// of unit scale factors: the reprolint unitsafety analyzer rejects raw
+// 1000/1e6/3600-style literals everywhere outside this package.
 const (
 	// WattsPerTon converts tons of refrigeration to watts of heat removal.
 	WattsPerTon = 3516.8528420667
@@ -36,6 +38,17 @@ const (
 	BTUPerHourPerWatt = 3.412141633
 	// JoulesPerKWh converts kilowatt-hours to joules.
 	JoulesPerKWh = 3.6e6
+	// JoulesPerMWh converts megawatt-hours to joules.
+	JoulesPerMWh = 3.6e9
+	// JoulesPerGJ converts gigajoules to joules.
+	JoulesPerGJ = 1e9
+	// WattsPerKW converts kilowatts to watts.
+	WattsPerKW = 1e3
+	// WattsPerMW converts megawatts to watts.
+	WattsPerMW = 1e6
+	// SecondsPerHour converts hours to seconds. Untyped so it composes with
+	// both integer timestamps and float durations.
+	SecondsPerHour = 3600
 	// WaterHeatCapacityJPerKgK is the specific heat of water (J/(kg·K)).
 	WaterHeatCapacityJPerKgK = 4186.0
 	// WaterKgPerGallon is the mass of one US gallon of water in kg.

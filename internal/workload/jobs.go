@@ -328,7 +328,7 @@ func sampleNodes(rs *rng.Source, class units.SchedulingClass, maxNodes int) int 
 // the paper notes).
 func sampleTimes(rs *rng.Source, class units.SchedulingClass) (walltime, duration int64) {
 	p := class.Policy()
-	capSec := int64(p.MaxWallHour * 3600)
+	capSec := int64(p.MaxWallHour * units.SecondsPerHour)
 	var medianSec float64
 	switch class {
 	case units.Class1:

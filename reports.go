@@ -44,12 +44,12 @@ func ReportFigure4(d *RunData) (Report, error) {
 	}
 	tab := render.NewTable("msb", "windows", "mean diff (kW)", "std (kW)", "corr", "meter mean (kW)", "sum mean (kW)")
 	for _, m := range rep.PerMSB {
-		tab.Row(fmt.Sprintf("MSB %c", 'A'+m.MSB), m.N, m.MeanDiffW/1e3,
-			m.StdDiffW/1e3, m.Corr, m.MeanMeterW/1e3, m.MeanSumW/1e3)
+		tab.Row(fmt.Sprintf("MSB %c", 'A'+m.MSB), m.N, m.MeanDiffW/units.WattsPerKW,
+			m.StdDiffW/units.WattsPerKW, m.Corr, m.MeanMeterW/units.WattsPerKW, m.MeanSumW/units.WattsPerKW)
 	}
 	body := tab.String() + fmt.Sprintf(
 		"mean diff (all MSBs): %.2f kW\nrelative error: %.1f%%\n",
-		rep.MeanDiffAllW/1e3, rep.RelativeError*100)
+		rep.MeanDiffAllW/units.WattsPerKW, rep.RelativeError*100)
 	return Report{
 		ID:       "figure-4",
 		Title:    "Power meter vs per-node sensor summation",
@@ -72,9 +72,9 @@ func ReportFigure5(d *RunData) (Report, error) {
 		}
 		energy := math.NaN()
 		if i < len(rep.EnergyWeekly) {
-			energy = rep.EnergyWeekly[i] / 3.6e9
+			energy = rep.EnergyWeekly[i] / units.JoulesPerMWh
 		}
-		tab.Row(w.Week, w.Box.Median/1e6, w.Max/1e6, energy, pueMed)
+		tab.Row(w.Week, w.Box.Median/units.WattsPerMW, w.Max/units.WattsPerMW, energy, pueMed)
 	}
 	body := tab.String() + fmt.Sprintf(
 		"mean PUE: %.3f   chilled-water PUE: %.3f   chilled-water fraction: %.1f%%\n",
@@ -150,7 +150,7 @@ func ReportFigure8(d *RunData) (Report, error) {
 	tab := render.NewTable("class", "domain", "jobs", "max power median (MW)", "energy median (GJ)")
 	for _, r := range rows {
 		tab.Row(r.Class.String(), r.Domain.String(), r.N,
-			r.MaxPower.Median/1e6, r.Energy.Median/1e9)
+			r.MaxPower.Median/units.WattsPerMW, r.Energy.Median/units.JoulesPerGJ)
 	}
 	return Report{
 		ID:       "figure-8",
@@ -212,7 +212,7 @@ func ReportFigure10(d *RunData) Report {
 	}
 	b.WriteString(tab.String())
 	rise, fall := core.SteepestSwings(d)
-	fmt.Fprintf(&b, "steepest 10s rise: %.2f MW, fall: %.2f MW\n", rise/1e6, fall/1e6)
+	fmt.Fprintf(&b, "steepest 10s rise: %.2f MW, fall: %.2f MW\n", rise/units.WattsPerMW, fall/units.WattsPerMW)
 	return Report{
 		ID:       "figure-10",
 		Title:    "Power consumption dynamics",
@@ -541,8 +541,8 @@ func ReportYearSurvey(nodes int, seed uint64, spanPerMonth time.Duration, jobs i
 	tab := render.NewTable("month", "wet bulb (°C)", "power med (MW)", "power max (MW)",
 		"energy (MWh)", "PUE mean", "PUE max", "chiller %")
 	for _, t := range trends {
-		tab.Row(t.Month, t.WetBulbMean, t.Power.Median/1e6, t.Power.Max/1e6,
-			t.EnergyJ/3.6e9, t.MeanPUE, t.MaxPUE, t.ChillerFrac*100)
+		tab.Row(t.Month, t.WetBulbMean, t.Power.Median/units.WattsPerMW, t.Power.Max/units.WattsPerMW,
+			t.EnergyJ/units.JoulesPerMWh, t.MeanPUE, t.MaxPUE, t.ChillerFrac*100)
 	}
 	sum := SummarizeYear(trends)
 	body := tab.String() + fmt.Sprintf(
@@ -569,13 +569,13 @@ func ReportPowerCap(base Config, capFracs []float64) (Report, error) {
 	for _, o := range outcomes {
 		capLabel := "none"
 		if o.CapW > 0 {
-			capLabel = fmt.Sprintf("%.0f", o.CapW/1e3)
+			capLabel = fmt.Sprintf("%.0f", o.CapW/units.WattsPerKW)
 		}
 		ratio := 0.0
 		if o.MeanPowerW > 0 {
 			ratio = o.PeakPowerW / o.MeanPowerW
 		}
-		tab.Row(capLabel, o.PeakPowerW/1e3, o.P99PowerW/1e3, o.MeanPowerW/1e3,
+		tab.Row(capLabel, o.PeakPowerW/units.WattsPerKW, o.P99PowerW/units.WattsPerKW, o.MeanPowerW/units.WattsPerKW,
 			ratio, o.MeanPUE, o.MeanWaitSec/60, o.JobsPlaced, o.JobsSkipped, o.EdgeCount)
 	}
 	return Report{

@@ -72,7 +72,7 @@ func TestSimulateDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < a.ClusterPower.Len(); i++ {
-		if a.ClusterPower.Vals[i] != b.ClusterPower.Vals[i] {
+		if a.ClusterPower.Vals[i] != b.ClusterPower.Vals[i] { //lint:allow floatcompare live/archive parity is bitwise by design
 			t.Fatalf("cluster power diverged at window %d", i)
 		}
 	}
