@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race check ci bench bench-query clean
+.PHONY: all build test vet fmt lint race stream-check streamd check ci bench bench-query clean
 
 all: check
 
@@ -31,12 +31,24 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# stream-check gates the live streaming-analysis plane: the batch/stream
+# parity test plus the full internal/stream suite under the race detector
+# (backpressure, stalled-consumer shedding, graceful shutdown).
+stream-check:
+	$(GO) test -race -run TestBatchStreamParity ./internal/stream
+	$(GO) test -race ./internal/stream
+
+# streamd runs the live service against an embedded simulated feed; query
+# it at http://127.0.0.1:8090/api/v1/live/rollup while it runs.
+streamd:
+	$(GO) run ./cmd/streamd -sim-minutes 30
+
 # check is the full gate: compile, format, vet, lint, unit tests, then the
 # race detector.
-check: build fmt vet lint test race
+check: build fmt vet lint test stream-check race
 
 # ci mirrors .github/workflows/ci.yml.
-ci: fmt vet lint build test race
+ci: fmt vet lint build test stream-check race
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

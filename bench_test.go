@@ -18,6 +18,9 @@ import (
 	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
 	"repro/internal/tsagg"
 )
 
@@ -430,6 +433,51 @@ func BenchmarkQueryRange(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStreamIngest measures the live plane end to end in-process:
+// one iteration pushes a full fleet window (256 nodes × power + 6 GPU
+// temperatures) through Pipeline.Ingest and on through the sharded
+// coarsen → merge → operator chain. Report is ns per ingested window;
+// divide by 7×nodes for per-sample cost. The pipeline is closed (and so
+// fully drained) once per benchmark run, outside the timer.
+func BenchmarkStreamIngest(b *testing.B) {
+	const nodes = 256
+	pipe, err := stream.NewPipeline(stream.Config{
+		Nodes:      nodes,
+		StepSec:    10,
+		Shards:     4,
+		QueueDepth: 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]telemetry.Sample, 0, nodes*7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := int64(i) * 10
+		batch = batch[:0]
+		for n := 0; n < nodes; n++ {
+			batch = append(batch, telemetry.Sample{
+				Node: topology.NodeID(n), Metric: telemetry.MetricInputPower,
+				T: t, Value: float64(10_000 + n + i%50),
+			})
+			for g := topology.GPUSlot(0); g < 6; g++ {
+				batch = append(batch, telemetry.Sample{
+					Node: topology.NodeID(n), Metric: telemetry.GPUCoreTempMetric(g),
+					T: t, Value: float64(30 + (n+int(g)+i)%40),
+				})
+			}
+		}
+		pipe.Ingest(batch)
+	}
+	b.StopTimer()
+	pipe.Close()
+	snap := pipe.Snapshot()
+	if snap.Ingest.Dropped > 0 {
+		b.Fatalf("benchmark overran the queues: %+v", snap.Ingest)
+	}
+	b.ReportMetric(float64(snap.Ingest.Frames), "frames")
 }
 
 // BenchmarkQueryRangeCached is the same query against a warm cache: the

@@ -1,0 +1,276 @@
+// Command streamd is the live analysis service of the reproduction: it
+// terminates the out-of-band telemetry transport (the §2 collection path)
+// in the streaming-analysis plane and serves the paper's statistics over
+// HTTP while the run is still in flight — the online counterpart of
+// queryd, which serves the same analyses over the finished archive.
+//
+// Samples arrive over the length-prefixed TCP transport on -ingest, flow
+// through the sharded stream.Pipeline (windowed coarsening, fleet/cabinet/
+// MSB rollups, edge detection, thermal bands, early warning), and are
+// queryable at:
+//
+//	GET /api/v1/live/rollup        — fleet/cabinet/MSB power windows
+//	GET /api/v1/live/edges         — detected power edges
+//	GET /api/v1/live/bands         — thermal-band histogram + occupancy
+//	GET /api/v1/live/earlywarning  — precursor→outcome lift statistics
+//	GET /api/v1/live/health        — ingest counters, watermark, degradation
+//	GET /healthz                   — liveness
+//
+// With -sim-minutes M the service feeds itself: it runs the simulation
+// twin for M simulated minutes and exports every node's power and GPU
+// core temperatures through real TCP exporters into its own ingest port,
+// so the full transport → pipeline → API path is exercised end to end.
+//
+// Usage:
+//
+//	streamd [-addr :8090] [-ingest :9090] [-nodes N] [-sim-minutes M]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/failures"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// options is the parsed flag set.
+type options struct {
+	addr          string
+	ingest        string
+	nodes         int
+	stepSec       int64
+	lateness      int64
+	queue         int
+	timeout       time.Duration
+	maxConcurrent int
+	simMinutes    float64
+	quiet         bool
+}
+
+// parseFlags parses args (without the program name).
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("streamd", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8090", "HTTP listen address")
+	fs.StringVar(&o.ingest, "ingest", "127.0.0.1:9090", "telemetry ingest (TCP) listen address")
+	fs.IntVar(&o.nodes, "nodes", 72, "system size in nodes")
+	fs.Int64Var(&o.stepSec, "step", units.CoarsenWindowSec, "coarsening window in seconds")
+	fs.Int64Var(&o.lateness, "lateness", int64(units.MaxTimestampDelaySec),
+		"out-of-order tolerance in seconds; samples further behind are dropped")
+	fs.IntVar(&o.queue, "queue", 256, "per-shard ingest queue depth in batches (full queues drop, never block)")
+	fs.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-request deadline")
+	fs.IntVar(&o.maxConcurrent, "max-concurrent", 32, "concurrent query limit (excess sheds with 503)")
+	fs.Float64Var(&o.simMinutes, "sim-minutes", 0,
+		"feed the service from an embedded simulated run of this many simulated minutes (0 = external feed only)")
+	fs.BoolVar(&o.quiet, "q", false, "suppress startup output")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.nodes <= 0 {
+		return o, errors.New("streamd: -nodes must be positive")
+	}
+	return o, nil
+}
+
+// service wires the transport, the pipeline and the HTTP tier together;
+// the caller serves and shuts down.
+type service struct {
+	pipe *stream.Pipeline
+	tsrv *telemetry.Server
+	srv  *http.Server
+	ln   net.Listener
+	// feed reports the embedded simulated feed's result; nil without
+	// -sim-minutes.
+	feed chan error
+}
+
+// newService builds the pipeline, binds the ingest and HTTP listeners, and
+// (with o.simMinutes > 0) starts the embedded feed.
+func newService(o options, out io.Writer) (*service, error) {
+	startTime := int64(0)
+	var simCfg sim.Config
+	if o.simMinutes > 0 {
+		simCfg = repro.ScaledConfig(o.nodes, time.Duration(o.simMinutes*float64(time.Minute)))
+		startTime = simCfg.StartTime
+	}
+	pipe, err := stream.NewPipeline(stream.Config{
+		Nodes:       o.nodes,
+		StartTime:   startTime,
+		StepSec:     o.stepSec,
+		LatenessSec: o.lateness,
+		QueueDepth:  o.queue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tsrv, err := telemetry.NewServer(o.ingest, pipe.Ingest)
+	if err != nil {
+		pipe.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		tsrv.Close()
+		pipe.Close()
+		return nil, err
+	}
+	handler := stream.NewHandler(pipe, stream.ServeConfig{
+		Timeout:       o.timeout,
+		MaxConcurrent: o.maxConcurrent,
+	})
+	s := &service{
+		pipe: pipe,
+		tsrv: tsrv,
+		ln:   ln,
+		srv: &http.Server{
+			Handler:           handler,
+			ReadHeaderTimeout: 5 * time.Second,
+			// The per-request timeout lives in the handler; WriteTimeout
+			// backs it up with headroom for slow readers.
+			WriteTimeout: o.timeout + 30*time.Second,
+			IdleTimeout:  2 * time.Minute,
+		},
+	}
+	if o.simMinutes > 0 {
+		s.feed = make(chan error, 1)
+		go func() { s.feed <- runFeed(simCfg, pipe, tsrv.Addr(), o.quiet, out) }()
+	}
+	return s, nil
+}
+
+// runFeed runs the simulation twin and exports every observed node's input
+// power and GPU core temperatures through per-shard TCP exporters into the
+// service's own ingest port; failure events go straight to the pipeline
+// (the paper's failure feed is a log, not a telemetry channel).
+func runFeed(cfg sim.Config, pipe *stream.Pipeline, addr string, quiet bool, out io.Writer) error {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	shards := (cfg.Nodes + units.FanInRatio - 1) / units.FanInRatio
+	exporters := make([]*telemetry.Exporter, shards)
+	for i := range exporters {
+		if exporters[i], err = telemetry.Dial(addr); err != nil {
+			return err
+		}
+	}
+	var pushErr error
+	res, err := s.Run(sim.ObserverFunc(func(snap *sim.Snapshot) {
+		if pushErr != nil {
+			return
+		}
+		for i := range snap.NodeStat {
+			if snap.NodeStat[i].Count == 0 {
+				continue // node unobserved this window (telemetry loss)
+			}
+			exp := exporters[i/units.FanInRatio%shards]
+			if perr := exp.Push(telemetry.Sample{
+				Node: topology.NodeID(i), Metric: telemetry.MetricInputPower,
+				T: snap.T, Value: snap.NodeStat[i].Mean,
+			}); perr != nil {
+				pushErr = perr
+				return
+			}
+			for g := 0; g < units.GPUsPerNode; g++ {
+				v := snap.GPUCoreTemp[i][g]
+				if math.IsNaN(v) {
+					continue
+				}
+				if perr := exp.Push(telemetry.Sample{
+					Node: topology.NodeID(i), Metric: telemetry.GPUCoreTempMetric(topology.GPUSlot(g)),
+					T: snap.T, Value: v,
+				}); perr != nil {
+					pushErr = perr
+					return
+				}
+			}
+		}
+		if len(snap.Failures) > 0 {
+			pipe.IngestEvents(append([]failures.Event(nil), snap.Failures...))
+		}
+	}))
+	if err != nil {
+		return err
+	}
+	if pushErr != nil {
+		return pushErr
+	}
+	var sent int64
+	for _, exp := range exporters {
+		if cerr := exp.Close(); cerr != nil {
+			return cerr
+		}
+		sent += exp.Sent()
+	}
+	if !quiet {
+		fmt.Fprintf(out, "feed complete: %d simulated windows, %d samples over %d shard connections, %d failure events\n",
+			res.Steps, sent, shards, len(res.Failures))
+	}
+	return nil
+}
+
+// shutdown stops the service back to front: close the transport so no new
+// batches arrive, flush the pipeline through the operators, then drain
+// in-flight HTTP requests.
+func (s *service) shutdown(ctx context.Context) error {
+	terr := s.tsrv.Close()
+	s.pipe.Close()
+	herr := s.srv.Shutdown(ctx)
+	return errors.Join(terr, herr)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streamd: ")
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := newService(o, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !o.quiet {
+		fmt.Printf("ingesting telemetry on tcp://%s\n", s.tsrv.Addr())
+		fmt.Printf("serving live analyses on http://%s\n", s.ln.Addr())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- s.srv.Serve(s.ln) }()
+	if s.feed != nil {
+		go func() {
+			if ferr := <-s.feed; ferr != nil {
+				log.Printf("embedded feed: %v", ferr)
+			}
+		}()
+	}
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+}

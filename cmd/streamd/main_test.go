@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.nodes != 72 || o.stepSec != 10 || o.lateness != 5 || o.queue != 256 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if _, err := parseFlags([]string{"-nodes", "0"}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+	}
+	return out
+}
+
+// TestServiceEndToEnd runs the whole streamd path on loopback: embedded
+// simulated feed → TCP transport → stream pipeline → live HTTP API →
+// graceful shutdown. Together with `make stream-check` this is the
+// acceptance run for the live plane.
+func TestServiceEndToEnd(t *testing.T) {
+	o := options{
+		addr:          "127.0.0.1:0",
+		ingest:        "127.0.0.1:0",
+		nodes:         18,
+		stepSec:       10,
+		lateness:      5,
+		queue:         1024,
+		timeout:       10 * time.Second,
+		maxConcurrent: 8,
+		simMinutes:    10,
+		quiet:         true,
+	}
+	s, err := newService(o, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.srv.Serve(s.ln)
+
+	if err := <-s.feed; err != nil {
+		t.Fatalf("embedded feed: %v", err)
+	}
+	base := "http://" + s.ln.Addr().String()
+
+	// The feed has returned but delivery is asynchronous (TCP frames may
+	// still be draining into the pipeline); poll until frames appear.
+	deadline := time.Now().Add(10 * time.Second)
+	var health map[string]any
+	for {
+		health = getJSON(t, base+"/api/v1/live/health")
+		// 10 simulated minutes = 60 windows; all but the few behind the
+		// lateness bound must be finalized once the transport drains.
+		if health["frames"].(float64) >= 50 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline never caught up: health %v", health)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("health = %v", health)
+	}
+	if health["received"].(float64) == 0 || health["watermark_t"] == nil {
+		t.Errorf("health counters = %v", health)
+	}
+
+	rollup := getJSON(t, base+"/api/v1/live/rollup")
+	if rollup["windows_total"].(float64) < 50 {
+		t.Errorf("rollup windows = %v", rollup["windows_total"])
+	}
+	points := rollup["points"].([]any)
+	if len(points) == 0 {
+		t.Fatal("no fleet points")
+	}
+	last := points[len(points)-1].(map[string]any)
+	if v, ok := last["v"].(float64); !ok || v <= 0 {
+		t.Errorf("latest fleet power = %v, want positive", last["v"])
+	}
+
+	bands := getJSON(t, base+"/api/v1/live/bands")
+	if bands["total_gpus"].(float64) != float64(18*6) {
+		t.Errorf("total_gpus = %v", bands["total_gpus"])
+	}
+
+	ew := getJSON(t, base+"/api/v1/live/earlywarning")
+	if len(ew["pairs"].([]any)) != 3 {
+		t.Errorf("earlywarning pairs = %v", ew["pairs"])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The pipeline is flushed and still snapshotable after shutdown.
+	snap := s.pipe.Snapshot()
+	if snap.Ingest.Frames < 60 {
+		t.Errorf("frames after flush = %d, want 60", snap.Ingest.Frames)
+	}
+}

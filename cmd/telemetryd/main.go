@@ -1,8 +1,10 @@
 // Command telemetryd demonstrates the out-of-band telemetry transport end
 // to end on one machine: it starts the aggregation-tier TCP server, runs a
-// short simulation, streams every node's metrics through per-shard
-// exporters (288:1 fan-in), and reports ingest statistics — the
-// reproduction of the paper's §2 collection path as a running service.
+// short simulation, streams every node's power through per-shard exporters
+// (288:1 fan-in) behind the paper's change filter, and terminates the
+// stream in the same streaming-analysis plane streamd serves — reporting
+// transport and pipeline statistics when the run finishes. It is the batch
+// smoke test of the §2 collection path; streamd is the serving version.
 //
 // Usage:
 //
@@ -12,68 +14,63 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"sync"
+	"os"
 	"time"
 
 	"repro"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
-	"repro/internal/tsagg"
 	"repro/internal/units"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("telemetryd: ")
-	nodes := flag.Int("nodes", 72, "system size in nodes")
-	minutes := flag.Float64("minutes", 20, "simulated span in minutes")
-	flag.Parse()
+// run executes the end-to-end demonstration and writes the report to out.
+func run(nodes int, minutes float64, out io.Writer) error {
+	cfg := repro.ScaledConfig(nodes, time.Duration(minutes*float64(time.Minute)))
 
-	// Aggregation tier: coarsen arriving samples per channel.
-	var mu sync.Mutex
-	coarseners := map[uint64]*tsagg.Coarsener{}
-	windows := 0
-	sink := func(batch []telemetry.Sample) {
-		mu.Lock()
-		defer mu.Unlock()
-		for _, s := range batch {
-			key := uint64(s.Node)<<16 | uint64(s.Metric)
-			c, ok := coarseners[key]
-			if !ok {
-				c = tsagg.NewCoarsener(units.CoarsenWindowSec, func(tsagg.WindowStat) {
-					windows++
-				})
-				coarseners[key] = c
-			}
-			c.Add(s.T, s.Value)
-		}
-	}
-	srv, err := telemetry.NewServer("127.0.0.1:0", sink)
+	// Aggregation tier: the stream pipeline replaces the ad-hoc coarsener
+	// map this command used to carry — arriving batches flow through the
+	// same sharded windowing, rollup and edge operators streamd serves.
+	pipe, err := stream.NewPipeline(stream.Config{
+		Nodes:      nodes,
+		StartTime:  cfg.StartTime,
+		QueueDepth: 4096,
+	})
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	srv, err := telemetry.NewServer("127.0.0.1:0", pipe.Ingest)
+	if err != nil {
+		pipe.Close()
+		return err
 	}
 	defer srv.Close()
-	fmt.Printf("aggregation tier listening on %s\n", srv.Addr())
+	fmt.Fprintf(out, "aggregation tier listening on %s\n", srv.Addr())
 
 	// Node tier: run the twin and export a stream per fan-in shard.
-	cfg := repro.ScaledConfig(*nodes, time.Duration(*minutes*float64(time.Minute)))
 	s, err := sim.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		pipe.Close()
+		return err
 	}
-	shards := (*nodes + units.FanInRatio - 1) / units.FanInRatio
+	shards := (nodes + units.FanInRatio - 1) / units.FanInRatio
 	exporters := make([]*telemetry.Exporter, shards)
 	for i := range exporters {
-		exporters[i], err = telemetry.Dial(srv.Addr())
-		if err != nil {
-			log.Fatal(err)
+		if exporters[i], err = telemetry.Dial(srv.Addr()); err != nil {
+			pipe.Close()
+			return err
 		}
 	}
 	filter := telemetry.NewChangeFilter()
 	start := time.Now()
+	var pushErr error
 	res, err := s.Run(sim.ObserverFunc(func(snap *sim.Snapshot) {
+		if pushErr != nil {
+			return
+		}
 		for i := range snap.NodeStat {
 			node := topology.NodeID(i)
 			sample := telemetry.Sample{
@@ -84,32 +81,61 @@ func main() {
 				continue
 			}
 			exp := exporters[i/units.FanInRatio%shards]
-			if err := exp.Push(sample); err != nil {
-				log.Fatal(err)
+			if perr := exp.Push(sample); perr != nil {
+				pushErr = perr
+				return
 			}
 		}
 	}))
 	if err != nil {
-		log.Fatal(err)
+		pipe.Close()
+		return err
+	}
+	if pushErr != nil {
+		pipe.Close()
+		return pushErr
 	}
 	var sent int64
 	for _, exp := range exporters {
-		if err := exp.Close(); err != nil {
-			log.Fatal(err)
+		if cerr := exp.Close(); cerr != nil {
+			pipe.Close()
+			return cerr
 		}
 		sent += exp.Sent()
 	}
 	if err := srv.Close(); err != nil {
+		pipe.Close()
+		return err
+	}
+	st := srv.Stats()
+	pipe.Close() // flush every open window through the operators
+	snap := pipe.Snapshot()
+
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "simulated %d windows on %d nodes in %.1fs\n", res.Steps, nodes, elapsed.Seconds())
+	fmt.Fprintf(out, "exported %d samples over %d shard connections (%d frames)\n",
+		sent, shards, st.Frames)
+	fmt.Fprintf(out, "server ingested %d samples (%.0f samples/s); %d channel windows coarsened\n",
+		st.Received, float64(st.Received)/elapsed.Seconds(), snap.Ingest.ChannelWindows)
+	fmt.Fprintf(out, "pipeline applied %d frames over %ds; fleet energy %s; %d edges detected\n",
+		snap.Ingest.Frames, snap.SpanSec, units.Joules(snap.Rollup.EnergyJ), snap.EdgesTotal)
+	if st.Received != sent {
+		return fmt.Errorf("LOSS: sent %d != received %d", sent, st.Received)
+	}
+	if d := snap.Ingest.Dropped + snap.Ingest.Late + snap.Ingest.Rejected; d != 0 {
+		return fmt.Errorf("LOSS: pipeline dropped %d samples (%+v)", d, snap.Ingest)
+	}
+	fmt.Fprintln(out, "no loss across the transport — out-of-band path verified")
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("telemetryd: ")
+	nodes := flag.Int("nodes", 72, "system size in nodes")
+	minutes := flag.Float64("minutes", 20, "simulated span in minutes")
+	flag.Parse()
+	if err := run(*nodes, *minutes, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	elapsed := time.Since(start)
-	fmt.Printf("simulated %d windows on %d nodes in %.1fs\n", res.Steps, *nodes, elapsed.Seconds())
-	fmt.Printf("exported %d samples over %d shard connections (%d frames)\n",
-		sent, shards, srv.Frames())
-	fmt.Printf("server ingested %d samples (%.0f samples/s); %d channel windows coarsened\n",
-		srv.Received(), float64(srv.Received())/elapsed.Seconds(), windows)
-	if srv.Received() != sent {
-		log.Fatalf("LOSS: sent %d != received %d", sent, srv.Received())
-	}
-	fmt.Println("no loss across the transport — out-of-band path verified")
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunEndToEnd drives the whole demonstration — sim → change filter →
+// TCP exporters → aggregation server → stream pipeline — and requires the
+// lossless-transport verdict.
+func TestRunEndToEnd(t *testing.T) {
+	var buf strings.Builder
+	if err := run(16, 10, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"aggregation tier listening",
+		"exported",
+		"pipeline applied",
+		"no loss across the transport",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadNodeCount(t *testing.T) {
+	var buf strings.Builder
+	if err := run(0, 10, &buf); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}

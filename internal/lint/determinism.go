@@ -23,6 +23,9 @@ var Determinism = &Analyzer{
 }
 
 // simPackages are the packages whose outputs must be bit-reproducible.
+// stream is on the list because the batch/stream parity contract holds the
+// live operators bit-identical to the offline analyses: a wall-clock read
+// or map-order accumulation in an operator would break it silently.
 var simPackages = map[string]bool{
 	"nodesim":   true,
 	"workload":  true,
@@ -32,6 +35,7 @@ var simPackages = map[string]bool{
 	"core":      true,
 	"dsp":       true,
 	"stats":     true,
+	"stream":    true,
 }
 
 // wallClockFuncs are the time package entry points that read or depend on

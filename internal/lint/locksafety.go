@@ -25,7 +25,7 @@ var LockSafety = &Analyzer{
 // the serving layer and the long-running binaries.
 func inGoroutineScope(path string) bool {
 	switch pathBase(path) {
-	case "telemetry", "query", "source":
+	case "telemetry", "query", "source", "stream":
 		return true
 	}
 	return len(path) > len("repro/cmd/") && path[:len("repro/cmd/")] == "repro/cmd/"

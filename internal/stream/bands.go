@@ -1,0 +1,78 @@
+package stream
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Bands maintains the rolling thermal-band classification (paper §2): the
+// per-window histogram of GPU core-temperature channels over the five
+// bands, plus the run-long occupancy summary. Accumulation order matches
+// the offline reduction (window order through stats.Moments), so the
+// summary is bit-identical to core.ThermalBandsFromSource over the same
+// windows.
+type Bands struct {
+	totalGPUs float64
+	acc       [core.NumTempBands]stats.Moments
+	cur       [core.NumTempBands]float64
+	curT      int64
+	windows   int64
+}
+
+func newBands(cfg Config) *Bands {
+	return &Bands{totalGPUs: float64(cfg.Nodes * units.GPUsPerNode), curT: -1}
+}
+
+// Name implements Operator.
+func (b *Bands) Name() string { return "bands" }
+
+// Apply implements Operator. Gap frames contribute zero counts, exactly
+// like the offline collector, which sets every band series slot on every
+// window.
+func (b *Bands) Apply(f *Frame) {
+	for i := 0; i < core.NumTempBands; i++ {
+		v := float64(f.BandGPUs[i])
+		b.acc[i].Add(v)
+		b.cur[i] = v
+	}
+	b.curT = f.Start
+	b.windows++
+}
+
+// Flush implements Operator.
+func (b *Bands) Flush() {}
+
+// BandsSnapshot is a consistent copy of the thermal-band state.
+type BandsSnapshot struct {
+	T         int64 // timestamp of the current histogram (-1 before data)
+	TotalGPUs float64
+	Windows   int64
+	Current   [core.NumTempBands]float64 // latest window's counts
+	Summary   []core.BandSummary         // run-long occupancy per band
+}
+
+// snapshotLocked reduces the accumulated occupancy exactly as the offline
+// thermalBandsFrom does. Caller holds the pipeline snapshot lock.
+func (b *Bands) snapshotLocked() BandsSnapshot {
+	out := BandsSnapshot{
+		T:         b.curT,
+		TotalGPUs: b.totalGPUs,
+		Windows:   b.windows,
+		Current:   b.cur,
+		Summary:   make([]core.BandSummary, core.NumTempBands),
+	}
+	for i := 0; i < core.NumTempBands; i++ {
+		m := b.acc[i]
+		out.Summary[i] = core.BandSummary{
+			Band:     i,
+			Label:    core.TempBandLabel(i),
+			MeanGPUs: m.Mean(),
+			MaxGPUs:  m.Max,
+		}
+		if b.totalGPUs > 0 {
+			out.Summary[i].MeanShare = m.Mean() / b.totalGPUs
+		}
+	}
+	return out
+}

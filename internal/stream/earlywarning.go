@@ -1,0 +1,145 @@
+package stream
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/failures"
+	"repro/internal/units"
+)
+
+// ewPair is the per-(precursor, outcome) streaming state. It reproduces
+// core.EarlyWarning's first-outcome-at-or-after matching on an ordered
+// event feed: each precursor waits on its GPU until the first outcome at
+// or after it arrives; outcomes inside the horizon count as followed.
+type ewPair struct {
+	precursor failures.Type
+	outcome   failures.Type
+
+	precursors int
+	followed   int
+	outcomes   int     // all outcome events (base-rate numerator)
+	leads      []int64 // lead times of followed pairs, arrival order
+	// pending holds unmatched precursor times per GPU, ascending.
+	pending map[ewGPU][]int64
+}
+
+type ewGPU struct {
+	node int
+	slot int
+}
+
+// EarlyWarning maintains the §6.1 precursor→outcome lift statistics over a
+// live failure feed for the paper's three pairs. Events must arrive in
+// non-decreasing time order per GPU; the pipeline sorts each ingested
+// batch by time. On a tie between a precursor and its outcome on the same
+// GPU, the precursor must come first in the feed to count as followed —
+// the one ordering the batch analysis cannot distinguish either.
+type EarlyWarning struct {
+	nodes     int
+	windowSec int64
+	pairs     []*ewPair
+}
+
+func newEarlyWarning(cfg Config) *EarlyWarning {
+	defs := [][2]failures.Type{
+		{failures.MicrocontrollerWarning, failures.DriverErrorHandling},
+		{failures.DoubleBitError, failures.PageRetirementEvent},
+		{failures.PageRetirementEvent, failures.PageRetirementFailure},
+	}
+	ew := &EarlyWarning{nodes: cfg.Nodes, windowSec: cfg.EarlyWarningWindowSec}
+	for _, d := range defs {
+		ew.pairs = append(ew.pairs, &ewPair{
+			precursor: d[0],
+			outcome:   d[1],
+			pending:   map[ewGPU][]int64{},
+		})
+	}
+	return ew
+}
+
+// Name implements Operator.
+func (ew *EarlyWarning) Name() string { return "earlywarning" }
+
+// Apply implements Operator. Early warning consumes the failure feed, not
+// the telemetry frames; frames only advance the observation span, which
+// the pipeline tracks.
+func (ew *EarlyWarning) Apply(f *Frame) {}
+
+// Flush implements Operator.
+func (ew *EarlyWarning) Flush() {}
+
+// observe feeds one failure event. Caller holds the pipeline snapshot
+// lock.
+func (ew *EarlyWarning) observe(e *failures.Event) {
+	k := ewGPU{int(e.Node), int(e.Slot)}
+	for _, p := range ew.pairs {
+		// A type may be an outcome in one pair and a precursor in another
+		// (the retirement chain), so both arms run independently.
+		if e.Type == p.outcome {
+			p.outcomes++
+			pend := p.pending[k]
+			if len(pend) > 0 {
+				// This is the first outcome at or after every pending
+				// precursor on this GPU; within the horizon it follows.
+				for _, pt := range pend {
+					if e.Time-pt <= ew.windowSec {
+						p.followed++
+						p.leads = append(p.leads, e.Time-pt)
+					}
+				}
+				p.pending[k] = pend[:0]
+			}
+		}
+		if e.Type == p.precursor {
+			p.precursors++
+			// Expire horizons that can no longer be met to bound memory;
+			// correctness does not depend on it (expired entries would
+			// fail the horizon check anyway).
+			pend := p.pending[k]
+			keep := pend[:0]
+			for _, pt := range pend {
+				if e.Time-pt <= ew.windowSec {
+					keep = append(keep, pt)
+				}
+			}
+			p.pending[k] = append(keep, e.Time)
+		}
+	}
+}
+
+// snapshotLocked reduces the streaming state to the batch statistics,
+// mirroring core.EarlyWarning field by field. spanSec is the finalized
+// observation span. Caller holds the pipeline snapshot lock.
+func (ew *EarlyWarning) snapshotLocked(spanSec int64) []core.PrecursorStats {
+	gpuWindows := float64(ew.nodes*units.GPUsPerNode) * float64(spanSec) / float64(ew.windowSec)
+	out := make([]core.PrecursorStats, len(ew.pairs))
+	for i, p := range ew.pairs {
+		st := core.PrecursorStats{
+			Precursor:  p.precursor,
+			Outcome:    p.outcome,
+			WindowSec:  ew.windowSec,
+			Precursors: p.precursors,
+			Followed:   p.followed,
+		}
+		if p.precursors > 0 {
+			st.HitRate = float64(p.followed) / float64(p.precursors)
+			if gpuWindows > 0 {
+				st.BaseRate = float64(p.outcomes) / gpuWindows
+				if st.BaseRate > 1 {
+					st.BaseRate = 1
+				}
+			}
+			if st.BaseRate > 0 {
+				st.Lift = st.HitRate / st.BaseRate
+			}
+			if len(p.leads) > 0 {
+				leads := append([]int64(nil), p.leads...)
+				sort.Slice(leads, func(a, b int) bool { return leads[a] < leads[b] })
+				st.MedianLeadSec = leads[len(leads)/2]
+			}
+		}
+		out[i] = st
+	}
+	return out
+}

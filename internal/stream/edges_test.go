@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/tsagg"
+)
+
+// feedDetector runs the incremental detector over a complete series and
+// returns the edges in emission order, durations resolved.
+func feedDetector(s *tsagg.Series, threshold float64) []core.Edge {
+	var out []*core.Edge
+	d := NewEdgeDetector(threshold, func(e *core.Edge) { out = append(out, e) })
+	for i := 0; i < s.Len(); i++ {
+		d.Push(s.TimeAt(i), s.Vals[i])
+	}
+	d.Flush()
+	edges := make([]core.Edge, len(out))
+	for i, e := range out {
+		edges[i] = *e
+	}
+	return edges
+}
+
+// TestEdgeDetectorParity is the property test behind the streaming edge
+// operator: on randomized series — plateaus, ramps, spikes, NaN gaps —
+// the incremental detector reproduces core.DetectEdgesThreshold exactly:
+// same edges, same indices, same float-accumulated amplitudes, same
+// 80 %-return durations.
+func TestEdgeDetectorParity(t *testing.T) {
+	r := rng.New(42)
+	const threshold = 50.0
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.IntN(120)
+		s := tsagg.NewSeries(1000, 10, n)
+		level := 500.0
+		for i := 0; i < n; i++ {
+			switch r.IntN(10) {
+			case 0:
+				continue // leave NaN gap
+			case 1, 2:
+				level += r.Uniform(-200, 200) // step
+			case 3:
+				level += r.Uniform(-60, 60) // near-threshold move
+			}
+			s.Vals[i] = level + r.Uniform(-5, 5)
+		}
+		want := core.DetectEdgesThreshold(s, threshold)
+		got := feedDetector(s, threshold)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d edges, want %d\ngot  %+v\nwant %+v",
+				trial, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d edge %d:\ngot  %+v\nwant %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEdgeDetectorMergesAndBreaks pins the fine structure on a crafted
+// series: merged same-direction crossings, a NaN break, a direction flip
+// opening an opposite edge from the breaking delta, and duration
+// resolution across a later edge.
+func TestEdgeDetectorMergesAndBreaks(t *testing.T) {
+	nan := math.NaN()
+	vals := []float64{
+		100, 100, 300, 500, 520, // rising edge merged over two crossings
+		510, 180, // falling edge; also returns the rising edge 80 % of the way
+		nan, 200, 190, // NaN gap breaks and suppresses detection
+		200, 600, 210, // spike: rising then falling from the breaking delta
+		205, 200,
+	}
+	s := &tsagg.Series{Start: 0, Step: 10, Vals: vals}
+	want := core.DetectEdgesThreshold(s, 150)
+	got := feedDetector(s, 150)
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d: %+v vs %+v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Sanity on the scenario itself: at least one merged rising edge and
+	// one resolved duration.
+	var sawMerged, sawResolved bool
+	for _, e := range got {
+		if e.EndIdx-e.StartIdx > 1 {
+			sawMerged = true
+		}
+		if e.DurationSec >= 0 {
+			sawResolved = true
+		}
+	}
+	if !sawMerged || !sawResolved {
+		t.Errorf("scenario lost its teeth: merged=%v resolved=%v (%+v)", sawMerged, sawResolved, got)
+	}
+}
+
+// TestEdgeDetectorFlushEmitsOpenEdge verifies an edge still merging at
+// stream end is emitted with duration -1, as the batch detector does for
+// a series ending mid-edge.
+func TestEdgeDetectorFlushEmitsOpenEdge(t *testing.T) {
+	s := &tsagg.Series{Start: 0, Step: 10, Vals: []float64{100, 400, 700}}
+	want := core.DetectEdgesThreshold(s, 150)
+	got := feedDetector(s, 150)
+	if len(want) != 1 || len(got) != 1 {
+		t.Fatalf("got %d/%d edges, want 1/1", len(got), len(want))
+	}
+	if got[0] != want[0] {
+		t.Errorf("got %+v, want %+v", got[0], want[0])
+	}
+	if got[0].DurationSec != -1 {
+		t.Errorf("open edge duration = %d, want -1", got[0].DurationSec)
+	}
+}

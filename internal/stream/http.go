@@ -1,0 +1,370 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// ServeConfig bounds the live HTTP serving layer, mirroring the queryd
+// discipline: GET-only routes behind a concurrency limiter, a per-request
+// deadline, and request-size limits. Health stays outside the limiter so
+// an overloaded service can still report that it is overloaded.
+type ServeConfig struct {
+	// Timeout is the per-request deadline (<= 0: 10 s).
+	Timeout time.Duration
+	// MaxConcurrent bounds in-flight requests; excess requests are shed
+	// with 503 (<= 0: 32).
+	MaxConcurrent int
+	// MaxWindows bounds the windows one rollup response may carry
+	// (<= 0: 4096).
+	MaxWindows int
+	// MaxQueryLen bounds the raw query string (<= 0: 4096).
+	MaxQueryLen int
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 32
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = 4096
+	}
+	if c.MaxQueryLen <= 0 {
+		c.MaxQueryLen = 4096
+	}
+	return c
+}
+
+// handler serves the live JSON API over a Pipeline.
+type handler struct {
+	p   *Pipeline
+	cfg ServeConfig
+	sem chan struct{}
+}
+
+// NewHandler returns the streamd HTTP API:
+//
+//	GET /api/v1/live/rollup        — fleet/cabinet/MSB power windows
+//	GET /api/v1/live/edges         — detected power edges
+//	GET /api/v1/live/bands         — thermal-band histogram + occupancy
+//	GET /api/v1/live/earlywarning  — precursor→outcome lift statistics
+//	GET /api/v1/live/health        — ingest counters, watermark, degradation
+//	GET /healthz                   — liveness
+//
+// API routes run under the concurrency limiter and per-request timeout of
+// cfg; the health routes bypass both.
+func NewHandler(p *Pipeline, cfg ServeConfig) http.Handler {
+	h := &handler{p: p, cfg: cfg.withDefaults()}
+	h.sem = make(chan struct{}, h.cfg.MaxConcurrent)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/api/v1/live/health", h.health)
+	mux.HandleFunc("/api/v1/live/rollup", h.guard(h.rollup))
+	mux.HandleFunc("/api/v1/live/edges", h.guard(h.edges))
+	mux.HandleFunc("/api/v1/live/bands", h.guard(h.bands))
+	mux.HandleFunc("/api/v1/live/earlywarning", h.guard(h.earlyWarning))
+	return mux
+}
+
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// guard wraps an API route with method/size checks, load shedding and the
+// per-request timeout.
+func (h *handler) guard(fn func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		if len(r.URL.RawQuery) > h.cfg.MaxQueryLen {
+			writeError(w, http.StatusRequestURITooLong,
+				fmt.Sprintf("query string over %d bytes", h.cfg.MaxQueryLen))
+			return
+		}
+		select {
+		case h.sem <- struct{}{}:
+			defer func() { <-h.sem }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "live query concurrency limit reached")
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), h.cfg.Timeout)
+		defer cancel()
+		resp, err := fn(ctx, r)
+		if err != nil {
+			status, msg := errStatus(err)
+			writeError(w, status, msg)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func errStatus(err error) (int, string) {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status, ae.msg
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "live query deadline exceeded"
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+// jfloat marshals NaN/Inf (legal in the pipeline, illegal in JSON) as null.
+type jfloat float64
+
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+type apiPoint struct {
+	T int64  `json:"t"`
+	V jfloat `json:"v"`
+}
+
+// --- /api/v1/live/rollup ---
+
+type apiGroupSeries struct {
+	Group  int        `json:"group"`
+	Label  string     `json:"label"`
+	Points []apiPoint `json:"points"`
+}
+
+type apiRollup struct {
+	Group   string           `json:"group"`
+	Step    int64            `json:"step"`
+	Windows int64            `json:"windows_total"`
+	EnergyJ jfloat           `json:"energy_j"`
+	Points  []apiPoint       `json:"points,omitempty"`
+	Series  []apiGroupSeries `json:"series,omitempty"`
+}
+
+func (h *handler) rollup(ctx context.Context, r *http.Request) (any, error) {
+	q := r.URL.Query()
+	group := q.Get("group")
+	if group == "" {
+		group = "fleet"
+	}
+	limit, err := qInt(q.Get("limit"), 360)
+	if err != nil {
+		return nil, err
+	}
+	if limit <= 0 || limit > int64(h.cfg.MaxWindows) {
+		limit = int64(h.cfg.MaxWindows)
+	}
+	snap := h.p.RollupSnapshot(int(limit))
+	out := &apiRollup{Group: group, Step: snap.Step, Windows: snap.Windows, EnergyJ: jfloat(snap.EnergyJ)}
+	switch group {
+	case "fleet":
+		for _, w := range snap.Recent {
+			out.Points = append(out.Points, apiPoint{T: w.T, V: jfloat(w.FleetW)})
+		}
+	case "cabinet":
+		out.Series = groupSeries(snap.Recent, snap.Cabinets,
+			func(w *RollupWindow, g int) float64 { return w.CabinetW[g] },
+			func(g int) string { return fmt.Sprintf("cabinet %d", g) })
+	case "msb":
+		out.Series = groupSeries(snap.Recent, snap.MSBs,
+			func(w *RollupWindow, g int) float64 { return w.MSBW[g] },
+			func(g int) string { return topology.MSB(g).String() })
+	default:
+		return nil, &apiError{http.StatusBadRequest,
+			fmt.Sprintf("unknown group %q (fleet, cabinet, msb)", group)}
+	}
+	return out, nil
+}
+
+func groupSeries(ws []RollupWindow, groups int,
+	val func(*RollupWindow, int) float64, label func(int) string) []apiGroupSeries {
+	out := make([]apiGroupSeries, groups)
+	for g := 0; g < groups; g++ {
+		s := apiGroupSeries{Group: g, Label: label(g)}
+		for i := range ws {
+			s.Points = append(s.Points, apiPoint{T: ws[i].T, V: jfloat(val(&ws[i], g))})
+		}
+		out[g] = s
+	}
+	return out
+}
+
+// --- /api/v1/live/edges ---
+
+type apiEdge struct {
+	T           int64  `json:"t"`
+	Rising      bool   `json:"rising"`
+	AmplitudeW  jfloat `json:"amplitude_w"`
+	DurationSec int64  `json:"duration_sec"`
+}
+
+func (h *handler) edges(ctx context.Context, r *http.Request) (any, error) {
+	q := r.URL.Query()
+	limit, err := qInt(q.Get("limit"), 256)
+	if err != nil {
+		return nil, err
+	}
+	edges, total, thresh := h.p.EdgesSnapshot(int(limit))
+	rising := q.Get("rising")
+	out := make([]apiEdge, 0, len(edges))
+	for _, e := range edges {
+		if rising == "true" && !e.Rising || rising == "false" && e.Rising {
+			continue
+		}
+		out = append(out, apiEdge{
+			T: e.T, Rising: e.Rising,
+			AmplitudeW: jfloat(e.AmplitudeW), DurationSec: e.DurationSec,
+		})
+	}
+	return map[string]any{
+		"threshold_w": jfloat(thresh),
+		"total":       total,
+		"edges":       out,
+	}, nil
+}
+
+// --- /api/v1/live/bands ---
+
+type apiBand struct {
+	Band      int    `json:"band"`
+	Label     string `json:"label"`
+	GPUs      jfloat `json:"gpus,omitempty"`
+	MeanGPUs  jfloat `json:"mean_gpus,omitempty"`
+	MaxGPUs   jfloat `json:"max_gpus,omitempty"`
+	MeanShare jfloat `json:"mean_share,omitempty"`
+}
+
+func (h *handler) bands(ctx context.Context, r *http.Request) (any, error) {
+	snap := h.p.BandsSnapshot()
+	current := make([]apiBand, 0, len(snap.Summary))
+	summary := make([]apiBand, 0, len(snap.Summary))
+	for _, b := range snap.Summary {
+		current = append(current, apiBand{
+			Band: b.Band, Label: b.Label, GPUs: jfloat(snap.Current[b.Band]),
+		})
+		summary = append(summary, apiBand{
+			Band: b.Band, Label: b.Label,
+			MeanGPUs: jfloat(b.MeanGPUs), MaxGPUs: jfloat(b.MaxGPUs),
+			MeanShare: jfloat(b.MeanShare),
+		})
+	}
+	return map[string]any{
+		"t":          snap.T,
+		"total_gpus": jfloat(snap.TotalGPUs),
+		"windows":    snap.Windows,
+		"current":    current,
+		"summary":    summary,
+	}, nil
+}
+
+// --- /api/v1/live/earlywarning ---
+
+type apiPrecursor struct {
+	Precursor     string `json:"precursor"`
+	Outcome       string `json:"outcome"`
+	WindowSec     int64  `json:"window_sec"`
+	Precursors    int    `json:"precursors"`
+	Followed      int    `json:"followed"`
+	HitRate       jfloat `json:"hit_rate"`
+	BaseRate      jfloat `json:"base_rate"`
+	Lift          jfloat `json:"lift"`
+	MedianLeadSec int64  `json:"median_lead_sec"`
+}
+
+func (h *handler) earlyWarning(ctx context.Context, r *http.Request) (any, error) {
+	stats := h.p.EarlyWarningSnapshot()
+	out := make([]apiPrecursor, len(stats))
+	for i, st := range stats {
+		out[i] = apiPrecursor{
+			Precursor: st.Precursor.String(), Outcome: st.Outcome.String(),
+			WindowSec: st.WindowSec, Precursors: st.Precursors, Followed: st.Followed,
+			HitRate: jfloat(st.HitRate), BaseRate: jfloat(st.BaseRate),
+			Lift: jfloat(st.Lift), MedianLeadSec: st.MedianLeadSec,
+		}
+	}
+	return map[string]any{"pairs": out}, nil
+}
+
+// --- /api/v1/live/health ---
+
+// health reports ingest counters and degradation without the limiter or
+// deadline: the route must answer precisely when the service is swamped.
+func (h *handler) health(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	hs := h.p.Health()
+	shards := make([]map[string]any, len(hs.Shards))
+	for i, sh := range hs.Shards {
+		shards[i] = map[string]any{"queue_len": sh.QueueLen, "queue_cap": sh.QueueCap}
+	}
+	var watermark any
+	if hs.WatermarkT != math.MinInt64 {
+		watermark = hs.WatermarkT
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          hs.Status,
+		"reasons":         hs.Reasons,
+		"received":        hs.Ingest.Received,
+		"dropped":         hs.Ingest.Dropped,
+		"rejected":        hs.Ingest.Rejected,
+		"late":            hs.Ingest.Late,
+		"merge_late":      hs.Ingest.MergeLate,
+		"events":          hs.Ingest.Events,
+		"frames":          hs.Ingest.Frames,
+		"channel_windows": hs.Ingest.ChannelWindows,
+		"watermark_t":     watermark,
+		"last_window_t":   hs.LastWindowT,
+		"shards":          shards,
+	})
+}
+
+// --- helpers ---
+
+func qInt(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, &apiError{http.StatusBadRequest, fmt.Sprintf("bad integer %q", s)}
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,211 @@
+package stream_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failures"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// eqBits is bit-level float equality (NaN == NaN, +0 != -0): the parity
+// contract is exact, tolerance zero.
+func eqBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestBatchStreamParity is the correctness anchor of the streaming plane:
+// one simulated run is collected offline (the batch plane) and
+// simultaneously exported as telemetry samples into a stream pipeline.
+// After Close, every streaming result must equal the offline
+// core.*FromSource analysis bit for bit — zero tolerance. The exported
+// per-node feed is one input-power sample and six GPU core-temperature
+// samples per observed node per window (each window's coarsened mean of a
+// single sample is that sample, exactly), so both planes see identical
+// values and, because both sum in node-index order, identical floats.
+//
+// Documented divergences (not exercised here): samples later than the
+// lateness bound are dropped by the stream plane but folded into the
+// wrong window by tsagg.Coarsener; windows with zero observed nodes are
+// NaN in the stream rollup but 0 in the offline cluster series.
+func TestBatchStreamParity(t *testing.T) {
+	cfg := sim.Config{
+		Seed:             7,
+		Nodes:            72, // 4 cabinets, so the 5-MSB rollup also exercises clamping
+		StartTime:        1_577_836_800,
+		DurationSec:      1800,
+		StepSec:          10,
+		SamplesPerWindow: 2,
+		Jobs:             240, // dense enough churn for at least one fleet-level edge
+		FailureRateScale: 50_000,
+		FailureCheckSec:  60,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := core.NewCollector(s, cfg)
+
+	pipe, err := stream.NewPipeline(stream.Config{
+		Nodes:      cfg.Nodes,
+		StartTime:  cfg.StartTime,
+		StepSec:    cfg.StepSec,
+		MSBs:       5,
+		QueueDepth: 4096,
+		MaxWindows: 8192,
+		MaxEdges:   8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cabinet-sum oracle, accumulated in the same node order the rollup
+	// operator uses (the offline plane has no per-cabinet series).
+	cabinets := (cfg.Nodes + units.NodesPerCabinet - 1) / units.NodesPerCabinet
+	var wantCab [][]float64
+
+	feeder := sim.ObserverFunc(func(snap *sim.Snapshot) {
+		var batch []telemetry.Sample
+		cab := make([]float64, cabinets)
+		anyNode := false
+		for i := range snap.NodeStat {
+			if snap.NodeStat[i].Count == 0 {
+				continue
+			}
+			anyNode = true
+			batch = append(batch, telemetry.Sample{
+				Node: topology.NodeID(i), Metric: telemetry.MetricInputPower,
+				T: snap.T, Value: snap.NodeStat[i].Mean,
+			})
+			cab[i/units.NodesPerCabinet] += snap.NodeStat[i].Mean
+			for g := 0; g < units.GPUsPerNode; g++ {
+				v := snap.GPUCoreTemp[i][g]
+				if math.IsNaN(v) {
+					continue
+				}
+				batch = append(batch, telemetry.Sample{
+					Node: topology.NodeID(i), Metric: telemetry.GPUCoreTempMetric(topology.GPUSlot(g)),
+					T: snap.T, Value: v,
+				})
+			}
+		}
+		if !anyNode {
+			for c := range cab {
+				cab[c] = math.NaN()
+			}
+		}
+		wantCab = append(wantCab, cab)
+		pipe.Ingest(batch)
+		if len(snap.Failures) > 0 {
+			pipe.IngestEvents(append([]failures.Event(nil), snap.Failures...))
+		}
+	})
+
+	res, err := s.Run(col, feeder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.SetFailures(res.Failures)
+	pipe.Close()
+
+	d := col.Data()
+	src := d.Source()
+	snap := pipe.Snapshot()
+
+	// The parity claim assumes lossless streaming; anything dropped would
+	// make a mismatch unexplainable.
+	if st := snap.Ingest; st.Dropped != 0 || st.Late != 0 || st.Rejected != 0 || st.MergeLate != 0 {
+		t.Fatalf("stream lost data: %+v", st)
+	}
+
+	// --- Rollups: fleet bit-equals the cluster sensor series; MSB sums
+	// bit-equal the offline per-MSB summation; cabinets match the oracle.
+	windows := d.ClusterPower.Len()
+	if len(snap.Rollup.Recent) != windows {
+		t.Fatalf("stream finalized %d windows, offline has %d", len(snap.Rollup.Recent), windows)
+	}
+	for k, w := range snap.Rollup.Recent {
+		if w.T != d.ClusterPower.TimeAt(k) {
+			t.Fatalf("window %d: stream t=%d, offline t=%d", k, w.T, d.ClusterPower.TimeAt(k))
+		}
+		if !eqBits(w.FleetW, d.ClusterPower.Vals[k]) {
+			t.Errorf("window %d fleet: stream %v, offline %v", k, w.FleetW, d.ClusterPower.Vals[k])
+		}
+		for m := range w.MSBW {
+			if !eqBits(w.MSBW[m], d.MSBSensorSum[m].Vals[k]) {
+				t.Errorf("window %d MSB %d: stream %v, offline %v",
+					k, m, w.MSBW[m], d.MSBSensorSum[m].Vals[k])
+			}
+		}
+		for c := range w.CabinetW {
+			if !eqBits(w.CabinetW[c], wantCab[k][c]) {
+				t.Errorf("window %d cabinet %d: stream %v, oracle %v",
+					k, c, w.CabinetW[c], wantCab[k][c])
+			}
+		}
+	}
+
+	// --- Edges.
+	wantEdges, err := core.EdgesFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Edges) != len(wantEdges) {
+		t.Fatalf("stream found %d edges, offline %d:\nstream  %+v\noffline %+v",
+			len(snap.Edges), len(wantEdges), snap.Edges, wantEdges)
+	}
+	for i := range wantEdges {
+		if snap.Edges[i] != wantEdges[i] {
+			t.Errorf("edge %d: stream %+v, offline %+v", i, snap.Edges[i], wantEdges[i])
+		}
+	}
+	if len(wantEdges) == 0 {
+		t.Error("run produced no edges; parity test needs a livelier workload")
+	}
+
+	// --- Thermal bands.
+	wantBands, err := core.ThermalBandsFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Bands.Summary) != len(wantBands) {
+		t.Fatalf("band summaries: %d vs %d", len(snap.Bands.Summary), len(wantBands))
+	}
+	for b := range wantBands {
+		g, w := snap.Bands.Summary[b], wantBands[b]
+		if g.Band != w.Band || g.Label != w.Label ||
+			!eqBits(g.MeanGPUs, w.MeanGPUs) || !eqBits(g.MaxGPUs, w.MaxGPUs) ||
+			!eqBits(g.MeanShare, w.MeanShare) {
+			t.Errorf("band %d: stream %+v, offline %+v", b, g, w)
+		}
+	}
+
+	// --- Early warning.
+	wantEW, err := core.EarlyWarningFromSource(src, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.EarlyWarning) != len(wantEW) {
+		t.Fatalf("early-warning pairs: %d vs %d", len(snap.EarlyWarning), len(wantEW))
+	}
+	for i := range wantEW {
+		g, w := snap.EarlyWarning[i], wantEW[i]
+		if g.Precursor != w.Precursor || g.Outcome != w.Outcome ||
+			g.WindowSec != w.WindowSec || g.Precursors != w.Precursors ||
+			g.Followed != w.Followed || g.MedianLeadSec != w.MedianLeadSec ||
+			!eqBits(g.HitRate, w.HitRate) || !eqBits(g.BaseRate, w.BaseRate) ||
+			!eqBits(g.Lift, w.Lift) {
+			t.Errorf("pair %d: stream %+v, offline %+v", i, g, w)
+		}
+	}
+	var precursors int
+	for _, w := range wantEW {
+		precursors += w.Precursors
+	}
+	if precursors == 0 {
+		t.Error("run produced no precursor events; raise FailureRateScale")
+	}
+}

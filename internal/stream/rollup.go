@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"math"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// RollupWindow is one finalized window of the fleet/cabinet/MSB power
+// rollup. Power values are NaN when the window carried no telemetry at
+// all; with at least one observed node the sums cover exactly the
+// observed nodes, matching the offline collector's convention.
+type RollupWindow struct {
+	T        int64
+	Observed int       // nodes with telemetry this window
+	FleetW   float64   // Σ node input power (sensor view)
+	CabinetW []float64 // per-cabinet sums
+	MSBW     []float64 // per-switchboard sums
+}
+
+// Rollup maintains the live power rollups: a bounded ring of recent
+// windows plus the running sensor-energy integral. Summation is in node
+// order, replicating the offline collector's accumulation order so fleet
+// and MSB sums are bit-identical to the batch plane.
+type Rollup struct {
+	nodes    int
+	msbs     int
+	perCab   int
+	cabinets int
+	max      int
+	step     int64
+	ring     []RollupWindow // ascending time, len <= max
+	energyJ  float64        // Σ fleet power × step over observed windows
+	windows  int64
+}
+
+func newRollup(cfg Config) *Rollup {
+	cabinets := (cfg.Nodes + units.NodesPerCabinet - 1) / units.NodesPerCabinet
+	return &Rollup{
+		nodes:    cfg.Nodes,
+		msbs:     cfg.MSBs,
+		perCab:   units.NodesPerCabinet,
+		cabinets: cabinets,
+		max:      cfg.MaxWindows,
+		step:     cfg.StepSec,
+	}
+}
+
+// Name implements Operator.
+func (r *Rollup) Name() string { return "rollup" }
+
+// Apply implements Operator.
+func (r *Rollup) Apply(f *Frame) {
+	w := RollupWindow{
+		T:        f.Start,
+		Observed: f.Observed,
+		CabinetW: make([]float64, r.cabinets),
+		MSBW:     make([]float64, r.msbs),
+	}
+	if f.Observed == 0 {
+		w.FleetW = math.NaN()
+		for c := range w.CabinetW {
+			w.CabinetW[c] = math.NaN()
+		}
+		for m := range w.MSBW {
+			w.MSBW[m] = math.NaN()
+		}
+	} else {
+		// Node-index order: the same order the simulator and the offline
+		// collector sum in, so the floating-point result matches bit for
+		// bit.
+		for i := range f.NodePower {
+			if f.NodePower[i].Count == 0 {
+				continue
+			}
+			p := f.NodePower[i].Mean
+			w.FleetW += p
+			w.CabinetW[i/r.perCab] += p
+			w.MSBW[topology.MSBForNode(r.nodes, r.msbs, i)] += p
+		}
+		r.energyJ += w.FleetW * float64(r.step)
+	}
+	r.windows++
+	r.ring = append(r.ring, w)
+	if len(r.ring) > r.max {
+		r.ring = append(r.ring[:0], r.ring[len(r.ring)-r.max:]...)
+	}
+}
+
+// Flush implements Operator.
+func (r *Rollup) Flush() {}
+
+// RollupSnapshot is a consistent copy of the rollup state.
+type RollupSnapshot struct {
+	Step     int64
+	Windows  int64   // total windows observed (ring may hold fewer)
+	EnergyJ  float64 // running fleet sensor-energy integral
+	Cabinets int
+	MSBs     int
+	Recent   []RollupWindow // ascending time, deep-copied
+}
+
+// snapshotLocked copies up to limit most-recent windows (limit <= 0: all
+// retained). Caller holds the pipeline snapshot lock.
+func (r *Rollup) snapshotLocked(limit int) RollupSnapshot {
+	n := len(r.ring)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	out := RollupSnapshot{
+		Step:     r.step,
+		Windows:  r.windows,
+		EnergyJ:  r.energyJ,
+		Cabinets: r.cabinets,
+		MSBs:     r.msbs,
+		Recent:   make([]RollupWindow, n),
+	}
+	src := r.ring[len(r.ring)-n:]
+	for i, w := range src {
+		cp := w
+		cp.CabinetW = append([]float64(nil), w.CabinetW...)
+		cp.MSBW = append([]float64(nil), w.MSBW...)
+		out.Recent[i] = cp
+	}
+	return out
+}

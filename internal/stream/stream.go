@@ -1,0 +1,669 @@
+// Package stream is the online streaming-analysis plane of the
+// reproduction: it consumes telemetry.Sample batches as they arrive from
+// the out-of-band transport and maintains, incrementally, the statistics
+// the paper computes over finished runs — per-channel windowed coarsening
+// (§3), fleet/cabinet/MSB power rollups, streaming edge detection (§4),
+// rolling thermal-band classification (§2), and early-warning lift
+// statistics over the failure feed (§6.1).
+//
+// Architecture: Ingest splits each batch across per-shard goroutines over
+// bounded queues — a full queue drops the batch and counts it rather than
+// ever stalling the out-of-band path. Each shard coarsens its channels
+// with event-time windows and a bounded-lateness watermark (samples more
+// than LatenessSec behind a shard's newest timestamp are dropped and
+// counted). A single merge goroutine orders the shards' finalized windows
+// by the minimum shard watermark into system-wide frames and applies the
+// operator chain to each, so every operator observes windows in strictly
+// ascending event time — which is what lets the streaming results match
+// the offline batch analyses bit for bit (see parity_test.go).
+//
+// Snapshot returns a consistent point-in-time copy of all operator state
+// under one lock acquisition.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/failures"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/tsagg"
+	"repro/internal/units"
+)
+
+// Config sizes a Pipeline.
+type Config struct {
+	// Nodes is the system size; node IDs at or beyond it are rejected.
+	Nodes int
+	// StartTime anchors the window grid and the observation span. Samples
+	// before it are rejected. The first frame starts at the first window
+	// with data at or after StartTime.
+	StartTime int64
+	// StepSec is the coarsening window (<= 0: the paper's 10 s).
+	StepSec int64
+	// MSBs is the switchboard count of the rollup (<= 0: Summit's 5).
+	MSBs int
+	// Shards is the fan-in parallelism (<= 0: one shard per 288 nodes,
+	// the paper's collection-tier ratio).
+	Shards int
+	// QueueDepth bounds each shard's ingest queue in batches (<= 0: 256).
+	// A full queue drops, never blocks.
+	QueueDepth int
+	// LatenessSec bounds out-of-order tolerance: samples more than this
+	// behind their shard's newest timestamp are dropped (<= 0: the
+	// paper's 5 s maximum telemetry timestamp delay).
+	LatenessSec int64
+	// EdgeThresholdW overrides the edge-detection threshold in watts
+	// (<= 0: 868 W × Nodes, the paper's per-node definition).
+	EdgeThresholdW float64
+	// EarlyWarningWindowSec is the §6.1 horizon (<= 0: one hour).
+	EarlyWarningWindowSec int64
+	// MaxWindows bounds the rollup ring (<= 0: 4096).
+	MaxWindows int
+	// MaxEdges bounds the retained edge ring (<= 0: 4096).
+	MaxEdges int
+	// Extra appends additional operators to the built-in chain.
+	Extra []Operator
+}
+
+func (c Config) withDefaults() Config {
+	if c.StepSec <= 0 {
+		c.StepSec = units.CoarsenWindowSec
+	}
+	if c.MSBs <= 0 {
+		c.MSBs = 5
+	}
+	if c.Shards <= 0 {
+		c.Shards = (c.Nodes + units.FanInRatio - 1) / units.FanInRatio
+		if c.Shards < 1 {
+			c.Shards = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.LatenessSec <= 0 {
+		c.LatenessSec = int64(units.MaxTimestampDelaySec)
+	}
+	if c.EarlyWarningWindowSec <= 0 {
+		c.EarlyWarningWindowSec = 3600
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = 4096
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 4096
+	}
+	return c
+}
+
+func (c Config) edgeThreshold() float64 {
+	if c.EdgeThresholdW > 0 {
+		return c.EdgeThresholdW
+	}
+	return float64(units.EdgeThresholdPerNode) * float64(c.Nodes)
+}
+
+// nodeStat is one node's finalized power window inside a shard message.
+type nodeStat struct {
+	node int32
+	stat tsagg.WindowStat
+}
+
+// shardWindow is one finalized window of one shard.
+type shardWindow struct {
+	start       int64
+	power       []nodeStat
+	bands       [core.NumTempBands]int64
+	chanWindows int64
+}
+
+// mergeMsg carries a shard's finalized windows and watermark advance.
+type mergeMsg struct {
+	shard     int
+	watermark int64
+	windows   []shardWindow
+}
+
+// shard is one ingest partition: a bounded queue drained by a goroutine
+// that owns the per-channel coarseners.
+type shard struct {
+	id    int
+	ch    chan []telemetry.Sample
+	chans map[uint32]*WindowCoarsener
+	// watermark = newest sample time − lateness; lastBoundary is the
+	// highest window boundary already scanned for finalization.
+	watermark    int64
+	lastBoundary int64
+}
+
+// Pipeline is the live streaming-analysis plane. Create with NewPipeline;
+// feed with Ingest (telemetry) and IngestEvents (failures); read with
+// Snapshot; Close flushes every open window through the operators.
+type Pipeline struct {
+	cfg Config
+
+	ingestMu sync.RWMutex // guards shard channels against Close
+	closed   atomic.Bool
+
+	shards  []*shard
+	active  []atomic.Bool // shard has ever accepted a batch
+	mergeCh chan mergeMsg
+	wg      sync.WaitGroup
+	mergeWG sync.WaitGroup
+
+	// Counters (atomic: read by Snapshot and health without the lock).
+	received    atomic.Int64 // samples presented to Ingest
+	dropped     atomic.Int64 // samples dropped on full shard queues
+	rejected    atomic.Int64 // samples with out-of-range node or time
+	late        atomic.Int64 // samples behind the lateness bound
+	mergeLate   atomic.Int64 // shard windows arriving behind the merge cursor
+	events      atomic.Int64 // failure events observed
+	frames      atomic.Int64 // frames applied to the operator chain
+	chanWindows atomic.Int64 // per-channel windows finalized
+	wmark       atomic.Int64 // global watermark (min over active shards)
+
+	// mu guards the operator chain and the merge cursor: Apply runs under
+	// it, so Snapshot sees every operator at the same frame boundary.
+	mu         sync.Mutex
+	lastWindow int64 // start of the newest applied frame
+	anyFrame   bool
+	rollup     *Rollup
+	edges      *Edges
+	bands      *Bands
+	warn       *EarlyWarning
+	ops        []Operator
+}
+
+// NewPipeline validates cfg, applies defaults, and starts the shard and
+// merge goroutines.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("stream: non-positive node count %d", cfg.Nodes)
+	}
+	cfg = cfg.withDefaults()
+	p := &Pipeline{
+		cfg:        cfg,
+		active:     make([]atomic.Bool, cfg.Shards),
+		mergeCh:    make(chan mergeMsg, cfg.Shards*4),
+		lastWindow: alignWindow(cfg.StartTime, cfg.StepSec) - cfg.StepSec,
+	}
+	p.wmark.Store(math.MinInt64)
+	p.rollup = newRollup(cfg)
+	p.edges = newEdges(cfg)
+	p.bands = newBands(cfg)
+	p.warn = newEarlyWarning(cfg)
+	p.ops = append([]Operator{p.rollup, p.edges, p.bands, p.warn}, cfg.Extra...)
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			id:           i,
+			ch:           make(chan []telemetry.Sample, cfg.QueueDepth),
+			chans:        map[uint32]*WindowCoarsener{},
+			watermark:    math.MinInt64,
+			lastBoundary: math.MinInt64,
+		}
+		p.shards = append(p.shards, s)
+		p.wg.Add(1)
+		go p.runShard(s)
+	}
+	p.mergeWG.Add(1)
+	go p.runMerge()
+	return p, nil
+}
+
+// shardOf partitions nodes over shards.
+func (p *Pipeline) shardOf(n topology.NodeID) int { return int(n) % len(p.shards) }
+
+// Ingest feeds one telemetry batch. It never blocks: each shard's slice
+// is enqueued with a non-blocking send, and a full queue drops the slice
+// and counts it — the out-of-band path must not stall (paper §2). The
+// batch is not retained; samples are copied into fresh per-shard slices.
+func (p *Pipeline) Ingest(batch []telemetry.Sample) {
+	if len(batch) == 0 {
+		return
+	}
+	p.received.Add(int64(len(batch)))
+	if p.closed.Load() {
+		p.dropped.Add(int64(len(batch)))
+		return
+	}
+	per := make([][]telemetry.Sample, len(p.shards))
+	grid := alignWindow(p.cfg.StartTime, p.cfg.StepSec)
+	for _, s := range batch {
+		if int(s.Node) < 0 || int(s.Node) >= p.cfg.Nodes || s.T < grid {
+			p.rejected.Add(1)
+			continue
+		}
+		i := p.shardOf(s.Node)
+		per[i] = append(per[i], s)
+	}
+	p.ingestMu.RLock()
+	defer p.ingestMu.RUnlock()
+	if p.closed.Load() {
+		for _, sub := range per {
+			p.dropped.Add(int64(len(sub)))
+		}
+		return
+	}
+	for i, sub := range per {
+		if len(sub) == 0 {
+			continue
+		}
+		select {
+		case p.shards[i].ch <- sub:
+			p.active[i].Store(true)
+		default:
+			p.dropped.Add(int64(len(sub)))
+		}
+	}
+}
+
+// IngestEvents feeds failure events to the early-warning operator. The
+// batch is sorted by time (stably, preserving log order on ties) before
+// observation; across batches the caller must not go backwards in time
+// further than the early-warning horizon cares about.
+func (p *Pipeline) IngestEvents(evs []failures.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	ordered := append([]failures.Event(nil), evs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time < ordered[j].Time })
+	p.events.Add(int64(len(ordered)))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range ordered {
+		p.warn.observe(&ordered[i])
+	}
+}
+
+// runShard drains one shard queue: coarsen per channel, advance the
+// watermark, and ship finalized windows to the merger. The blocking send
+// to mergeCh is safe: the merger drains until every shard exits.
+func (p *Pipeline) runShard(s *shard) {
+	defer p.wg.Done()
+	step := p.cfg.StepSec
+	for batch := range s.ch {
+		maxT := int64(math.MinInt64)
+		for _, smp := range batch {
+			if smp.T > maxT {
+				maxT = smp.T
+			}
+			key := uint32(smp.Node)<<8 | uint32(smp.Metric)
+			c := s.chans[key]
+			if c == nil {
+				c = NewWindowCoarsener(step)
+				s.chans[key] = c
+			}
+			if !c.Add(smp.T, smp.Value) {
+				p.late.Add(1)
+			}
+		}
+		if maxT == math.MinInt64 {
+			continue
+		}
+		if wm := maxT - p.cfg.LatenessSec; wm > s.watermark {
+			s.watermark = wm
+		}
+		// Only scan the channel maps when the watermark crosses a window
+		// boundary — nothing new can finalize in between.
+		if b := alignWindow(s.watermark, step); b > s.lastBoundary {
+			s.lastBoundary = b
+			p.mergeCh <- p.collectShard(s, s.watermark)
+		}
+	}
+	// Queue closed: flush every open window and release the watermark.
+	p.mergeCh <- p.collectShard(s, math.MaxInt64)
+}
+
+// collectShard finalizes all shard windows closable at the given
+// watermark and packages them, ascending by start, into a merge message.
+// Channels are visited in sorted key order — key = node<<8|metric — so the
+// message, including the node order of each window's power entries, is
+// fully deterministic.
+func (p *Pipeline) collectShard(s *shard, end int64) mergeMsg {
+	keys := make([]uint32, 0, len(s.chans))
+	for key := range s.chans {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	wins := map[int64]*shardWindow{}
+	var starts []int64
+	for _, key := range keys {
+		node := int32(key >> 8)
+		metric := telemetry.Metric(key & 0xff)
+		s.chans[key].CloseThrough(end, func(ws tsagg.WindowStat) {
+			w := wins[ws.T]
+			if w == nil {
+				w = &shardWindow{start: ws.T}
+				wins[ws.T] = w
+				starts = append(starts, ws.T)
+			}
+			w.chanWindows++
+			switch {
+			case metric == telemetry.MetricInputPower:
+				w.power = append(w.power, nodeStat{node: node, stat: ws})
+			case metric >= telemetry.MetricGPU0CoreTemp && metric <= telemetry.MetricGPU5CoreTemp:
+				if !math.IsNaN(ws.Mean) {
+					w.bands[core.TempBandOf(ws.Mean)]++
+				}
+			}
+		})
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	msg := mergeMsg{shard: s.id, watermark: end}
+	if end != math.MaxInt64 {
+		msg.watermark = s.watermark
+	}
+	for _, t := range starts {
+		msg.windows = append(msg.windows, *wins[t])
+	}
+	return msg
+}
+
+// mergeWin accumulates shard contributions to one pending frame.
+type mergeWin struct {
+	power       []nodeStat
+	bands       [core.NumTempBands]int64
+	chanWindows int64
+}
+
+// runMerge is the single consumer of shard output: it orders finalized
+// windows behind the minimum active-shard watermark and applies complete
+// frames, in ascending event time, to the operator chain.
+func (p *Pipeline) runMerge() {
+	defer p.mergeWG.Done()
+	nShards := len(p.shards)
+	shardWM := make([]int64, nShards)
+	for i := range shardWM {
+		shardWM[i] = math.MinInt64
+	}
+	pending := map[int64]*mergeWin{}
+	maxSeen := int64(math.MinInt64)
+	step := p.cfg.StepSec
+	nextEmit := alignWindow(p.cfg.StartTime, step)
+	frame := &Frame{Step: step, NodePower: make([]tsagg.WindowStat, p.cfg.Nodes)}
+	for msg := range p.mergeCh {
+		if msg.watermark > shardWM[msg.shard] {
+			shardWM[msg.shard] = msg.watermark
+		}
+		for i := range msg.windows {
+			w := &msg.windows[i]
+			if w.start < nextEmit {
+				// Behind the merge cursor: the frame already shipped
+				// (possible only for a shard activated after others had
+				// advanced the cursor).
+				p.mergeLate.Add(w.chanWindows)
+				continue
+			}
+			mw := pending[w.start]
+			if mw == nil {
+				mw = &mergeWin{}
+				pending[w.start] = mw
+			}
+			mw.power = append(mw.power, w.power...)
+			for b := range w.bands {
+				mw.bands[b] += w.bands[b]
+			}
+			mw.chanWindows += w.chanWindows
+			if w.start > maxSeen {
+				maxSeen = w.start
+			}
+		}
+		// Global watermark: the minimum over shards that have ever
+		// accepted data. Shards that never saw a sample do not hold the
+		// pipeline back; their late activation is counted above.
+		g := int64(math.MaxInt64)
+		activeAny := false
+		for i := 0; i < nShards; i++ {
+			if !p.active[i].Load() && shardWM[i] == math.MinInt64 {
+				continue
+			}
+			activeAny = true
+			if shardWM[i] < g {
+				g = shardWM[i]
+			}
+		}
+		if !activeAny || g == math.MinInt64 {
+			continue
+		}
+		if g != math.MaxInt64 {
+			p.wmark.Store(g)
+		}
+		// Before the first frame, fast-forward to the first data so a
+		// live feed anchored far from StartTime does not emit years of
+		// empty frames. p.anyFrame is only written by this goroutine.
+		if !p.anyFrame && len(pending) > 0 {
+			first := int64(math.MaxInt64)
+			for t := range pending {
+				if t < first {
+					first = t
+				}
+			}
+			if first > nextEmit {
+				nextEmit = first
+			}
+		}
+		for nextEmit+step <= g && nextEmit <= maxSeen {
+			p.applyFrame(frame, pending, nextEmit)
+			delete(pending, nextEmit)
+			nextEmit += step
+		}
+	}
+	// All shards flushed with watermark MaxInt64, so the loop above has
+	// emitted everything; run the operators' end-of-stream hooks.
+	p.mu.Lock()
+	for _, op := range p.ops {
+		op.Flush()
+	}
+	p.mu.Unlock()
+}
+
+// applyFrame builds the frame for window start (empty when no shard
+// contributed) and applies the operator chain under the snapshot lock.
+func (p *Pipeline) applyFrame(frame *Frame, pending map[int64]*mergeWin, start int64) {
+	for i := range frame.NodePower {
+		frame.NodePower[i] = tsagg.WindowStat{}
+	}
+	frame.BandGPUs = [core.NumTempBands]int64{}
+	frame.Start = start
+	frame.Observed = 0
+	if mw := pending[start]; mw != nil {
+		for _, ns := range mw.power {
+			if int(ns.node) < len(frame.NodePower) && ns.stat.Count > 0 {
+				frame.NodePower[ns.node] = ns.stat
+				frame.Observed++
+			}
+		}
+		frame.BandGPUs = mw.bands
+		p.chanWindows.Add(mw.chanWindows)
+	}
+	p.mu.Lock()
+	for _, op := range p.ops {
+		op.Apply(frame)
+	}
+	p.lastWindow = start
+	p.anyFrame = true
+	p.mu.Unlock()
+	p.frames.Add(1)
+}
+
+// Close stops ingestion, flushes every open window through the operator
+// chain, and waits for the shard and merge goroutines. Idempotent.
+// Samples offered to Ingest after Close are counted as dropped.
+func (p *Pipeline) Close() {
+	p.ingestMu.Lock()
+	if p.closed.Swap(true) {
+		p.ingestMu.Unlock()
+		return
+	}
+	for _, s := range p.shards {
+		close(s.ch)
+	}
+	p.ingestMu.Unlock()
+	p.wg.Wait()
+	close(p.mergeCh)
+	p.mergeWG.Wait()
+}
+
+// IngestStats is the counter block of a snapshot.
+type IngestStats struct {
+	Received       int64 // samples presented to Ingest
+	Dropped        int64 // dropped on full queues or after Close
+	Rejected       int64 // out-of-range node or pre-StartTime timestamp
+	Late           int64 // behind the lateness bound at a shard
+	MergeLate      int64 // shard windows behind the merge cursor
+	Events         int64 // failure events observed
+	Frames         int64 // frames applied to the operator chain
+	ChannelWindows int64 // per-channel windows finalized
+}
+
+// ShardStat reports one shard queue's occupancy.
+type ShardStat struct {
+	QueueLen int
+	QueueCap int
+}
+
+// Snapshot is a consistent point-in-time view of the pipeline.
+type Snapshot struct {
+	Ingest IngestStats
+	// WatermarkT is the global event-time watermark; math.MinInt64 before
+	// any data.
+	WatermarkT int64
+	// LastWindowT is the start of the newest applied frame.
+	LastWindowT int64
+	// SpanSec is the finalized observation span from StartTime.
+	SpanSec      int64
+	Shards       []ShardStat
+	Rollup       RollupSnapshot
+	Edges        []core.Edge
+	EdgesTotal   int64
+	EdgeThreshW  float64
+	Bands        BandsSnapshot
+	EarlyWarning []core.PrecursorStats
+}
+
+// Snapshot returns a consistent copy of all operator state: every
+// included result reflects the same final applied frame.
+func (p *Pipeline) Snapshot() *Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapshotLocked()
+}
+
+func (p *Pipeline) snapshotLocked() *Snapshot {
+	s := &Snapshot{
+		Ingest:      p.ingestStats(),
+		WatermarkT:  p.wmark.Load(),
+		LastWindowT: p.lastWindow,
+		SpanSec:     p.spanLocked(),
+		Rollup:      p.rollup.snapshotLocked(0),
+		EdgeThreshW: p.edges.Threshold(),
+		Bands:       p.bands.snapshotLocked(),
+	}
+	s.Edges, s.EdgesTotal = p.edges.snapshotLocked(0)
+	s.EarlyWarning = p.warn.snapshotLocked(s.SpanSec)
+	for _, sh := range p.shards {
+		s.Shards = append(s.Shards, ShardStat{QueueLen: len(sh.ch), QueueCap: cap(sh.ch)})
+	}
+	return s
+}
+
+func (p *Pipeline) ingestStats() IngestStats {
+	return IngestStats{
+		Received:       p.received.Load(),
+		Dropped:        p.dropped.Load(),
+		Rejected:       p.rejected.Load(),
+		Late:           p.late.Load(),
+		MergeLate:      p.mergeLate.Load(),
+		Events:         p.events.Load(),
+		Frames:         p.frames.Load(),
+		ChannelWindows: p.chanWindows.Load(),
+	}
+}
+
+// spanLocked is the finalized observation span: frames applied × step.
+func (p *Pipeline) spanLocked() int64 {
+	if !p.anyFrame {
+		return 0
+	}
+	return p.lastWindow + p.cfg.StepSec - alignWindow(p.cfg.StartTime, p.cfg.StepSec)
+}
+
+// RollupSnapshot copies the rollup state with up to limit recent windows
+// (limit <= 0: all retained).
+func (p *Pipeline) RollupSnapshot(limit int) RollupSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rollup.snapshotLocked(limit)
+}
+
+// EdgesSnapshot copies up to limit recent edges (limit <= 0: all
+// retained) plus the lifetime edge count and the detection threshold.
+func (p *Pipeline) EdgesSnapshot(limit int) (edges []core.Edge, total int64, thresholdW float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	edges, total = p.edges.snapshotLocked(limit)
+	return edges, total, p.edges.Threshold()
+}
+
+// BandsSnapshot copies the thermal-band state.
+func (p *Pipeline) BandsSnapshot() BandsSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bands.snapshotLocked()
+}
+
+// EarlyWarningSnapshot reduces the live early-warning state over the
+// finalized span.
+func (p *Pipeline) EarlyWarningSnapshot() []core.PrecursorStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.warn.snapshotLocked(p.spanLocked())
+}
+
+// HealthState summarizes liveness for /api/v1/live/health.
+type HealthState struct {
+	// Status is "ok" until any sample has been dropped or lost, then
+	// "degraded" — sticky, because the counters never reset.
+	Status      string
+	Reasons     []string
+	Ingest      IngestStats
+	WatermarkT  int64
+	LastWindowT int64
+	Shards      []ShardStat
+}
+
+// Health reports ingest health without touching the operator lock beyond
+// the last-window read, so it stays cheap under load.
+func (p *Pipeline) Health() HealthState {
+	st := p.ingestStats()
+	h := HealthState{
+		Status:     "ok",
+		Ingest:     st,
+		WatermarkT: p.wmark.Load(),
+	}
+	p.mu.Lock()
+	h.LastWindowT = p.lastWindow
+	p.mu.Unlock()
+	for _, sh := range p.shards {
+		h.Shards = append(h.Shards, ShardStat{QueueLen: len(sh.ch), QueueCap: cap(sh.ch)})
+	}
+	if st.Dropped > 0 {
+		h.Reasons = append(h.Reasons, "ingest queue overflow dropped samples")
+	}
+	if st.Late > 0 {
+		h.Reasons = append(h.Reasons, "samples beyond the lateness bound were dropped")
+	}
+	if st.MergeLate > 0 {
+		h.Reasons = append(h.Reasons, "windows finalized before a late shard contributed")
+	}
+	if len(h.Reasons) > 0 {
+		h.Status = "degraded"
+	}
+	return h
+}

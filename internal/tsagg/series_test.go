@@ -141,6 +141,66 @@ func TestCoarsenerOutOfOrderWithinWindow(t *testing.T) {
 	}
 }
 
+func TestCoarsenerDuplicateTimestamps(t *testing.T) {
+	// Duplicate timestamps are distinct observations (the BMC can report
+	// twice in one second): each must count, in order, into the same
+	// window — never deduplicated, never split.
+	var got []WindowStat
+	c := NewCoarsener(10, func(w WindowStat) { got = append(got, w) })
+	c.Add(100, 1)
+	c.Add(100, 3)
+	c.Add(100, 3)
+	c.Add(105, 5)
+	c.Flush()
+	if len(got) != 1 {
+		t.Fatalf("got %d windows, want 1", len(got))
+	}
+	w := got[0]
+	if w.Count != 4 || w.Min != 1 || w.Max != 5 || !approx(w.Mean, 3, 1e-12) {
+		t.Errorf("duplicates mishandled: %+v", w)
+	}
+}
+
+func TestCoarsenerDuplicateTimestampAfterWindowAdvance(t *testing.T) {
+	// A duplicate of an already-flushed timestamp is folded into the
+	// current window (same rule as any late sample), not silently dropped
+	// and not retroactively merged into the closed window.
+	var got []WindowStat
+	c := NewCoarsener(10, func(w WindowStat) { got = append(got, w) })
+	c.Add(100, 1)
+	c.Add(112, 2)
+	c.Add(100, 9) // duplicate of the first, after window 100 closed
+	c.Flush()
+	if len(got) != 2 {
+		t.Fatalf("got %d windows, want 2", len(got))
+	}
+	if got[0].Count != 1 || got[0].Max != 1 {
+		t.Errorf("closed window mutated: %+v", got[0])
+	}
+	if got[1].Count != 2 || got[1].Max != 9 {
+		t.Errorf("late duplicate not folded into open window: %+v", got[1])
+	}
+}
+
+func TestCoarsenerBackwardsAcrossManyWindows(t *testing.T) {
+	// A sample arbitrarily far in the past still folds into the current
+	// window: the batch coarsener has no lateness bound, it trusts the
+	// feeder's ordering. (The streaming plane's event-time coarsener makes
+	// the opposite choice — bounded lateness with counted drops — and
+	// documents the divergence; this pins the batch side of the contract.)
+	var got []WindowStat
+	c := NewCoarsener(10, func(w WindowStat) { got = append(got, w) })
+	c.Add(1000, 1)
+	c.Add(5, 2) // ~100 windows in the past
+	c.Flush()
+	if len(got) != 1 {
+		t.Fatalf("got %d windows, want 1", len(got))
+	}
+	if got[0].T != 1000 || got[0].Count != 2 {
+		t.Errorf("ancient sample not folded: %+v", got[0])
+	}
+}
+
 func TestCoarsenMatchesStreamingCoarsener(t *testing.T) {
 	// The batch helper and a hand-driven streaming Coarsener must agree
 	// window for window on the same input.
