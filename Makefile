@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race stream-check streamd check ci bench bench-query clean
+.PHONY: all build test vet fmt lint race stream-check streamd check ci bench bench-sim bench-smoke bench-query clean
 
 all: check
 
@@ -52,6 +52,20 @@ ci: fmt vet lint build test stream-check race
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# bench-sim runs the simulator benchmarks and records the results in
+# BENCH_sim.json under the given LABEL (default post-optimization), next to
+# the tracked pre-PR baseline. See the README's Performance section.
+LABEL ?= post-optimization
+bench-sim:
+	$(GO) test -run xxx -bench 'BenchmarkSim' -benchmem -count 3 . | \
+		$(GO) run ./cmd/benchjson -out BENCH_sim.json -label $(LABEL)
+
+# bench-smoke is the CI guard: one iteration of each simulator benchmark,
+# so the hot path and the benchmark harness itself stay buildable and
+# runnable without CI paying for a real measurement.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkSim' -benchmem -benchtime 1x .
 
 # bench-query runs just the query-engine benchmarks (cold vs cached scans).
 bench-query:

@@ -57,6 +57,45 @@ func BenchmarkSimulateDay(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateFleet runs the twin at the paper's full floor scale
+// (4,608 nodes) for a short span, including workload generation and
+// scheduling. This is the configuration the tentpole throughput target is
+// measured against.
+func BenchmarkSimulateFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := ScaledConfig(4608, 30*time.Minute)
+		cfg.Seed = uint64(i)
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimSteadyState isolates the hot loop: the system is built once
+// (workload generation, scheduling, and per-node state construction stay
+// outside the timer) and each iteration re-runs the window loop on the warm
+// state. B/op and allocs/op here are the steady-state cost of Run itself;
+// the reported windows metric divides them into per-window terms.
+func BenchmarkSimSteadyState(b *testing.B) {
+	cfg := ScaledConfig(256, time.Hour)
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := float64(cfg.DurationSec / cfg.StepSec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(windows, "windows/run")
+}
+
 func BenchmarkTable3Classes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = ReportTable3()

@@ -1,0 +1,147 @@
+// Command benchjson records Go benchmark results as JSON so performance
+// baselines can be tracked in the repository. It reads `go test -bench
+// -benchmem` output on stdin, echoes it through unchanged, and merges the
+// parsed results into a JSON file under a run label:
+//
+//	go test -run '^$' -bench 'BenchmarkSim' -benchmem . |
+//	    go run ./cmd/benchjson -out BENCH_sim.json -label post-optimization
+//
+// The output file maps label -> benchmark name -> metrics. Existing labels
+// other than the one being written are preserved, so a "pre" baseline and
+// any number of "post" measurements can live side by side. When a
+// benchmark appears multiple times on stdin (-count > 1), the run with the
+// lowest ns/op is kept — the minimum is the measurement least disturbed by
+// competing load.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"` // e.g. windows/run
+}
+
+// parseBench parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkSimulateDay-4   30   14349991 ns/op   9692262 B/op   1185 allocs/op
+//
+// returning the benchmark name (CPU-count suffix stripped) and its entry.
+func parseBench(line string) (string, Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Entry{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Entry{}, false
+	}
+	e := Entry{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+			seen = true
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		default:
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[unit] = v
+		}
+	}
+	return name, e, seen
+}
+
+// collect parses every benchmark line from r, echoing all input to echo,
+// and keeps the lowest-ns/op entry per benchmark.
+func collect(r io.Reader, echo io.Writer) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		name, e, ok := parseBench(line)
+		if !ok {
+			continue
+		}
+		if prev, dup := out[name]; !dup || e.NsPerOp < prev.NsPerOp {
+			out[name] = e
+		}
+	}
+	return out, sc.Err()
+}
+
+// mergeFile folds entries into the JSON file at path under label, creating
+// the file if needed and preserving other labels.
+func mergeFile(path, label string, entries map[string]Entry) error {
+	doc := map[string]map[string]Entry{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("benchjson: parsing existing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if doc[label] == nil {
+		doc[label] = map[string]Entry{}
+	}
+	for name, e := range entries {
+		doc[label][name] = e
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "BENCH_sim.json", "JSON file to merge results into")
+	label := flag.String("label", "current", "label to record this run under")
+	flag.Parse()
+	entries, err := collect(os.Stdin, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(entries) == 0 {
+		log.Fatal("no benchmark results found on stdin")
+	}
+	if err := mergeFile(*out, *label, entries); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmark(s) under %q in %s\n",
+		len(entries), *label, *out)
+}

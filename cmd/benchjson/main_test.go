@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSimulateDay 	      30	  14349991 ns/op	 9692262 B/op	    1185 allocs/op
+BenchmarkSimulateDay 	      30	  13942398 ns/op	 9692302 B/op	    1185 allocs/op
+BenchmarkSimSteadyState-4 	       3	  33285240 ns/op	       360.0 windows/run	 7513408 B/op	      69 allocs/op
+PASS
+ok  	repro	1.528s
+`
+
+func TestParseBench(t *testing.T) {
+	name, e, ok := parseBench("BenchmarkSimulateDay \t 30\t  14349991 ns/op\t 9692262 B/op\t 1185 allocs/op")
+	if !ok || name != "BenchmarkSimulateDay" {
+		t.Fatalf("parse failed: ok=%v name=%q", ok, name)
+	}
+	if e.Iterations != 30 || e.NsPerOp != 14349991 || e.BytesPerOp != 9692262 || e.AllocsPerOp != 1185 {
+		t.Fatalf("bad entry: %+v", e)
+	}
+	if _, _, ok := parseBench("ok  \trepro\t1.528s"); ok {
+		t.Fatal("non-benchmark line parsed")
+	}
+	if _, _, ok := parseBench("BenchmarkBroken 12"); ok {
+		t.Fatal("line without ns/op parsed")
+	}
+}
+
+func TestParseBenchStripsCPUSuffix(t *testing.T) {
+	name, e, ok := parseBench("BenchmarkSimSteadyState-4 \t 3\t 33285240 ns/op\t 360.0 windows/run\t 7513408 B/op\t 69 allocs/op")
+	if !ok || name != "BenchmarkSimSteadyState" {
+		t.Fatalf("ok=%v name=%q", ok, name)
+	}
+	if e.Extra["windows/run"] != 360 {
+		t.Fatalf("extra metric lost: %+v", e.Extra)
+	}
+}
+
+func TestCollectKeepsFastestAndEchoes(t *testing.T) {
+	var echo strings.Builder
+	entries, err := collect(strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sample {
+		t.Error("input was not echoed through verbatim")
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %v", len(entries), entries)
+	}
+	if e := entries["BenchmarkSimulateDay"]; e.NsPerOp != 13942398 {
+		t.Fatalf("kept %v ns/op, want the faster 13942398", e.NsPerOp)
+	}
+}
+
+func TestMergeFilePreservesOtherLabels(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := mergeFile(path, "pre", map[string]Entry{
+		"BenchmarkSimulateDay": {Iterations: 30, NsPerOp: 29787117, BytesPerOp: 20437111, AllocsPerOp: 14901},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeFile(path, "post", map[string]Entry{
+		"BenchmarkSimulateDay": {Iterations: 30, NsPerOp: 13942398, BytesPerOp: 9692302, AllocsPerOp: 1185},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]Entry
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["pre"]["BenchmarkSimulateDay"].NsPerOp != 29787117 {
+		t.Fatalf("pre label lost: %+v", doc)
+	}
+	if doc["post"]["BenchmarkSimulateDay"].AllocsPerOp != 1185 {
+		t.Fatalf("post label wrong: %+v", doc)
+	}
+}
+
+func TestMergeFileRejectsCorruptJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeFile(path, "x", map[string]Entry{"B": {NsPerOp: 1}}); err == nil {
+		t.Fatal("corrupt existing file silently overwritten")
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"repro"
@@ -33,6 +35,9 @@ func main() {
 	nodeData := flag.Bool("nodedata", false, "also archive per-node window statistics (Dataset 0; large)")
 	jobSeries := flag.Bool("jobseries", false, "also archive per-job time series (Datasets 3/4/10/11)")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 	if *out == "" {
 		flag.Usage()
@@ -40,6 +45,44 @@ func main() {
 	}
 	if err := validateSize(*nodes, *days); err != nil {
 		log.Fatal(err)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}()
 	}
 	cfg := repro.ScaledConfig(*nodes, time.Duration(*days*24*float64(time.Hour)))
 	cfg.Seed = *seed

@@ -93,6 +93,22 @@ type Collector struct {
 	data    *RunData
 	nMSB    int
 	floorOf func(node int) int // node -> MSB index
+	// Per-window scratch reused across Observe calls: Observe sits on the
+	// simulation hot path, and a fresh map plus accumulator allocations
+	// every window were a measurable share of run cost.
+	jobAcc     []jobWindowAcc // indexed by allocation index
+	jobTouched []int          // allocation indices active this window
+	msbSum     []float64
+}
+
+// jobWindowAcc collapses one job's node rows for a single window.
+type jobWindowAcc struct {
+	sum, maxNode         float64
+	cpuSum, cpuMax       float64
+	gpuSum, gpuMax       float64
+	tempSum, tempMax     float64
+	tempCount, nodeCount float64
+	touched              bool
 }
 
 // NewCollector sizes the collector for the run described by cfg and the
@@ -241,16 +257,20 @@ func (c *Collector) Observe(snap *sim.Snapshot) {
 	for m := range snap.MeterPower {
 		d.MeterPower[m].Set(t, float64(snap.MeterPower[m]))
 	}
-	// Per-MSB sensor summation and job-aware collapse in one node pass.
-	msbSum := make([]float64, len(snap.MeterPower))
-	type acc struct {
-		sum, maxNode         float64
-		cpuSum, cpuMax       float64
-		gpuSum, gpuMax       float64
-		tempSum, tempMax     float64
-		tempCount, nodeCount float64
+	// Per-MSB sensor summation and job-aware collapse in one node pass,
+	// on reused scratch.
+	if c.msbSum == nil {
+		c.msbSum = make([]float64, len(snap.MeterPower))
+		c.jobAcc = make([]jobWindowAcc, len(d.Jobs))
 	}
-	jobAcc := map[int]*acc{}
+	msbSum := c.msbSum
+	for m := range msbSum {
+		msbSum[m] = 0
+	}
+	for _, aIdx := range c.jobTouched {
+		c.jobAcc[aIdx] = jobWindowAcc{}
+	}
+	c.jobTouched = c.jobTouched[:0]
 	for i := range snap.NodeStat {
 		if snap.NodeStat[i].Count == 0 {
 			continue // telemetry lost for this node-window
@@ -261,11 +281,11 @@ func (c *Collector) Observe(snap *sim.Snapshot) {
 		if aIdx < 0 {
 			continue
 		}
-		a, ok := jobAcc[aIdx]
-		if !ok {
-			a = &acc{maxNode: math.Inf(-1), cpuMax: math.Inf(-1),
-				gpuMax: math.Inf(-1), tempMax: math.Inf(-1)}
-			jobAcc[aIdx] = a
+		a := &c.jobAcc[aIdx]
+		if !a.touched {
+			*a = jobWindowAcc{touched: true, maxNode: math.Inf(-1),
+				cpuMax: math.Inf(-1), gpuMax: math.Inf(-1), tempMax: math.Inf(-1)}
+			c.jobTouched = append(c.jobTouched, aIdx)
 		}
 		a.sum += nodePower
 		if nodePower > a.maxNode {
@@ -295,7 +315,8 @@ func (c *Collector) Observe(snap *sim.Snapshot) {
 	for m := range msbSum {
 		d.MSBSensorSum[m].Set(t, msbSum[m])
 	}
-	for aIdx, a := range jobAcc {
+	for _, aIdx := range c.jobTouched {
+		a := &c.jobAcc[aIdx]
 		js := &d.Jobs[aIdx]
 		js.SumPower.Set(t, a.sum)
 		js.MaxNodePower.Set(t, a.maxNode)

@@ -52,6 +52,15 @@ type Injector struct {
 	// projMult caches per-project multipliers.
 	projMult map[string]float64
 	projRS   *rng.Source
+	// rateConst[slot][type] folds baseRatePerGPUHour × RateScale ×
+	// slotWeight (transposed so one SampleInto call walks a contiguous
+	// row), and skewTab/capTab cache the per-type thermal parameters: the
+	// simulator evaluates every (node, slot, type) tuple each failure
+	// sweep, and the switch-based Type methods were a measurable share of
+	// that hot loop.
+	rateConst [6][NumTypes]float64
+	skewTab   [NumTypes]float64
+	capTab    [NumTypes]float64
 }
 
 // NewInjector builds the per-node defect propensity table.
@@ -90,6 +99,15 @@ func NewInjector(cfg InjectorConfig) *Injector {
 		// ~97 % of NVLink errors come from one chip: give it a multiplier
 		// that dwarfs the rest of the fleet combined.
 		in.propensity[cfg.SuperOffenderNVLink][NVLinkError] = 30 * float64(cfg.Nodes)
+	}
+	for t := Type(0); t < NumTypes; t++ {
+		base := t.baseRatePerGPUHour() * cfg.RateScale
+		w := t.slotWeights()
+		for s := range w {
+			in.rateConst[s][t] = base * w[s]
+		}
+		in.skewTab[t] = t.thermalSkew()
+		in.capTab[t] = t.tempCapC()
 	}
 	return in
 }
@@ -130,10 +148,20 @@ type Context struct {
 // together with their primaries.
 func (in *Injector) Sample(t int64, windowSec float64, node topology.NodeID,
 	slot topology.GPUSlot, ctx Context) []Event {
+	return in.SampleInto(nil, t, windowSec, node, slot, ctx)
+}
+
+// SampleInto is Sample appending into dst, for callers that reuse an event
+// buffer across windows (the simulator's failure sweep calls it once per
+// GPU per check; a fresh slice per call would dominate steady-state
+// allocations). It returns the extended slice and draws exactly the same
+// random variates as Sample.
+func (in *Injector) SampleInto(dst []Event, t int64, windowSec float64,
+	node topology.NodeID, slot topology.GPUSlot, ctx Context) []Event {
 	if windowSec <= 0 || int(node) >= in.cfg.Nodes {
-		return nil
+		return dst
 	}
-	var out []Event
+	out := dst
 	hours := windowSec / units.SecondsPerHour
 	activity := 0.05
 	projMult := 1.0
@@ -141,10 +169,11 @@ func (in *Injector) Sample(t int64, windowSec float64, node topology.NodeID,
 		activity = 1
 		projMult = in.ProjectMultiplier(ctx.Project)
 	}
+	common := hours * activity * projMult
+	slotRate := &in.rateConst[slot]
+	prop := &in.propensity[node]
 	for typ := Type(0); typ < NumTypes; typ++ {
-		rate := typ.baseRatePerGPUHour() * in.cfg.RateScale * hours *
-			activity * projMult * in.propensity[node][typ] *
-			typ.slotWeights()[slot]
+		rate := slotRate[typ] * common * prop[typ]
 		if rate <= 0 {
 			continue
 		}
@@ -152,10 +181,36 @@ func (in *Injector) Sample(t int64, windowSec float64, node topology.NodeID,
 		n := in.poissonCapped(rate)
 		for i := 0; i < n; i++ {
 			out = append(out, in.record(t, node, slot, typ, ctx))
-			out = append(out, in.cascade(t, node, slot, typ, ctx)...)
+			out = in.cascadeInto(out, t, node, slot, typ, ctx)
 		}
 	}
 	return out
+}
+
+// ExpectedEventsPerSweep returns the a-priori expectation of primary
+// events yielded by one failure sweep of windowSec seconds over the whole
+// fleet, assuming a fraction util of nodes runs jobs (activity 1) and the
+// rest idles (activity 0.05), with project multipliers and thermal factors
+// taken as 1 and per-tuple rates capped as poissonCapped caps them. The
+// simulator uses it to pre-size its event log, so small-factor accuracy is
+// all that is required; cascade secondaries are left to the caller's pad.
+func (in *Injector) ExpectedEventsPerSweep(windowSec, util float64) float64 {
+	hours := windowSec / units.SecondsPerHour
+	common := hours * (util + (1-util)*0.05)
+	var sum float64
+	for node := range in.propensity {
+		prop := &in.propensity[node]
+		for slot := range in.rateConst {
+			for typ := Type(0); typ < NumTypes; typ++ {
+				rate := in.rateConst[slot][typ] * common * prop[typ]
+				if rate > 50 {
+					rate = 50
+				}
+				sum += rate
+			}
+		}
+	}
+	return sum
 }
 
 // poissonCapped draws a Poisson count but caps bursts so a super-offender
@@ -180,18 +235,21 @@ func (in *Injector) thermalFactor(typ Type, ctx Context) float64 {
 		return 1
 	}
 	f := 1.0
-	skew := typ.thermalSkew()
+	skew := in.skewTab[typ]
 	if in.cfg.TitanMode && typ.Hardware() {
 		skew = 0.6 // hot-biased: the air-cooled generation's signature
 	}
-	if skew != 0 && !math.IsNaN(ctx.TempZ) {
+	// TempZ == 0 (every idle GPU) would multiply by exp(0) == 1 exactly;
+	// skipping the call is bit-identical and shaves a math.Exp from the
+	// majority of hot-loop evaluations.
+	if skew != 0 && ctx.TempZ != 0 && !math.IsNaN(ctx.TempZ) {
 		f *= math.Exp(skew * ctx.TempZ)
 		if f > 8 {
 			f = 8
 		}
 	}
 	if !in.cfg.TitanMode {
-		if capC := typ.tempCapC(); ctx.TempC > capC {
+		if capC := in.capTab[typ]; ctx.TempC > capC {
 			f *= math.Exp(-(ctx.TempC - capC) / 2)
 		}
 	}
@@ -213,31 +271,36 @@ func (in *Injector) record(t int64, node topology.NodeID, slot topology.GPUSlot,
 	return e
 }
 
-// cascade emits secondary events co-occurring with the primary; these
-// correlations are what Figure 13 recovers.
-func (in *Injector) cascade(t int64, node topology.NodeID, slot topology.GPUSlot,
-	typ Type, ctx Context) []Event {
-	var out []Event
-	emit := func(sec Type, p float64) {
-		if in.rs.Bool(p) {
-			out = append(out, in.record(t, node, slot, sec, ctx))
-		}
-	}
+// cascadeInto appends the secondary events co-occurring with the primary;
+// these correlations are what Figure 13 recovers. Written append-style
+// (no closures, no fresh slice) so the hot failure sweep stays
+// allocation-free when no event fires.
+func (in *Injector) cascadeInto(out []Event, t int64, node topology.NodeID,
+	slot topology.GPUSlot, typ Type, ctx Context) []Event {
 	switch typ {
 	case DoubleBitError:
 		// ECC double-bit errors trigger page retirements and cleanups.
-		emit(PageRetirementEvent, 0.85)
-		emit(PreemptiveCleanup, 0.55)
-		emit(PageRetirementFailure, 0.12)
+		out = in.emit(out, PageRetirementEvent, 0.85, t, node, slot, ctx)
+		out = in.emit(out, PreemptiveCleanup, 0.55, t, node, slot, ctx)
+		out = in.emit(out, PageRetirementFailure, 0.12, t, node, slot, ctx)
 	case MicrocontrollerWarning:
 		// The paper's strongest co-occurrence: warnings precede driver
 		// error-handling exceptions.
-		emit(DriverErrorHandling, 0.6)
-		emit(MicrocontrollerHalt, 0.15)
+		out = in.emit(out, DriverErrorHandling, 0.6, t, node, slot, ctx)
+		out = in.emit(out, MicrocontrollerHalt, 0.15, t, node, slot, ctx)
 	case FallenOffBus:
-		emit(StoppedProcessing, 0.5)
+		out = in.emit(out, StoppedProcessing, 0.5, t, node, slot, ctx)
 	case GraphicsEngineException:
-		emit(StoppedProcessing, 0.1)
+		out = in.emit(out, StoppedProcessing, 0.1, t, node, slot, ctx)
+	}
+	return out
+}
+
+// emit appends one secondary event with probability p.
+func (in *Injector) emit(out []Event, sec Type, p float64, t int64,
+	node topology.NodeID, slot topology.GPUSlot, ctx Context) []Event {
+	if in.rs.Bool(p) {
+		out = append(out, in.record(t, node, slot, sec, ctx))
 	}
 	return out
 }

@@ -143,16 +143,22 @@ func (s *Source) Poisson(lambda float64) int {
 		}
 		return int(v + 0.5)
 	}
-	// Knuth's algorithm.
+	// Knuth's algorithm. The first uniform decides the overwhelmingly
+	// common zero outcome without evaluating math.Exp: 1-λ ≤ exp(-λ), so
+	// u ≤ 1-λ already implies u ≤ exp(-λ). The draw sequence is identical
+	// either way.
+	p := s.r.Float64()
+	if p <= 1-lambda {
+		return 0
+	}
 	l := math.Exp(-lambda)
 	k := 0
-	p := 1.0
 	for {
-		p *= s.r.Float64()
 		if p <= l {
 			return k
 		}
 		k++
+		p *= s.r.Float64()
 	}
 }
 

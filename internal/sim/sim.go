@@ -7,6 +7,34 @@
 // Analyses consume the run through Observer callbacks; the per-step
 // Snapshot buffers are reused between steps, so observers must copy what
 // they keep.
+//
+// # Hot-loop design
+//
+// Run is the throughput ceiling of the whole reproduction (every analysis,
+// the queryd archive, and the streamd live plane are fed by it), so its
+// steady state is engineered to be allocation-free and cache-friendly:
+//
+//   - Per-node thermal state lives in a structure-of-arrays nodesim.Fleet
+//     (flat float64 slices indexed by node) with per-component decay
+//     factors and water-flow denominators precomputed for the fixed step,
+//     instead of a []*State pointer chase with math.Exp per component.
+//   - The node sweep runs over fixed blocks of rollupBlockNodes nodes on a
+//     persistent parallel.Pool. Each block owns a padded accumulator for
+//     the cluster roll-up (sensor sum, true sum, per-MSB sums); the
+//     partials are reduced once per window in block order, so the O(n)
+//     roll-up scales with workers AND the reduction order — hence every
+//     float64 bit of the result — is independent of the worker count.
+//   - workload.Profile evaluation is memoized per (allocation, sample
+//     offset) each window: the K nodes of a wide job share the
+//     deterministic base waveform (SampleBase) and apply only per-node
+//     noise.
+//   - All per-window scratch (roll-up accumulators, per-job temperature
+//     moments, the failure event buffer, the memo table) is reused across
+//     windows.
+//
+// The engine's outputs are pinned bit-for-bit by TestSeedEngineParity
+// against a plain serial reference implementation (seedengine_test.go)
+// and by the Workers=1-vs-N determinism test.
 package sim
 
 import (
@@ -52,7 +80,8 @@ type Config struct {
 	// FailureCheckSec is the failure-injection interval (coarser than the
 	// power step for efficiency). Defaults to 300 s.
 	FailureCheckSec int64
-	// Workers bounds the node-update parallelism (0 = GOMAXPROCS).
+	// Workers bounds the node-update parallelism (0 = GOMAXPROCS). The
+	// results are bit-identical for every worker count.
 	Workers int
 	// PowerCap, when positive, enables power-aware admission in the
 	// scheduler (the paper's conclusion what-if): jobs are held back when
@@ -177,8 +206,12 @@ type Sim struct {
 	weather  *facility.Weather
 	cep      *facility.CEP
 	meters   *facility.MSBMeters
-	nodes    []*nodesim.State
+	fleet    *nodesim.Fleet
 	util     float64
+
+	// Hot-loop invariants precomputed at construction.
+	nodeMSB []int32 // dense NodeID -> MSB index (avoids per-window division)
+	dark    []bool  // node sits in the run's dark cabinet
 }
 
 // New builds the system: generates (or accepts) the workload, schedules it,
@@ -221,7 +254,6 @@ func New(cfg Config) (*Sim, error) {
 		injector: failures.NewInjector(fcfg),
 		weather:  facility.NewWeather(cfg.Seed),
 		meters:   facility.NewMSBMeters(floor, root.Split("meters")),
-		nodes:    make([]*nodesim.State, cfg.Nodes),
 		util:     sched.Utilization(cfg.Nodes),
 	}
 	s.cep = facility.NewCEP(s.weather)
@@ -233,9 +265,17 @@ func New(cfg Config) (*Sim, error) {
 	s.cep.LoopFlowGPM *= frac
 	s.cep.LoopMassKg *= frac
 	varRS := root.Split("node-variation")
-	for i := range s.nodes {
-		s.nodes[i] = nodesim.NewState(
-			nodesim.NewVariation(varRS.SplitN("node", i)), s.cep.SupplyC())
+	vars := make([]nodesim.Variation, cfg.Nodes)
+	for i := range vars {
+		vars[i] = nodesim.NewVariation(varRS.SplitN("node", i))
+	}
+	s.fleet = nodesim.NewFleet(vars, float64(cfg.StepSec), s.cep.SupplyC())
+	s.nodeMSB = make([]int32, cfg.Nodes)
+	s.dark = make([]bool, cfg.Nodes)
+	darkCab := s.darkCabinet()
+	for i := 0; i < cfg.Nodes; i++ {
+		s.nodeMSB[i] = int32(floor.MSBOf(topology.NodeID(i)))
+		s.dark[i] = floor.Cabinet(topology.NodeID(i)) == darkCab
 	}
 	return s, nil
 }
@@ -252,6 +292,68 @@ func (s *Sim) Allocations() []scheduler.Allocation { return s.allocs }
 
 // Config returns the validated run configuration.
 func (s *Sim) Config() Config { return s.cfg }
+
+// rollupBlockNodes is the fixed node-block granularity of the parallel
+// sweep and the sharded cluster roll-up. It is a structural constant of
+// the engine's floating-point semantics: partial sums are formed per block
+// and reduced in block order, so results depend on this value but NOT on
+// the worker count. 64 nodes ≈ tens of microseconds of work per claim,
+// and a full 4,608-node floor yields 72 blocks of parallelism.
+const rollupBlockNodes = 64
+
+// blockAcc is one block's roll-up accumulator, padded to a cache line so
+// adjacent blocks written by different workers never false-share. Only the
+// ground-truth sums are sharded: the cluster *sensor* sum is reduced
+// serially in node order because the streaming plane's rollup operator
+// sums the same per-node means in node order, and that cross-plane parity
+// contract is bit-exact (see internal/stream's TestBatchStreamParity).
+type blockAcc struct {
+	truth float64   // Σ ground-truth node power
+	msb   []float64 // per-MSB Σ ground-truth power
+	_     [4]float64
+}
+
+// idlePower is the constant power draw of an unallocated node, hoisted out
+// of the per-sample loop.
+var idlePower = workload.IdleNodePower()
+
+// runState is the per-Run scratch reused across every window, plus the
+// per-window values the parallel block sweep reads.
+type runState struct {
+	snap      *Snapshot
+	nodeAlloc []int
+	sub       int
+	step      float64 // StepSec / SamplesPerWindow
+	invSub    float64 // 1 / SamplesPerWindow
+	lossOn    bool
+
+	t      int64
+	supply units.Celsius
+
+	// Sharded roll-up.
+	blocks  []blockAcc
+	msbTrue []float64
+
+	// Active-allocation tracking and the per-window profile memo.
+	active    []int
+	allocSlot []int32
+	memo      []workload.SampleBase
+
+	// Failure-sweep scratch.
+	jobMoments []stats.Moments
+	jobSeen    []bool
+	jobTouched []int
+}
+
+// removeActive drops allocation idx from the active list.
+func (rs *runState) removeActive(idx int) {
+	for j, a := range rs.active {
+		if a == idx {
+			rs.active = append(rs.active[:j], rs.active[j+1:]...)
+			return
+		}
+	}
+}
 
 // Run executes the simulation, invoking every observer once per window.
 func (s *Sim) Run(obs ...Observer) (*Result, error) {
@@ -287,43 +389,113 @@ func (s *Sim) Run(obs ...Observer) (*Result, error) {
 	result := &Result{Allocations: s.allocs, Skipped: s.skipped, Utilization: s.util}
 	endTime := cfg.StartTime + cfg.DurationSec
 	sub := cfg.SamplesPerWindow
+
+	nBlocks := (n + rollupBlockNodes - 1) / rollupBlockNodes
+	msbs := s.floor.MSBs()
+	rs := &runState{
+		snap:       snap,
+		nodeAlloc:  nodeAlloc,
+		sub:        sub,
+		step:       float64(cfg.StepSec) / float64(sub),
+		invSub:     1 / float64(sub),
+		lossOn:     cfg.TelemetryLossFrac > 0,
+		blocks:     make([]blockAcc, nBlocks),
+		msbTrue:    make([]float64, msbs),
+		allocSlot:  make([]int32, len(s.allocs)),
+		jobMoments: make([]stats.Moments, len(s.allocs)),
+		jobSeen:    make([]bool, len(s.allocs)),
+	}
+	// Back the per-block MSB partials with one slab, striding each block
+	// to a cache-line multiple so neighbours never share a line.
+	msbStride := (msbs + 7) &^ 7
+	msbSlab := make([]float64, nBlocks*msbStride)
+	for b := range rs.blocks {
+		rs.blocks[b].msb = msbSlab[b*msbStride:][:msbs:msbs]
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	blockFn := func(b int) { s.runBlock(b, rs) } // one closure for the whole run
+	maxSweepYield := 0 // largest failure-sweep yield so far
+	// Pre-size the event log from the injector's a-priori expectation so a
+	// typical run never regrows it. The estimate ignores thermal
+	// acceleration and cascade secondaries (together ~1.5× in practice),
+	// hence the 2× pad; the adaptive re-reserve below remains the
+	// backstop when a run still outgrows it.
+	totalSweeps := int(cfg.DurationSec/cfg.FailureCheckSec) + 1
+	expect := s.injector.ExpectedEventsPerSweep(float64(cfg.FailureCheckSec), s.util)
+	if want := int(expect * float64(totalSweeps) * 2); want > 0 {
+		result.Failures = make([]failures.Event, 0, want)
+	}
+
 	for t := cfg.StartTime; t < endTime; t += cfg.StepSec {
 		// Apply allocation starts/ends effective by this window.
 		for nextEnd < len(ends) && s.allocs[ends[nextEnd]].EndTime <= t {
-			for _, id := range s.allocs[ends[nextEnd]].NodeIDs {
-				if nodeAlloc[id] == ends[nextEnd] {
+			idx := ends[nextEnd]
+			for _, id := range s.allocs[idx].NodeIDs {
+				if nodeAlloc[id] == idx {
 					nodeAlloc[id] = -1
 				}
 			}
+			rs.removeActive(idx)
 			nextEnd++
 		}
 		for nextStart < len(starts) && s.allocs[starts[nextStart]].StartTime <= t {
-			for _, id := range s.allocs[starts[nextStart]].NodeIDs {
-				nodeAlloc[id] = starts[nextStart]
+			idx := starts[nextStart]
+			for _, id := range s.allocs[idx].NodeIDs {
+				nodeAlloc[id] = idx
 			}
+			rs.active = append(rs.active, idx)
 			nextStart++
 		}
 		copy(snap.AllocIdx, nodeAlloc)
 		snap.T = t
-		supply := s.cep.SupplyC()
-		// Parallel per-node power evaluation and thermal stepping.
-		parallel.ForEach(n, cfg.Workers, func(i int) {
-			s.stepNode(i, t, supply, nodeAlloc[i], snap, sub)
-			if s.telemetryLost(i, t) {
-				s.blankNode(snap, i, t)
+		rs.t = t
+		rs.supply = s.cep.SupplyC()
+		// Memoize the shared profile waveform per (allocation, sample):
+		// every node of an allocation reuses the same SampleBase row.
+		if need := len(rs.active) * sub; cap(rs.memo) < need {
+			rs.memo = make([]workload.SampleBase, need)
+		}
+		for slot, aIdx := range rs.active {
+			rs.allocSlot[aIdx] = int32(slot)
+			a := &s.allocs[aIdx]
+			dtBase := float64(t - a.StartTime)
+			row := rs.memo[slot*sub : (slot+1)*sub]
+			for k := range row {
+				row[k] = a.Job.Profile.BaseAt(dtBase + float64(k)*rs.step)
 			}
-		})
-		// Cluster roll-ups. Lost node-windows (Count 0) are absent from
-		// the telemetry view; ground truth still flows to the meters and
-		// the facility.
+		}
+		// Parallel per-node power evaluation, thermal stepping, and
+		// block-sharded roll-up accumulation.
+		pool.ForEach(nBlocks, blockFn)
+		// Reduce the block partials once, in fixed block order. The
+		// sensor sum runs serially in node order to honour the streaming
+		// plane's bit-exact rollup contract; lost node-windows (Count 0)
+		// are absent from the telemetry view while ground truth still
+		// flows to the meters and the facility.
 		var sensorSum, trueSum float64
-		msbTrue := make([]float64, s.floor.MSBs())
-		for i := 0; i < n; i++ {
-			if snap.NodeStat[i].Count > 0 {
-				sensorSum += snap.NodeStat[i].Mean
+		for i := range snap.NodeStat {
+			if st := &snap.NodeStat[i]; st.Count > 0 {
+				sensorSum += st.Mean
 			}
-			trueSum += snap.TruePower[i]
-			msbTrue[s.floor.MSBOf(topology.NodeID(i))] += snap.TruePower[i]
+		}
+		msbTrue := rs.msbTrue
+		for m := range msbTrue {
+			msbTrue[m] = 0
+		}
+		for b := range rs.blocks {
+			acc := &rs.blocks[b]
+			trueSum += acc.truth
+			for m := range msbTrue {
+				msbTrue[m] += acc.msb[m]
+			}
 		}
 		snap.ClusterSensorPower = units.Watts(sensorSum)
 		snap.ClusterTruePower = units.Watts(trueSum)
@@ -342,11 +514,36 @@ func (s *Sim) Run(obs ...Observer) (*Result, error) {
 		snap.PUE = s.cep.PUE()
 		snap.WetBulbC = cond.WetBulbC
 		snap.DryBulbC = cond.DryBulbC
-		// Failure injection on its coarser grid.
-		snap.Failures = snap.Failures[:0]
+		// Failure injection on its coarser grid. Events append straight
+		// into the run-level slice; the window's view is a capped
+		// sub-slice of it, so nothing is ever copied twice. Before each
+		// sweep the slice is re-reserved to carry the remaining sweeps at
+		// the largest per-sweep yield seen so far — yields grow as the
+		// fleet heats up, so a one-shot reservation after the first sweep
+		// would leave append regrowing a multi-thousand-event slice in
+		// the middle of the run.
+		snap.Failures = nil
 		if (t-cfg.StartTime)%cfg.FailureCheckSec == 0 {
-			snap.Failures = s.injectFailures(t, nodeAlloc, snap)
-			result.Failures = append(result.Failures, snap.Failures...)
+			base := len(result.Failures)
+			remaining := int((endTime-t)/cfg.FailureCheckSec) + 1
+			if want := base + maxSweepYield*remaining*9/8; maxSweepYield > 0 &&
+				cap(result.Failures) < want {
+				// Grow at least geometrically: the per-sweep max creeps
+				// upward as the fleet heats, and without the floor every
+				// small creep would re-reserve the full slice again.
+				if floor := cap(result.Failures) + cap(result.Failures)/2; want < floor {
+					want = floor
+				}
+				grown := make([]failures.Event, base, want)
+				copy(grown, result.Failures)
+				result.Failures = grown
+			}
+			result.Failures = s.injectFailures(t, rs, result.Failures)
+			n := len(result.Failures)
+			snap.Failures = result.Failures[base:n:n]
+			if y := n - base; y > maxSweepYield {
+				maxSweepYield = y
+			}
 		}
 		for _, o := range obs {
 			o.Observe(snap)
@@ -356,50 +553,90 @@ func (s *Sim) Run(obs ...Observer) (*Result, error) {
 	return result, nil
 }
 
+// runBlock steps every node of block b and accumulates the block's share
+// of the cluster roll-up. Distinct blocks touch disjoint state, so blocks
+// run concurrently; within a block, nodes run in index order.
+func (s *Sim) runBlock(b int, rs *runState) {
+	start := b * rollupBlockNodes
+	end := start + rollupBlockNodes
+	if end > s.cfg.Nodes {
+		end = s.cfg.Nodes
+	}
+	acc := &rs.blocks[b]
+	acc.truth = 0
+	for m := range acc.msb {
+		acc.msb[m] = 0
+	}
+	snap := rs.snap
+	for i := start; i < end; i++ {
+		s.stepNode(i, rs)
+		if rs.lossOn && s.telemetryLost(i, rs.t) {
+			s.blankNode(snap, i, rs.t)
+		}
+		tp := snap.TruePower[i]
+		acc.truth += tp
+		acc.msb[s.nodeMSB[i]] += tp
+	}
+}
+
 // stepNode evaluates one node's window: sub-sampled power statistics from
-// the job profile, sensor bias, and the thermal step.
-func (s *Sim) stepNode(i int, t int64, supply units.Celsius, allocIdx int,
-	snap *Snapshot, sub int) {
+// the memoized job profile bases, sensor bias, and the thermal step.
+func (s *Sim) stepNode(i int, rs *runState) {
+	snap := rs.snap
 	id := topology.NodeID(i)
+	allocIdx := rs.nodeAlloc[i]
+	active := allocIdx >= 0
 	var profile workload.Profile
 	var key uint64
 	var nodeRank int
-	active := allocIdx >= 0
-	var dtBase float64
+	var bases []workload.SampleBase
 	if active {
 		a := &s.allocs[allocIdx]
 		profile = a.Job.Profile
 		key = uint64(a.Job.ID)
-		dtBase = float64(t - a.StartTime)
 		// Rank of the node within the allocation individualizes noise.
 		nodeRank = int(id) - int(a.NodeIDs[0])
+		slot := int(rs.allocSlot[allocIdx])
+		bases = rs.memo[slot*rs.sub : (slot+1)*rs.sub]
 	}
 	var stat stats.Moments
-	var meanPower workload.NodePower
-	var cpuSum, gpuSum float64
-	step := float64(s.cfg.StepSec) / float64(sub)
-	for k := 0; k < sub; k++ {
+	var cpuW [units.CPUsPerNode]float64
+	var gpuW [units.GPUsPerNode]float64
+	var otherW float64
+	for k := 0; k < rs.sub; k++ {
 		var np workload.NodePower
 		if active {
-			np = profile.Power(key, nodeRank, dtBase+float64(k)*step)
+			np = profile.PowerFromBase(bases[k], key, nodeRank)
 		} else {
-			np = workload.IdleNodePower()
+			np = idlePower
 		}
 		truePower := float64(np.Total())
 		stat.Add(float64(s.meters.NodeSensor(id, units.Watts(truePower))))
-		// Accumulate for the mean component view.
+		// Accumulate raw component sums; the mean is one reciprocal
+		// multiply per component after the loop.
 		for c := range np.CPU {
-			meanPower.CPU[c] += np.CPU[c] / units.Watts(float64(sub))
-			cpuSum += float64(np.CPU[c]) / float64(sub)
+			cpuW[c] += float64(np.CPU[c])
 		}
 		for g := range np.GPU {
-			meanPower.GPU[g] += np.GPU[g] / units.Watts(float64(sub))
-			gpuSum += float64(np.GPU[g]) / float64(sub)
+			gpuW[g] += float64(np.GPU[g])
 		}
-		meanPower.Other += np.Other / units.Watts(float64(sub))
+		otherW += float64(np.Other)
 	}
+	var meanPower workload.NodePower
+	var cpuSum, gpuSum float64
+	for c := range cpuW {
+		m := cpuW[c] * rs.invSub
+		meanPower.CPU[c] = units.Watts(m)
+		cpuSum += m
+	}
+	for g := range gpuW {
+		m := gpuW[g] * rs.invSub
+		meanPower.GPU[g] = units.Watts(m)
+		gpuSum += m
+	}
+	meanPower.Other = units.Watts(otherW * rs.invSub)
 	snap.NodeStat[i] = tsagg.WindowStat{
-		T: t, Count: stat.N, Min: stat.Min, Max: stat.Max,
+		T: rs.t, Count: stat.N, Min: stat.Min, Max: stat.Max,
 		Mean: stat.Mean(), Std: stat.Std(),
 	}
 	snap.TruePower[i] = float64(meanPower.Total())
@@ -409,39 +646,46 @@ func (s *Sim) stepNode(i int, t int64, supply units.Celsius, allocIdx int,
 		snap.GPUPowerEach[i][g] = float64(meanPower.GPU[g])
 	}
 	// Thermal step under the window-mean power.
-	ns := s.nodes[i]
-	ns.Step(float64(s.cfg.StepSec), meanPower, supply)
+	s.fleet.StepNode(i, &meanPower, rs.supply)
 	for g := 0; g < units.GPUsPerNode; g++ {
-		snap.GPUCoreTemp[i][g] = float64(ns.GPUCoreTemp(topology.GPUSlot(g)))
-		snap.GPUMemTemp[i][g] = float64(ns.GPUMemTemp(topology.GPUSlot(g)))
+		snap.GPUCoreTemp[i][g] = s.fleet.GPUCoreTemp(i, g)
+		snap.GPUMemTemp[i][g] = s.fleet.GPUMemTemp(i, g)
 	}
 	for c := 0; c < units.CPUsPerNode; c++ {
-		snap.CPUTemp[i][c] = float64(ns.CPUTemp(topology.CPUSocket(c)))
+		snap.CPUTemp[i][c] = s.fleet.CPUTemp(i, c)
 	}
 }
 
 // injectFailures samples XID events for every GPU with live job and thermal
 // context, computing the within-job temperature z-scores the reliability
-// analysis needs.
-func (s *Sim) injectFailures(t int64, nodeAlloc []int, snap *Snapshot) []failures.Event {
+// analysis needs, appending into dst and returning the extended slice. The
+// per-allocation moment scratch is reused across sweeps.
+func (s *Sim) injectFailures(t int64, rs *runState, dst []failures.Event) []failures.Event {
+	// Reset only the moments touched by the previous sweep.
+	for _, aIdx := range rs.jobTouched {
+		rs.jobMoments[aIdx].Reset()
+		rs.jobSeen[aIdx] = false
+	}
+	rs.jobTouched = rs.jobTouched[:0]
+	nodeAlloc := rs.nodeAlloc
+	snap := rs.snap
 	// Per-allocation GPU temperature moments for z-scores.
-	jobTemp := map[int]*stats.Moments{}
 	for i, a := range nodeAlloc {
 		if a < 0 {
 			continue
 		}
-		m, ok := jobTemp[a]
-		if !ok {
-			m = &stats.Moments{}
-			jobTemp[a] = m
+		if !rs.jobSeen[a] {
+			rs.jobSeen[a] = true
+			rs.jobTouched = append(rs.jobTouched, a)
 		}
+		m := &rs.jobMoments[a]
 		for g := 0; g < units.GPUsPerNode; g++ {
 			if v := snap.GPUCoreTemp[i][g]; !math.IsNaN(v) {
 				m.Add(v)
 			}
 		}
 	}
-	var out []failures.Event
+	out := dst
 	window := float64(s.cfg.FailureCheckSec)
 	for i := 0; i < s.cfg.Nodes; i++ {
 		aIdx := nodeAlloc[i]
@@ -452,7 +696,7 @@ func (s *Sim) injectFailures(t int64, nodeAlloc []int, snap *Snapshot) []failure
 			ctx.JobID = a.Job.ID
 			ctx.Project = a.Job.Project
 			ctx.Active = true
-			m := jobTemp[aIdx]
+			m := &rs.jobMoments[aIdx]
 			mean, sd = m.Mean(), m.Std()
 		}
 		for g := 0; g < units.GPUsPerNode; g++ {
@@ -465,9 +709,8 @@ func (s *Sim) injectFailures(t int64, nodeAlloc []int, snap *Snapshot) []failure
 					ctx.TempZ = 0
 				}
 			}
-			evs := s.injector.Sample(t, window, topology.NodeID(i),
+			out = s.injector.SampleInto(out, t, window, topology.NodeID(i),
 				topology.GPUSlot(g), ctx)
-			out = append(out, evs...)
 		}
 	}
 	return out
@@ -481,7 +724,7 @@ func (s *Sim) telemetryLost(i int, t int64) bool {
 	if frac <= 0 {
 		return false
 	}
-	if s.floor.Cabinet(topology.NodeID(i)) == s.darkCabinet() {
+	if s.dark[i] {
 		return true
 	}
 	z := uint64(i)*0x9e3779b97f4a7c15 + uint64(t)*0x94d049bb133111eb + s.cfg.Seed

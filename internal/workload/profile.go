@@ -145,26 +145,39 @@ func unitNoise(key uint64, slot, tick int64) float64 {
 	return float64(int64(h>>11))/float64(1<<52) - 1
 }
 
-// Power evaluates the per-component power of node nodeIdx of a job with
-// this profile at dt seconds after job start. key individualizes noise per
-// job (use the allocation ID). The model:
-//
-//   - GPUs draw idle + util·activity·(TDP−idle), with per-GPU noise;
-//   - CPUs draw idle + util·(0.35 + 0.65·activity)·(TDP−idle) — CPUs retain
-//     load during GPU-idle phases (data staging, MPI), which reproduces the
-//     paper's observation that CPU temperature/power stays comparatively
-//     flat through edges while GPUs swing;
-//   - Other scales with total compute power.
-func (p Profile) Power(key uint64, nodeIdx int, dt float64) NodePower {
+// SampleBase is the node-independent part of one power sample: the noise
+// tick and the pre-noise per-component wattages that every node of a wide
+// allocation shares at the same instant into the job. The simulator
+// evaluates it once per (job, sample-offset) and fans it out to the K nodes
+// of the allocation, which then apply only their per-node noise
+// (PowerFromBase) — the dominant per-sample saving for large jobs.
+type SampleBase struct {
+	Tick int64   // deterministic noise tick, int64(dt)
+	GPUW float64 // pre-noise per-GPU watts at this instant
+	CPUW float64 // pre-noise per-CPU-socket watts at this instant
+}
+
+// BaseAt returns the shared sample base at dt seconds after job start.
+func (p Profile) BaseAt(dt float64) SampleBase {
 	act := p.Activity(dt)
-	tick := int64(dt)
+	cpuAct := 0.35 + 0.65*act
+	return SampleBase{
+		Tick: int64(dt),
+		GPUW: gpuIdle + p.GPUUtil*act*(float64(units.GPUTDP)-gpuIdle),
+		CPUW: cpuIdle + p.CPUUtil*cpuAct*(float64(units.CPUTDP)-cpuIdle),
+	}
+}
+
+// PowerFromBase applies node nodeIdx's deterministic noise and the
+// per-component clamps to a shared sample base. Power(key, n, dt) is by
+// construction bit-identical to PowerFromBase(BaseAt(dt), key, n).
+func (p Profile) PowerFromBase(b SampleBase, key uint64, nodeIdx int) NodePower {
 	var np NodePower
 	var compute float64
 	for g := 0; g < units.GPUsPerNode; g++ {
 		slot := int64(nodeIdx)*16 + int64(g)
-		noise := 1 + p.NoiseFrac*unitNoise(key, slot, tick)
-		w := gpuIdle + p.GPUUtil*act*(float64(units.GPUTDP)-gpuIdle)
-		w *= noise
+		noise := 1 + p.NoiseFrac*unitNoise(key, slot, b.Tick)
+		w := b.GPUW * noise
 		if w < 0 {
 			w = 0
 		}
@@ -174,12 +187,10 @@ func (p Profile) Power(key uint64, nodeIdx int, dt float64) NodePower {
 		np.GPU[g] = units.Watts(w)
 		compute += w
 	}
-	cpuAct := 0.35 + 0.65*act
 	for c := 0; c < units.CPUsPerNode; c++ {
 		slot := int64(nodeIdx)*16 + 8 + int64(c)
-		noise := 1 + p.NoiseFrac*unitNoise(key, slot, tick)
-		w := cpuIdle + p.CPUUtil*cpuAct*(float64(units.CPUTDP)-cpuIdle)
-		w *= noise
+		noise := 1 + p.NoiseFrac*unitNoise(key, slot, b.Tick)
+		w := b.CPUW * noise
 		if w < 0 {
 			w = 0
 		}
@@ -191,6 +202,20 @@ func (p Profile) Power(key uint64, nodeIdx int, dt float64) NodePower {
 	}
 	np.Other = units.Watts(otherIdle + otherPerLoad*compute)
 	return np
+}
+
+// Power evaluates the per-component power of node nodeIdx of a job with
+// this profile at dt seconds after job start. key individualizes noise per
+// job (use the allocation ID). The model:
+//
+//   - GPUs draw idle + util·activity·(TDP−idle), with per-GPU noise;
+//   - CPUs draw idle + util·(0.35 + 0.65·activity)·(TDP−idle) — CPUs retain
+//     load during GPU-idle phases (data staging, MPI), which reproduces the
+//     paper's observation that CPU temperature/power stays comparatively
+//     flat through edges while GPUs swing;
+//   - Other scales with total compute power.
+func (p Profile) Power(key uint64, nodeIdx int, dt float64) NodePower {
+	return p.PowerFromBase(p.BaseAt(dt), key, nodeIdx)
 }
 
 // IdleNodePower returns the power of an unallocated node.
