@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race stream-check streamd check ci bench bench-sim bench-smoke bench-query clean
+.PHONY: all build test vet fmt lint race stream-check streamd check ci bench bench-sim bench-smoke bench-query bench-whatif optimize-smoke clean
 
 all: check
 
@@ -70,6 +70,23 @@ bench-smoke:
 # bench-query runs just the query-engine benchmarks (cold vs cached scans).
 bench-query:
 	$(GO) test -run xxx -bench 'BenchmarkQueryRange' -benchmem .
+
+# bench-whatif measures what-if scenario-evaluation throughput (runs/sec)
+# and records it in BENCH_whatif.json under LABEL.
+bench-whatif:
+	$(GO) test -run xxx -bench 'BenchmarkWhatifBatch' -benchmem -count 3 ./internal/whatif | \
+		$(GO) run ./cmd/benchjson -out BENCH_whatif.json -label $(LABEL)
+
+# optimize-smoke is the CI guard for the what-if control plane: a short
+# catalog sweep run twice at different worker counts must produce
+# byte-identical sweep logs (the bit-reproducibility contract).
+optimize-smoke:
+	$(GO) build -o /tmp/optimize-smoke ./cmd/optimize
+	/tmp/optimize-smoke -list
+	/tmp/optimize-smoke -study heatwave-setpoint -strategy grid -workers 1 -out /tmp/whatif-w1.json
+	/tmp/optimize-smoke -study heatwave-setpoint -strategy grid -workers 4 -out /tmp/whatif-w4.json
+	cmp /tmp/whatif-w1.json /tmp/whatif-w4.json
+	rm -f /tmp/optimize-smoke /tmp/whatif-w1.json /tmp/whatif-w4.json
 
 clean:
 	$(GO) clean ./...

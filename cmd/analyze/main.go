@@ -36,6 +36,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *nodes <= 0 {
+		log.Fatalf("-nodes must be positive, got %d", *nodes)
+	}
+	if *step <= 0 {
+		log.Fatalf("-step must be positive, got %d", *step)
+	}
 	src, err := source.OpenArchive(source.ArchiveConfig{
 		Dir:     *dataDir,
 		StepSec: *step,

@@ -1,0 +1,203 @@
+// Command optimize runs the what-if control plane: it sweeps plant and
+// scheduler knobs over deterministic batch evaluations of the twin and
+// reports the best operating point, per-knob sensitivities and the
+// energy/violation Pareto frontier.
+//
+// Usage:
+//
+//	optimize -list
+//	optimize -study heatwave-setpoint [-strategy grid|cd|cem]
+//	         [-workers N] [-seed S] [-out sweep.json]
+//	optimize -study heatwave-setpoint -scenarios points.json
+//
+// A sweep is bit-reproducible for any -workers value: every scenario's
+// run seed derives from the base seed and the scenario's canonical hash,
+// so the -out sweep log is a stable artifact (see EXPERIMENTS.md).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/whatif"
+)
+
+// options carries the parsed flag surface so run is testable.
+type options struct {
+	list      bool
+	study     string
+	strategy  string
+	scenarios string // path to a scenario-list JSON file (skips search)
+	workers   int
+	rounds    int // coordinate-descent rounds
+	pop       int // CEM population
+	elite     int // CEM elites
+	iters     int // CEM iterations
+	seed      uint64
+	out       string
+	indep     bool
+	keepFail  bool
+}
+
+// validate rejects inconsistent flag combinations before any simulation
+// runs, mirroring the config-level validation in sim and whatif.
+func (o options) validate() error {
+	switch o.strategy {
+	case "grid", "cd", "cem":
+	default:
+		return fmt.Errorf("unknown -strategy %q (grid|cd|cem)", o.strategy)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", o.workers)
+	}
+	if o.rounds < 0 {
+		return fmt.Errorf("-rounds must be >= 0, got %d", o.rounds)
+	}
+	if o.pop < 0 || o.elite < 0 || o.iters < 0 {
+		return fmt.Errorf("CEM sizes must be >= 0, got -pop %d -elite %d -iters %d",
+			o.pop, o.elite, o.iters)
+	}
+	if o.elite > o.pop && o.pop > 0 {
+		return fmt.Errorf("-elite %d exceeds -pop %d", o.elite, o.pop)
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optimize: ")
+	var o options
+	flag.BoolVar(&o.list, "list", false, "list the study catalog and exit")
+	flag.StringVar(&o.study, "study", "heatwave-setpoint", "catalog study to run (see -list)")
+	flag.StringVar(&o.strategy, "strategy", "grid", "search strategy: grid|cd|cem")
+	flag.StringVar(&o.scenarios, "scenarios", "", "JSON file with explicit scenarios to evaluate (skips search)")
+	flag.IntVar(&o.workers, "workers", 0, "scenario-level parallelism (0 = all cores)")
+	flag.IntVar(&o.rounds, "rounds", 0, "coordinate-descent rounds (0 = default)")
+	flag.IntVar(&o.pop, "pop", 0, "CEM population per iteration (0 = default)")
+	flag.IntVar(&o.elite, "elite", 0, "CEM elite count (0 = default)")
+	flag.IntVar(&o.iters, "iters", 0, "CEM iterations (0 = default)")
+	flag.Uint64Var(&o.seed, "seed", 0, "override the study's base seed (0 = keep)")
+	flag.StringVar(&o.out, "out", "", "write the machine-readable sweep log to this file")
+	flag.BoolVar(&o.indep, "independent-streams", false,
+		"give each scenario independent weather/workload streams instead of paired runs")
+	flag.BoolVar(&o.keepFail, "keep-failures", false, "retain failure injection during sweeps")
+	flag.Parse()
+	if err := run(os.Stdout, o); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes one optimize invocation, writing human output to w.
+func run(w io.Writer, o options) error {
+	if o.list {
+		return listStudies(w)
+	}
+	if err := o.validate(); err != nil {
+		return err
+	}
+	study, err := whatif.StudyByName(o.study)
+	if err != nil {
+		return err
+	}
+	base := study.Base
+	if o.seed != 0 {
+		base.Seed = o.seed
+	}
+	opt := whatif.Options{
+		Workers:            o.workers,
+		IndependentStreams: o.indep,
+		KeepFailures:       o.keepFail,
+	}
+	start := time.Now()
+	var res *whatif.SweepResult
+	switch {
+	case o.scenarios != "":
+		res, err = evaluateFile(base, o.scenarios, opt)
+	case o.strategy == "grid":
+		res, err = whatif.RunGrid(base, study.Axes, opt)
+	case o.strategy == "cd":
+		res, err = whatif.RunCoordinateDescent(base, study.Axes, o.rounds, opt)
+	default: // cem — validate() already rejected anything else
+		cem := whatif.CEMConfig{Population: o.pop, Elite: o.elite, Iterations: o.iters}
+		res, err = whatif.RunCEM(base, study.Axes, cem, opt)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "study %s (base seed %d)\n%s", study.Name, base.Seed, res.Summary())
+	rate := float64(len(res.Evaluated)) / elapsed.Seconds()
+	fmt.Fprintf(w, "%d evaluations in %.1fs (%.1f runs/sec)\n",
+		len(res.Evaluated), elapsed.Seconds(), rate)
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "sweep log: %s\n", o.out)
+	}
+	return nil
+}
+
+// evaluateFile scores an explicit scenario list (the declarative JSON
+// schema from EXPERIMENTS.md) against the study base, prepending the
+// nominal baseline.
+func evaluateFile(base sim.Config, path string, opt whatif.Options) (*whatif.SweepResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var scns []whatif.Scenario
+	if err := json.Unmarshal(raw, &scns); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(scns) == 0 {
+		return nil, fmt.Errorf("%s holds no scenarios", path)
+	}
+	all := append([]whatif.Scenario{{Name: "nominal"}}, scns...)
+	reports, err := whatif.Evaluate(base, all, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &whatif.SweepResult{
+		Strategy:  "file",
+		BaseSeed:  base.Seed,
+		Evaluated: reports,
+		Baseline:  reports[0],
+		Best:      reports[0],
+		Pareto:    whatif.ParetoFront(reports),
+	}
+	for _, r := range reports[1:] {
+		if r.Score < res.Best.Score {
+			res.Best = r
+		}
+	}
+	return res, nil
+}
+
+// listStudies prints the catalog.
+func listStudies(w io.Writer) error {
+	for _, s := range whatif.Catalog() {
+		points := 1
+		for _, ax := range s.Axes {
+			points *= len(ax.Values)
+		}
+		fmt.Fprintf(w, "%-20s %4d grid points, %d nodes, %s\n    %s\n",
+			s.Name, points, s.Base.Nodes,
+			(time.Duration(s.Base.DurationSec) * time.Second).String(), s.Description)
+	}
+	return nil
+}

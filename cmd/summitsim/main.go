@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/units"
 )
 
 func main() {
@@ -32,6 +33,9 @@ func main() {
 	days := flag.Float64("days", 1, "simulated span in days")
 	seed := flag.Uint64("seed", 2020, "simulation seed")
 	out := flag.String("out", "", "archive directory (required)")
+	setpoint := flag.Float64("setpoint", 0, "MTW supply setpoint override in °C (0 = model default)")
+	placement := flag.String("placement", "", "scheduler placement policy: contiguous|packed|scatter")
+	capMW := flag.Float64("powercap-mw", 0, "cluster power cap in MW (0 = uncapped)")
 	nodeData := flag.Bool("nodedata", false, "also archive per-node window statistics (Dataset 0; large)")
 	jobSeries := flag.Bool("jobseries", false, "also archive per-job time series (Datasets 3/4/10/11)")
 	quiet := flag.Bool("q", false, "suppress progress output")
@@ -86,6 +90,18 @@ func main() {
 	}
 	cfg := repro.ScaledConfig(*nodes, time.Duration(*days*24*float64(time.Hour)))
 	cfg.Seed = *seed
+	if *capMW < 0 {
+		log.Fatalf("-powercap-mw must be >= 0, got %g", *capMW)
+	}
+	cfg.Plant.SupplySetpointC = *setpoint
+	cfg.Placement = *placement
+	cfg.PowerCap = units.Watts(*capMW * units.WattsPerMW)
+	// The knob surface shares sim.Config's validation: a bad setpoint,
+	// placement name or cap fails here with the same wrapped errors the
+	// what-if plane reports.
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	var data *repro.RunData
 	var res *repro.Result

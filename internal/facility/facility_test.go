@@ -1,6 +1,7 @@
 package facility
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -289,5 +290,117 @@ func TestEquipmentStaging(t *testing.T) {
 	runCEP(c, jul, 13e6, 1800)
 	if n := c.ActiveChillers(); n < 1 || n > 5 {
 		t.Errorf("summer chillers = %d, want 1-5", n)
+	}
+}
+
+func TestCEPStagingHysteresisAtThreshold(t *testing.T) {
+	// A load sitting exactly on a tower-unit boundary, wobbling ±0.5 %
+	// each window, must not flip the staged count back and forth. The
+	// pre-hysteresis ceil staging toggled 4↔5 towers on every wobble; the
+	// deadband allows at most one transition before the count settles.
+	w := NewWeather(1)
+	c := NewCEP(w)
+	jan := int64(1577836800 + 20*86400)
+	boundary := units.Watts(4 * c.TowerUnitTons * units.WattsPerTon)
+	runCEP(c, jan, boundary, 1800)
+	prev := c.ActiveTowers()
+	transitions := 0
+	for i := 0; i < 60; i++ {
+		load := boundary
+		if i%2 == 0 {
+			load = units.Watts(float64(boundary) * 1.005)
+		} else {
+			load = units.Watts(float64(boundary) * 0.995)
+		}
+		runCEP(c, jan+1800+int64(i*30), load, 30)
+		if n := c.ActiveTowers(); n != prev {
+			transitions++
+			prev = n
+		}
+	}
+	if transitions > 1 {
+		t.Errorf("staged towers changed %d times at an exactly-threshold load; hysteresis must allow at most 1", transitions)
+	}
+}
+
+func TestCEPChillerHysteresisAtThreshold(t *testing.T) {
+	// Same property on the trim chillers: park the summer load exactly on
+	// a chiller-unit boundary and wobble it; the staged count must settle.
+	w := NewWeather(1)
+	c := NewCEP(w)
+	jul := int64(1577836800 + 196*86400 + 15*3600)
+	runCEP(c, jul, 10e6, 1800)
+	unit := c.ChillerUnitTons
+	cur := c.ActiveChillers()
+	if cur < 1 {
+		t.Fatal("expected chillers staged on a July afternoon at 10 MW")
+	}
+	// Scale the load so the chiller share lands exactly on cur×unit tons.
+	share := float64(c.ChillerTons()) / 10e6
+	boundary := units.Watts(float64(cur) * unit / share)
+	runCEP(c, jul+1800, boundary, 1800)
+	prev := c.ActiveChillers()
+	transitions := 0
+	for i := 0; i < 60; i++ {
+		load := units.Watts(float64(boundary) * 1.005)
+		if i%2 == 1 {
+			load = units.Watts(float64(boundary) * 0.995)
+		}
+		runCEP(c, jul+3600+int64(i*30), load, 30)
+		if n := c.ActiveChillers(); n != prev {
+			transitions++
+			prev = n
+		}
+	}
+	if transitions > 1 {
+		t.Errorf("staged chillers changed %d times at an exactly-threshold load; hysteresis must allow at most 1", transitions)
+	}
+}
+
+func TestCEPSupplyRelaxesToTunedSetpoint(t *testing.T) {
+	// A retuned supply setpoint — including one outside the nominal MTW
+	// band — must be reachable: steady state relaxes to the target.
+	for _, setpoint := range []float64{18.0, 23.5} {
+		w := NewWeather(1)
+		c := NewCEP(w)
+		if err := c.Tune(Tuning{SupplySetpointC: setpoint}); err != nil {
+			t.Fatalf("Tune(%g): %v", setpoint, err)
+		}
+		jan := int64(1577836800 + 20*86400)
+		runCEP(c, jan, 5.5e6, 3600)
+		if got := float64(c.SupplyC()); math.Abs(got-setpoint) > 0.5 {
+			t.Errorf("supply = %0.2f °C, want ≈%0.1f after Tune", got, setpoint)
+		}
+	}
+}
+
+func TestTuningValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		tun  Tuning
+		ok   bool
+	}{
+		{"zero value", Tuning{}, true},
+		{"nominal", Tuning{SupplySetpointC: 19, ChillerKWPerTon: 0.6}, true},
+		{"negative setpoint", Tuning{SupplySetpointC: -5}, false},
+		{"setpoint too low", Tuning{SupplySetpointC: 4}, false},
+		{"setpoint too high", Tuning{SupplySetpointC: 40}, false},
+		{"negative kw/ton", Tuning{ChillerKWPerTon: -0.1}, false},
+		{"inverted staging", Tuning{StageUpFrac: 0.9, StageDownFrac: 0.95}, false},
+		{"inverted vs default up", Tuning{StageDownFrac: 1.1}, false},
+		{"valid staging", Tuning{StageUpFrac: 1.05, StageDownFrac: 0.8}, true},
+	}
+	for _, tc := range cases {
+		err := tc.tun.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: expected error", tc.name)
+			} else if !errors.Is(err, ErrTuning) {
+				t.Errorf("%s: error %v does not wrap ErrTuning", tc.name, err)
+			}
+		}
 	}
 }

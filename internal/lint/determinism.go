@@ -36,6 +36,7 @@ var simPackages = map[string]bool{
 	"dsp":       true,
 	"stats":     true,
 	"stream":    true,
+	"whatif":    true,
 }
 
 // wallClockFuncs are the time package entry points that read or depend on

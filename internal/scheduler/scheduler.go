@@ -90,13 +90,32 @@ func newFreePool(nodes int) *freePool {
 	return f
 }
 
-// take removes k nodes from the pool, preferring the longest contiguous
-// runs first so large jobs get compact placements. Returns nil if fewer
-// than k nodes are free.
-func (f *freePool) take(k int) []topology.NodeID {
-	if k > f.n {
+// take removes k nodes from the pool using the given placement strategy.
+// Returns nil if fewer than k nodes are free. Output is sorted ascending.
+func (f *freePool) take(k int, pl Placement) []topology.NodeID {
+	if k > f.n || k <= 0 {
 		return nil
 	}
+	var out []topology.NodeID
+	switch pl {
+	case PlacePacked:
+		out = f.takePacked(k)
+	case PlaceScatter:
+		out = f.takeScatter(k)
+	default:
+		out = f.takeContiguous(k)
+	}
+	for _, id := range out {
+		f.free[id] = false
+	}
+	f.n -= k
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// takeContiguous prefers the longest contiguous runs first so large jobs
+// get compact placements (Summit's default; paper Figure 17 heatmaps).
+func (f *freePool) takeContiguous(k int) []topology.NodeID {
 	out := make([]topology.NodeID, 0, k)
 	// Pass 1: collect contiguous runs.
 	type run struct{ start, len int }
@@ -127,11 +146,34 @@ func (f *freePool) take(k int) []topology.NodeID {
 			break
 		}
 	}
-	for _, id := range out {
-		f.free[id] = false
+	return out
+}
+
+// takePacked fills the floor from node 0 upward: lowest-numbered free
+// nodes first, concentrating heat (and the thermal gradient) at one end.
+func (f *freePool) takePacked(k int) []topology.NodeID {
+	out := make([]topology.NodeID, 0, k)
+	for i := 0; i < len(f.free) && len(out) < k; i++ {
+		if f.free[i] {
+			out = append(out, topology.NodeID(i))
+		}
 	}
-	f.n -= k
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// takeScatter spreads the allocation evenly over the free nodes,
+// distributing heat across the floor at the cost of spatial locality.
+func (f *freePool) takeScatter(k int) []topology.NodeID {
+	idx := make([]int, 0, f.n)
+	for i, free := range f.free {
+		if free {
+			idx = append(idx, i)
+		}
+	}
+	out := make([]topology.NodeID, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, topology.NodeID(idx[i*len(idx)/k]))
+	}
 	return out
 }
 
@@ -186,7 +228,7 @@ func Schedule(jobs []workload.Job, nodes int) (*Result, error) {
 				return // draining for the starved head job
 			}
 			j := queue[i]
-			ids := pool.take(j.Nodes)
+			ids := pool.take(j.Nodes, PlaceContiguous)
 			if ids == nil {
 				i++
 				continue

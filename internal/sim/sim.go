@@ -38,6 +38,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -87,6 +88,18 @@ type Config struct {
 	// scheduler (the paper's conclusion what-if): jobs are held back when
 	// the estimated aggregate power would exceed the cap.
 	PowerCap units.Watts
+	// PowerCapSchedule makes the cap a step function over the run: from
+	// AfterSec seconds after StartTime the admission ceiling becomes CapW
+	// (zero lifts the cap). Steps must be time-ascending. PowerCap is the
+	// ceiling before the first step.
+	PowerCapSchedule []CapStep
+	// Placement names the scheduler's node-placement strategy:
+	// "" or "contiguous" (Summit default), "packed", or "scatter".
+	Placement string
+	// Plant tunes the central energy plant (supply setpoint, staging
+	// thresholds, efficiencies). The zero value keeps the
+	// Summit-calibrated defaults.
+	Plant facility.Tuning
 	// TelemetryLossFrac models the paper's missing-data reality: this
 	// fraction of node-windows is dropped from the telemetry view
 	// (Count 0, NaN statistics), and one fixed cabinet goes completely
@@ -95,6 +108,18 @@ type Config struct {
 	// what the out-of-band pipeline would have delivered.
 	TelemetryLossFrac float64
 }
+
+// CapStep is one step of a power-cap schedule expressed in run-relative
+// time: from AfterSec seconds after StartTime the cap is CapW watts
+// (zero lifts the cap).
+type CapStep struct {
+	AfterSec int64       `json:"after_sec"`
+	CapW     units.Watts `json:"cap_w"`
+}
+
+// ErrConfig marks an out-of-bounds simulation configuration; specific
+// violations wrap it.
+var ErrConfig = errors.New("sim: invalid config")
 
 // Validate checks the configuration and applies defaults.
 func (c *Config) Validate() error {
@@ -127,7 +152,73 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("sim: telemetry loss fraction %v outside [0, 1)", c.TelemetryLossFrac)
 		}
 	}
+	if c.PowerCap < 0 {
+		return fmt.Errorf("%w: negative power cap %v", ErrConfig, c.PowerCap)
+	}
+	for i, st := range c.PowerCapSchedule {
+		if st.AfterSec < 0 {
+			return fmt.Errorf("%w: cap schedule step %d at negative offset %d",
+				ErrConfig, i, st.AfterSec)
+		}
+		if st.CapW < 0 {
+			return fmt.Errorf("%w: negative cap %v at schedule step %d", ErrConfig, st.CapW, i)
+		}
+		if i > 0 && st.AfterSec <= c.PowerCapSchedule[i-1].AfterSec {
+			return fmt.Errorf("%w: cap schedule offsets not strictly increasing at step %d (%d after %d)",
+				ErrConfig, i, st.AfterSec, c.PowerCapSchedule[i-1].AfterSec)
+		}
+	}
+	if _, err := scheduler.ParsePlacement(c.Placement); err != nil {
+		return fmt.Errorf("%w: %w", ErrConfig, err)
+	}
+	if err := c.Plant.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrConfig, err)
+	}
 	return nil
+}
+
+// Scaled returns a deterministic configuration for a scaled system of the
+// given node count over the given span in seconds, with workload volume
+// proportional to Summit's ~840k jobs/year and failure rates accelerated
+// so the error population stays analyzable.
+func Scaled(nodes int, spanSec int64) Config {
+	if spanSec < 600 {
+		spanSec = 600
+	}
+	// Summit saw ~840k jobs in 2020 on 4,626 nodes; scale by node-time.
+	jobs := int(840_000 * float64(nodes) / float64(units.SummitNodes) *
+		float64(spanSec) / (365 * 86400))
+	if jobs < 20 {
+		jobs = 20
+	}
+	return Config{
+		Seed:             2020,
+		Nodes:            nodes,
+		StartTime:        1_577_836_800, // 2020-01-01 UTC
+		DurationSec:      spanSec,
+		StepSec:          units.CoarsenWindowSec,
+		SamplesPerWindow: 2,
+		Jobs:             jobs,
+		FailureRateScale: failureScale(nodes, spanSec),
+	}
+}
+
+// failureScale accelerates XID rates inversely with simulated GPU-time so
+// a scaled run still accumulates an analyzable error population.
+func failureScale(nodes int, spanSec int64) float64 {
+	full := float64(units.SummitNodes) * (365 * 86400)
+	frac := float64(nodes) * float64(spanSec) / full
+	if frac <= 0 {
+		return 1
+	}
+	scale := 0.05 / frac // target ≈ 5 % of the yearly error volume
+	if scale < 1 {
+		scale = 1
+	}
+	if scale > 50_000 {
+		scale = 50_000
+	}
+	return scale
 }
 
 // Snapshot is the per-window view delivered to observers. All slices are
@@ -238,8 +329,17 @@ func New(cfg Config) (*Sim, error) {
 			return nil, err
 		}
 	}
-	sched, err := scheduler.ScheduleWithPolicy(jobs, cfg.Nodes,
-		scheduler.Policy{PowerCap: cfg.PowerCap})
+	placement, err := scheduler.ParsePlacement(cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	pol := scheduler.Policy{PowerCap: cfg.PowerCap, Placement: placement}
+	for _, st := range cfg.PowerCapSchedule {
+		pol.CapSchedule = append(pol.CapSchedule, scheduler.CapStep{
+			AtSec: cfg.StartTime + st.AfterSec, Cap: st.CapW,
+		})
+	}
+	sched, err := scheduler.ScheduleWithPolicy(jobs, cfg.Nodes, pol)
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +357,9 @@ func New(cfg Config) (*Sim, error) {
 		util:     sched.Utilization(cfg.Nodes),
 	}
 	s.cep = facility.NewCEP(s.weather)
+	if err := s.cep.Tune(cfg.Plant); err != nil {
+		return nil, err
+	}
 	// Scale the plant to the system: fixed overhead, loop flow and loop
 	// thermal mass are sized for the full 4,626-node floor; a scaled run
 	// gets a proportionally smaller plant so PUE stays meaningful.
@@ -422,7 +525,7 @@ func (s *Sim) Run(obs ...Observer) (*Result, error) {
 	pool := parallel.NewPool(workers)
 	defer pool.Close()
 	blockFn := func(b int) { s.runBlock(b, rs) } // one closure for the whole run
-	maxSweepYield := 0 // largest failure-sweep yield so far
+	maxSweepYield := 0                           // largest failure-sweep yield so far
 	// Pre-size the event log from the injector's a-priori expectation so a
 	// typical run never regrows it. The estimate ignores thermal
 	// acceleration and cascade secondaries (together ~1.5× in practice),

@@ -1,0 +1,120 @@
+package whatif
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options configures a batch evaluation.
+type Options struct {
+	// Workers bounds the scenario-level parallelism (0 = all cores). The
+	// reports are bit-identical for every worker count: each scenario's
+	// evaluation is independent and writes only its own slot.
+	Workers int
+	// Weights scores each report; the zero value selects DefaultWeights.
+	Weights Weights
+	// IndependentStreams gives every scenario its own derived-seed
+	// weather/workload/failure streams instead of the default paired
+	// evaluation (all scenarios share the base config's streams, so knob
+	// effects are not confounded with stream noise).
+	IndependentStreams bool
+	// KeepFailures retains failure injection at the base config's rate.
+	// Off by default: the objective's failure term then reads 0 and
+	// sweeps run faster, matching the power-cap experiment's practice.
+	KeepFailures bool
+}
+
+func (o Options) weights() Weights {
+	if o.Weights == (Weights{}) {
+		return DefaultWeights()
+	}
+	return o.Weights
+}
+
+// Evaluate runs every scenario against the base configuration and
+// returns one objective report per scenario, in scenario order.
+//
+// The workload is frozen once from the base seed, so every scenario
+// schedules the same submitted job stream (the paired-comparison design
+// of the power-cap experiment); the knobs may still change what starts
+// and when. Evaluations fan out over a parallel.Pool and are
+// bit-reproducible for any worker count.
+func Evaluate(base sim.Config, scns []Scenario, opt Options) ([]Report, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("whatif: base config: %w", err)
+	}
+	if len(scns) == 0 {
+		return nil, fmt.Errorf("whatif: no scenarios to evaluate")
+	}
+	if len(base.Workload) == 0 {
+		jobs, err := workload.Generate(workload.GenConfig{
+			Seed:              base.Seed,
+			StartTime:         base.StartTime,
+			SpanSec:           base.DurationSec,
+			Jobs:              base.Jobs,
+			MaxNodes:          minInt(base.Nodes, 4608),
+			ProjectsPerDomain: 6,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("whatif: freeze workload: %w", err)
+		}
+		base.Workload = jobs
+	}
+	weights := opt.weights()
+	reports := make([]Report, len(scns))
+	errs := make([]error, len(scns))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if workers > len(scns) {
+		workers = len(scns)
+	}
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	pool.ForEach(len(scns), func(i int) {
+		reports[i], errs[i] = evalOne(base, scns[i], opt, weights)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("whatif: scenario %q: %w", scns[i].Label(), err)
+		}
+	}
+	return reports, nil
+}
+
+// evalOne runs a single scenario to its objective report.
+func evalOne(base sim.Config, scn Scenario, opt Options, w Weights) (Report, error) {
+	cfg, err := scn.Apply(base)
+	if err != nil {
+		return Report{}, err
+	}
+	// The batch parallelizes across scenarios; each run stays serial so
+	// worker slots map one-to-one onto evaluations.
+	cfg.Workers = 1
+	seed := Seed(base.Seed, scn)
+	if opt.IndependentStreams {
+		cfg.Seed = seed
+		cfg.Workload = nil // regenerate the job stream from the derived seed
+	}
+	if !opt.KeepFailures {
+		// Suppress failure injection (rate → 0) for sweep throughput.
+		cfg.FailureRateScale = 1e-9
+	}
+	d, res, err := core.CollectRun(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	return Assess(d, res, scn, seed, w)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

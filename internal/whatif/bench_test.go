@@ -1,0 +1,31 @@
+package whatif
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkWhatifBatch measures scenario-evaluation throughput on the
+// small floor (64 nodes, one simulated hour per run): a 4-point setpoint
+// grid evaluated per iteration. The runs/sec metric is the number the
+// optimize CLI's wall-clock budget is planned against; `make bench-whatif`
+// records it in BENCH_whatif.json.
+func BenchmarkWhatifBatch(b *testing.B) {
+	base := sim.Scaled(64, 3600)
+	base.StartTime += midJulyOffsetSec
+	scns := Grid([]Axis{
+		{Param: ParamSupplySetpointC, Values: []float64{18.0, 20.0, 22.0, 24.0}},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(base, scns, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runs := float64(b.N * len(scns))
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(runs/sec, "runs/sec")
+	}
+}

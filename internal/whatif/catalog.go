@@ -1,0 +1,89 @@
+package whatif
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Study is a catalog entry: a ready-to-run what-if question with its base
+// configuration and search axes.
+type Study struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Base        sim.Config
+	Axes        []Axis `json:"axes"`
+}
+
+// midJulyOffsetSec places a run in a mid-July afternoon heat wave (the
+// wet-bulb peak of the weather model's year).
+const midJulyOffsetSec = (196*24 + 12) * units.SecondsPerHour
+
+// Catalog returns the named studies, sorted by name. Each base is a
+// scaled floor sized so a full grid completes in seconds.
+func Catalog() []Study {
+	heat := sim.Scaled(64, 12*units.SecondsPerHour)
+	heat.StartTime += midJulyOffsetSec
+
+	winter := sim.Scaled(64, 12*units.SecondsPerHour)
+
+	capDay := sim.Scaled(64, 24*units.SecondsPerHour)
+	capDay.StartTime += midJulyOffsetSec
+
+	studies := []Study{
+		{
+			Name: "heatwave-setpoint",
+			Description: "Summer heat-wave afternoon: sweep the MTW supply setpoint " +
+				"against the staging deadband. Raising the setpoint unloads the trim " +
+				"chillers (energy down) but runs the GPUs hotter (violations up); " +
+				"the sweep maps the frontier and picks the operating point.",
+			Base: heat,
+			Axes: []Axis{
+				{Param: ParamSupplySetpointC, Values: []float64{17.5, 18.5, 19.5, 20.5, 21.1, 22.0, 23.0, 24.0}},
+				{Param: ParamStageDownFrac, Values: []float64{0.80, 0.86, 0.92, 0.98}},
+				{Param: ParamStageUpFrac, Values: []float64{1.0, 1.08}},
+			},
+		},
+		{
+			Name: "winter-economizer",
+			Description: "Winter economizer tuning: with the chillers idle, trade " +
+				"tower efficiency against the supply setpoint for the lowest PUE.",
+			Base: winter,
+			Axes: []Axis{
+				{Param: ParamSupplySetpointC, Values: []float64{18.0, 19.5, 21.1, 22.5}},
+				{Param: ParamTowerKWPerTon, Values: []float64{0.10, 0.14, 0.18}},
+			},
+		},
+		{
+			Name: "cap-placement",
+			Description: "Power-capped day: sweep the admission cap against the " +
+				"placement policy, trading skipped work against peak power and heat.",
+			Base: capDay,
+			Axes: []Axis{
+				{Param: ParamPowerCapMW, Values: []float64{0.10, 0.14, 0.18, 0.25}},
+				{Param: ParamPlacement, Values: []float64{0, 1, 2}},
+			},
+		},
+	}
+	sort.Slice(studies, func(a, b int) bool { return studies[a].Name < studies[b].Name })
+	return studies
+}
+
+// StudyByName looks up a catalog study.
+func StudyByName(name string) (Study, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := ""
+	for i, s := range Catalog() {
+		if i > 0 {
+			names += ", "
+		}
+		names += s.Name
+	}
+	return Study{}, fmt.Errorf("%w: unknown study %q (have %s)", ErrScenario, name, names)
+}

@@ -1,0 +1,150 @@
+package whatif
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/units"
+)
+
+// Report is the objective vector of one scenario evaluation: everything
+// the search strategies score, plus the run identity that makes the sweep
+// log a reproducible artifact.
+type Report struct {
+	Scenario Scenario `json:"scenario"`
+	Label    string   `json:"label"`
+	Hash     string   `json:"hash"` // canonical scenario hash, hex
+	Seed     uint64   `json:"seed"` // derived run identity
+
+	// Energy and efficiency.
+	MeanPUE        float64 `json:"mean_pue"`
+	ITEnergyMWh    float64 `json:"it_energy_mwh"`
+	TotalEnergyMWh float64 `json:"total_energy_mwh"`
+
+	// Thermal health: time with any GPU in the top (>=60 °C) band, and
+	// the GPU-weighted integral of that occupancy.
+	ViolationSec    float64 `json:"violation_sec"`
+	ViolationGPUSec float64 `json:"violation_gpu_sec"`
+
+	// Overcooling margin: cooling delivered beyond the load.
+	OvercoolingTonH      float64 `json:"overcooling_tonh"`
+	OvercoolingEnergyKWh float64 `json:"overcooling_energy_kwh"`
+
+	// Reliability and throughput.
+	Failures      int     `json:"failures"`
+	JobsCompleted int     `json:"jobs_completed"`
+	JobsSkipped   int     `json:"jobs_skipped"`
+	Utilization   float64 `json:"utilization"`
+
+	// Score is the weighted scalar objective (lower is better).
+	Score float64 `json:"score"`
+}
+
+// Weights combines the objective vector into the scalar the searches
+// minimize. Each weight is a cost per unit; zero drops the term.
+type Weights struct {
+	// EnergyMWh prices total facility energy (IT + cooling), per MWh.
+	EnergyMWh float64 `json:"energy_mwh"`
+	// ViolationHour prices each hour with any GPU in the top thermal band.
+	ViolationHour float64 `json:"violation_hour"`
+	// OvercoolingTonH prices each ton-hour of excess cooling.
+	OvercoolingTonH float64 `json:"overcooling_tonh"`
+	// Failure prices each injected GPU XID event.
+	Failure float64 `json:"failure"`
+	// SkippedJob prices each job the scheduler could never start.
+	SkippedJob float64 `json:"skipped_job"`
+}
+
+// DefaultWeights balances the terms for the catalog's scaled studies:
+// energy is the base currency, a violation-hour costs a day of a
+// megawatt-hour's worth, and throughput losses dominate both.
+func DefaultWeights() Weights {
+	return Weights{
+		EnergyMWh:       1,
+		ViolationHour:   25,
+		OvercoolingTonH: 0.02,
+		Failure:         0.5,
+		SkippedJob:      5,
+	}
+}
+
+// Score evaluates the weighted scalar objective (lower is better).
+func (w Weights) Score(r *Report) float64 {
+	return w.EnergyMWh*r.TotalEnergyMWh +
+		w.ViolationHour*r.ViolationSec/units.SecondsPerHour +
+		w.OvercoolingTonH*r.OvercoolingTonH +
+		w.Failure*float64(r.Failures) +
+		w.SkippedJob*float64(r.JobsSkipped)
+}
+
+// Assess reduces one completed run to its objective report through the
+// unified data plane: the same FromSource analyses the dashboards and the
+// archive tier run, applied to the run's in-memory source.
+func Assess(d *core.RunData, res *sim.Result, scn Scenario, seed uint64, w Weights) (Report, error) {
+	rep := Report{
+		Scenario: scn,
+		Label:    scn.Label(),
+		Hash:     fmt.Sprintf("%016x", scn.Hash()),
+		Seed:     seed,
+	}
+	src := d.Source()
+	it, err := src.Series(source.SeriesClusterTruePower)
+	if err != nil {
+		return rep, fmt.Errorf("whatif: assess: %w", err)
+	}
+	pue, err := src.Series(source.SeriesPUE)
+	if err != nil {
+		return rep, fmt.Errorf("whatif: assess: %w", err)
+	}
+	top, err := src.Series(source.GPUBandSeries(core.NumTempBands - 1))
+	if err != nil {
+		return rep, fmt.Errorf("whatif: assess: %w", err)
+	}
+	if it.Len() == 0 || pue.Len() != it.Len() || top.Len() != it.Len() {
+		return rep, fmt.Errorf("whatif: assess: inconsistent series lengths")
+	}
+	step := float64(it.Step)
+	var itJ, totJ float64
+	for i, v := range it.Vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		itJ += v * step
+		if p := pue.Vals[i]; !math.IsNaN(p) && p >= 1 {
+			totJ += v * p * step
+		} else {
+			totJ += v * step
+		}
+		if n := top.Vals[i]; !math.IsNaN(n) && n > 0 {
+			rep.ViolationSec += step
+			rep.ViolationGPUSec += n * step
+		}
+	}
+	rep.ITEnergyMWh = units.Joules(itJ).MWh()
+	rep.TotalEnergyMWh = units.Joules(totJ).MWh()
+	if itJ > 0 {
+		rep.MeanPUE = totJ / itJ
+	} else {
+		rep.MeanPUE = math.NaN()
+	}
+	oc, err := core.OvercoolingFromSource(src)
+	if err != nil {
+		return rep, fmt.Errorf("whatif: assess: %w", err)
+	}
+	rep.OvercoolingTonH = oc.ExcessTonHours
+	rep.OvercoolingEnergyKWh = oc.ExcessEnergyKWh
+	rep.Failures = len(res.Failures)
+	rep.JobsSkipped = res.Skipped
+	rep.Utilization = res.Utilization
+	endTime := d.StartTime + int64(it.Len())*it.Step
+	for i := range res.Allocations {
+		if res.Allocations[i].EndTime <= endTime {
+			rep.JobsCompleted++
+		}
+	}
+	rep.Score = w.Score(&rep)
+	return rep, nil
+}

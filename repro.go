@@ -64,44 +64,7 @@ const SummitNodes = units.SummitNodes
 // of the given node count over the given span, with workload volume
 // proportional to Summit's ~840k jobs/year.
 func ScaledConfig(nodes int, span time.Duration) Config {
-	spanSec := int64(span / time.Second)
-	if spanSec < 600 {
-		spanSec = 600
-	}
-	// Summit saw ~840k jobs in 2020 on 4,626 nodes; scale by node-time.
-	jobs := int(840_000 * float64(nodes) / float64(units.SummitNodes) *
-		float64(spanSec) / (365 * 86400))
-	if jobs < 20 {
-		jobs = 20
-	}
-	return Config{
-		Seed:             2020,
-		Nodes:            nodes,
-		StartTime:        1_577_836_800, // 2020-01-01 UTC
-		DurationSec:      spanSec,
-		StepSec:          units.CoarsenWindowSec,
-		SamplesPerWindow: 2,
-		Jobs:             jobs,
-		// Scale failure rates inversely with simulated GPU-time so a
-		// scaled run still accumulates an analyzable error population.
-		FailureRateScale: failureScale(nodes, spanSec),
-	}
-}
-
-func failureScale(nodes int, spanSec int64) float64 {
-	full := float64(units.SummitNodes) * (365 * 86400)
-	frac := float64(nodes) * float64(spanSec) / full
-	if frac <= 0 {
-		return 1
-	}
-	scale := 0.05 / frac // target ≈ 5 % of the yearly error volume
-	if scale < 1 {
-		scale = 1
-	}
-	if scale > 50_000 {
-		scale = 50_000
-	}
-	return scale
+	return sim.Scaled(nodes, int64(span/time.Second))
 }
 
 // Simulate builds the digital twin from cfg, runs it with the standard
