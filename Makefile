@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race stream-check streamd check ci bench bench-sim bench-smoke bench-query bench-whatif optimize-smoke clean
+.PHONY: all build test vet fmt lint race stream-check streamd check ci bench bench-sim bench-smoke bench-query bench-whatif optimize-smoke federate-smoke bench-report clean
 
 all: check
 
@@ -87,6 +87,26 @@ optimize-smoke:
 	/tmp/optimize-smoke -study heatwave-setpoint -strategy grid -workers 4 -out /tmp/whatif-w4.json
 	cmp /tmp/whatif-w1.json /tmp/whatif-w4.json
 	rm -f /tmp/optimize-smoke /tmp/whatif-w1.json /tmp/whatif-w4.json
+
+# federate-smoke gates the federated query plane: the golden N-shard
+# bit-parity test under the race detector, then an end-to-end check that a
+# 2-cluster fleet analyzed through a 2-shard federated source is
+# byte-identical to the direct read.
+federate-smoke:
+	$(GO) test -race -run 'TestFederatedParity|TestFederatedPartialDegradation' ./internal/source
+	$(GO) build -o /tmp/fedsmoke-summitsim ./cmd/summitsim
+	$(GO) build -o /tmp/fedsmoke-analyze ./cmd/analyze
+	rm -rf /tmp/fedsmoke-fleet
+	/tmp/fedsmoke-summitsim -out /tmp/fedsmoke-fleet -clusters 2 -sites summit,frontier -nodes 36 -days 1 -q
+	/tmp/fedsmoke-analyze -data /tmp/fedsmoke-fleet -cluster summit-0 > /tmp/fedsmoke-direct.txt
+	/tmp/fedsmoke-analyze -data /tmp/fedsmoke-fleet -cluster summit-0 -shards 2 > /tmp/fedsmoke-sharded.txt
+	cmp /tmp/fedsmoke-direct.txt /tmp/fedsmoke-sharded.txt
+	rm -rf /tmp/fedsmoke-fleet /tmp/fedsmoke-summitsim /tmp/fedsmoke-analyze /tmp/fedsmoke-direct.txt /tmp/fedsmoke-sharded.txt
+
+# bench-report regenerates the checked-in markdown trend report from every
+# BENCH_*.json baseline.
+bench-report:
+	$(GO) run ./cmd/benchjson -report BENCH_REPORT.md
 
 clean:
 	$(GO) clean ./...

@@ -3,9 +3,14 @@
 // through the source.RunSource layer — the same entry points the in-memory
 // pipeline and queryd use — so results match the live data plane exactly.
 //
+// -data may also name a fleet root (as written by summitsim -clusters);
+// -cluster selects the member to analyze. With -shards N the archive is
+// read through an N-shard federated source instead of directly — output is
+// bit-identical either way (the federation layer's parity guarantee).
+//
 // Usage:
 //
-//	analyze -data /path/to/archive
+//	analyze -data /path/to/archive [-cluster NAME] [-shards N]
 //	        [-cmd summary|edges|fft|failures|jobs|bands|earlywarning|validation|overcooling]
 package main
 
@@ -16,6 +21,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/render"
@@ -26,9 +32,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyze: ")
-	dataDir := flag.String("data", "", "archive directory (required)")
+	dataDir := flag.String("data", "", "archive or fleet directory (required)")
 	cmd := flag.String("cmd", "summary",
 		"analysis: summary|edges|fft|failures|jobs|bands|earlywarning|validation|overcooling")
+	cluster := flag.String("cluster", "", "fleet member to analyze (when -data is a fleet root)")
+	shards := flag.Int("shards", 1, "read through an N-shard federated source (1 = direct)")
 	nodes := flag.Int("nodes", 256, "system size fallback for archives without a run manifest")
 	step := flag.Int64("step", 10, "coarsening window fallback for archives without a run manifest")
 	flag.Parse()
@@ -42,17 +50,58 @@ func main() {
 	if *step <= 0 {
 		log.Fatalf("-step must be positive, got %d", *step)
 	}
-	src, err := source.OpenArchive(source.ArchiveConfig{
-		Dir:     *dataDir,
-		StepSec: *step,
-		Nodes:   *nodes,
-	})
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1, got %d", *shards)
+	}
+	dir, err := resolveDir(*dataDir, *cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := openSource(dir, *shards, *step, *nodes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := dispatch(os.Stdout, *cmd, src); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// resolveDir maps -data/-cluster to the archive directory to open. A fleet
+// root demands -cluster; a plain archive rejects it.
+func resolveDir(dataDir, cluster string) (string, error) {
+	manifest, err := source.DiscoverFleet(dataDir)
+	if errors.Is(err, source.ErrNotFleet) {
+		if cluster != "" {
+			return "", fmt.Errorf("-cluster %q given but %s is not a fleet root", cluster, dataDir)
+		}
+		return dataDir, nil
+	}
+	if err != nil {
+		return "", err
+	}
+	if cluster == "" {
+		return "", fmt.Errorf("%s is a fleet root; pick a member with -cluster (one of: %s)",
+			dataDir, strings.Join(manifest.Names(), ", "))
+	}
+	entry, ok := manifest.Find(cluster)
+	if !ok {
+		return "", fmt.Errorf("no cluster %q in fleet (have: %s)",
+			cluster, strings.Join(manifest.Names(), ", "))
+	}
+	return entry.Path(dataDir), nil
+}
+
+// openSource opens the archive directly, or through a sharded federated
+// coordinator when shards > 1.
+func openSource(dir string, shards int, step int64, nodes int) (source.RunSource, error) {
+	acfg := source.ArchiveConfig{Dir: dir, StepSec: step, Nodes: nodes}
+	if shards == 1 {
+		return source.OpenArchive(acfg)
+	}
+	return source.OpenShardedArchive(source.ShardedArchiveConfig{
+		Archive: acfg,
+		Shards:  shards,
+	})
 }
 
 // dispatch routes a subcommand to its analysis, writing to w.

@@ -99,3 +99,34 @@ func TestMergeFileRejectsCorruptJSON(t *testing.T) {
 		t.Fatal("corrupt existing file silently overwritten")
 	}
 }
+
+func TestWriteReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	for label, ns := range map[string]float64{"pre": 200, "post": 100} {
+		if err := mergeFile(path, label, map[string]Entry{
+			"BenchmarkX": {Iterations: 10, NsPerOp: ns, Extra: map[string]float64{"windows/run": 360}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if err := writeReport(&buf, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	// Slowest label first, speedup measured against it, extras rendered.
+	pre := strings.Index(got, "| BenchmarkX | pre | 200 |")
+	post := strings.Index(got, "| BenchmarkX | post | 100 |")
+	if pre < 0 || post < 0 || post < pre {
+		t.Fatalf("rows missing or misordered:\n%s", got)
+	}
+	if !strings.Contains(got, "2.00×") || !strings.Contains(got, "360 windows/run") {
+		t.Fatalf("speedup or extras missing:\n%s", got)
+	}
+}
+
+func TestRunReportNoFiles(t *testing.T) {
+	if err := runReport("-", []string{filepath.Join(t.TempDir(), "nope.json")}); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+}

@@ -48,6 +48,9 @@ type options struct {
 	nodes         int
 	workers       int
 	cacheMB       int
+	shards        int
+	replicas      int
+	hedge         time.Duration
 	timeout       time.Duration
 	maxConcurrent int
 	maxPoints     int
@@ -58,11 +61,14 @@ type options struct {
 func parseFlags(args []string) (options, error) {
 	fs := flag.NewFlagSet("queryd", flag.ContinueOnError)
 	var o options
-	fs.StringVar(&o.data, "data", "", "archive directory (required)")
+	fs.StringVar(&o.data, "data", "", "archive or fleet directory (required)")
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
-	fs.IntVar(&o.nodes, "nodes", 0, "system size the archive was produced with (enables cabinet/MSB rollups)")
+	fs.IntVar(&o.nodes, "nodes", 0, "system size the archive was produced with (enables cabinet/MSB rollups; fleets read it per cluster)")
 	fs.IntVar(&o.workers, "workers", 0, "parallel scan workers (0 = GOMAXPROCS)")
-	fs.IntVar(&o.cacheMB, "cache-mb", 256, "decoded-table cache budget in MiB")
+	fs.IntVar(&o.cacheMB, "cache-mb", 256, "decoded-table cache budget in MiB (per cluster)")
+	fs.IntVar(&o.shards, "shards", 1, "serve each cluster's analyses through an N-shard federated source")
+	fs.IntVar(&o.replicas, "replicas", 1, "federation owners per day partition (with -shards > 1)")
+	fs.DurationVar(&o.hedge, "hedge", 0, "federation hedged-request delay, e.g. 20ms (0 = off)")
 	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline")
 	fs.IntVar(&o.maxConcurrent, "max-concurrent", 32, "concurrent query limit (excess sheds with 503)")
 	fs.IntVar(&o.maxPoints, "max-points", 200_000, "points/windows budget per response")
@@ -73,58 +79,118 @@ func parseFlags(args []string) (options, error) {
 	if o.data == "" {
 		return o, errors.New("queryd: -data is required")
 	}
+	if o.shards < 1 {
+		return o, errors.New("queryd: -shards must be >= 1")
+	}
 	return o, nil
 }
 
-// newServer opens the engine and binds the listener; the caller serves and
-// shuts down.
-func newServer(o options, out io.Writer) (*http.Server, net.Listener, *query.Engine, error) {
+// openCluster builds one serving member over an archive directory: its
+// query engine, and its analysis source — direct, or an N-shard federated
+// coordinator when -shards > 1.
+func openCluster(o options, name, dir string, out io.Writer) (query.Cluster, error) {
 	// One decoded-table cache backs both the raw query tier and the
 	// archive-backed analyses: a byte decoded for /api/v1/range is a byte
-	// /api/v1/analysis/* does not decode again, and vice versa.
+	// /api/v1/analysis/* does not decode again, and vice versa. In sharded
+	// mode each federation shard instead carries a private slice of the
+	// budget (its stats surface per shard in /debug/vars).
 	cache := store.NewTableCache(int64(o.cacheMB) << 20)
-	eng, err := query.Open(query.Config{
-		Dir:     o.data,
-		Nodes:   o.nodes,
-		Workers: o.workers,
-		Cache:   cache,
-	})
-	if err != nil {
-		return nil, nil, nil, err
+	var src source.RunSource
+	var meta source.Meta
+	var aerr error
+	if o.shards > 1 {
+		var fed *source.FederatedSource
+		fed, aerr = source.OpenShardedArchive(source.ShardedArchiveConfig{
+			Archive:      source.ArchiveConfig{Dir: dir, Nodes: o.nodes, Workers: o.workers},
+			Shards:       o.shards,
+			CacheBytes:   int64(o.cacheMB) << 20,
+			Replicas:     o.replicas,
+			HedgeDelay:   o.hedge,
+			AllowPartial: true,
+			Workers:      o.workers,
+		})
+		if aerr == nil {
+			src = fed
+			meta, _ = fed.Meta()
+		}
+	} else {
+		var arc *source.ArchiveSource
+		arc, aerr = source.OpenArchive(source.ArchiveConfig{
+			Dir: dir, Nodes: o.nodes, Workers: o.workers, Cache: cache,
+		})
+		if aerr == nil {
+			src = arc
+			meta, _ = arc.Meta()
+		}
 	}
 	// The analysis routes need the cluster dataset; serve raw queries
 	// regardless (e.g. node-power-only archives). src stays a nil
 	// interface on failure so the handler can tell.
-	var src source.RunSource
-	if arc, aerr := source.OpenArchive(source.ArchiveConfig{
-		Dir:     o.data,
-		Nodes:   o.nodes,
+	if aerr != nil && !o.quiet {
+		fmt.Fprintf(out, "cluster %s: analysis endpoints disabled: %v\n", name, aerr)
+	}
+	nodes := o.nodes
+	if nodes == 0 {
+		nodes = meta.Nodes
+	}
+	eng, err := query.Open(query.Config{
+		Dir:     dir,
+		Nodes:   nodes,
+		Site:    meta.Site,
 		Workers: o.workers,
 		Cache:   cache,
-	}); aerr == nil {
-		src = arc
-	} else if !o.quiet {
-		fmt.Fprintf(out, "analysis endpoints disabled: %v\n", aerr)
+	})
+	if err != nil {
+		return query.Cluster{}, err
 	}
 	infos, err := eng.Datasets()
 	if err != nil {
-		return nil, nil, nil, err
+		return query.Cluster{}, err
 	}
 	if len(infos) == 0 {
-		return nil, nil, nil, fmt.Errorf("queryd: no datasets found in %s", o.data)
+		return query.Cluster{}, fmt.Errorf("queryd: no datasets found in %s", dir)
 	}
 	if !o.quiet {
 		for _, info := range infos {
-			fmt.Fprintf(out, "dataset %-14s %3d partition(s) %9d rows  span [%d, %d]\n",
-				info.Name, info.Days, info.Rows, info.MinTime, info.MaxTime)
+			fmt.Fprintf(out, "%-12s dataset %-14s %3d partition(s) %9d rows  span [%d, %d]\n",
+				name, info.Name, info.Days, info.Rows, info.MinTime, info.MaxTime)
 		}
 	}
-	handler := query.NewHandler(eng, query.ServerConfig{
-		Source:        src,
+	return query.Cluster{Name: name, Engine: eng, Source: src}, nil
+}
+
+// newServer opens the engine(s) and binds the listener; the caller serves
+// and shuts down. -data may be a single archive or a fleet root
+// (fleet.json, or one subdirectory per cluster).
+func newServer(o options, out io.Writer) (*http.Server, net.Listener, *query.Engine, error) {
+	var clusters []query.Cluster
+	manifest, ferr := source.DiscoverFleet(o.data)
+	switch {
+	case ferr == nil:
+		for _, e := range manifest.Clusters {
+			c, err := openCluster(o, e.Name, e.Path(o.data), out)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("queryd: cluster %s: %w", e.Name, err)
+			}
+			clusters = append(clusters, c)
+		}
+	case errors.Is(ferr, source.ErrNotFleet):
+		c, err := openCluster(o, "", o.data, out)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		clusters = append(clusters, c)
+	default:
+		return nil, nil, nil, ferr
+	}
+	handler, err := query.NewFleetHandler(clusters, query.ServerConfig{
 		Timeout:       o.timeout,
 		MaxConcurrent: o.maxConcurrent,
 		MaxPoints:     o.maxPoints,
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return nil, nil, nil, err
@@ -137,7 +203,7 @@ func newServer(o options, out io.Writer) (*http.Server, net.Listener, *query.Eng
 		WriteTimeout: o.timeout + 30*time.Second,
 		IdleTimeout:  2 * time.Minute,
 	}
-	return srv, ln, eng, nil
+	return srv, ln, clusters[0].Engine, nil
 }
 
 func main() {

@@ -4,10 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/source"
 	"repro/internal/store"
 )
 
@@ -266,6 +271,232 @@ func TestQuerydEndToEnd(t *testing.T) {
 	if code := getInto(t, base+"/api/v1/range?dataset=nope&column=x", nil); code != 404 {
 		t.Errorf("unknown dataset = %d", code)
 	}
+}
+
+// writeFleetRoot simulates two small clusters into subdirectories of root and
+// writes the fleet manifest, exactly as summitsim -clusters does.
+func writeFleetRoot(t *testing.T, root string) source.FleetManifest {
+	t.Helper()
+	var manifest source.FleetManifest
+	clusters := []struct {
+		name, site string
+		nodes      int
+	}{
+		{"summit-0", "summit", 18},
+		{"frontier-0", "frontier", 12},
+	}
+	for i, c := range clusters {
+		cfg := sim.Config{
+			Seed:             sim.DeriveSeed(7, i),
+			Nodes:            c.nodes,
+			Cluster:          c.name,
+			Site:             c.site,
+			StartTime:        1_577_836_800,
+			DurationSec:      86400 + 7200, // one full day + 2 h -> two partitions
+			StepSec:          300,
+			SamplesPerWindow: 1,
+			Jobs:             8,
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(root, c.name)
+		col := core.NewCollector(s, cfg)
+		nw, err := core.NewNodeDatasetWriter(dir, cfg.Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(col, nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		col.SetFailures(res.Failures)
+		if err := core.WriteDatasets(dir, col.Data()); err != nil {
+			t.Fatal(err)
+		}
+		manifest.Clusters = append(manifest.Clusters, source.FleetEntry{
+			Name: c.name, Site: c.site, Nodes: c.nodes, Dir: c.name,
+		})
+	}
+	if err := source.WriteFleetManifest(root, manifest); err != nil {
+		t.Fatal(err)
+	}
+	return manifest
+}
+
+// TestQuerydFleet serves a two-cluster fleet root through the federated
+// query plane: per-cluster routing via ?cluster=, the fleet inventory and
+// merge endpoints, and federation fan-out stats in /debug/vars.
+func TestQuerydFleet(t *testing.T) {
+	root := t.TempDir()
+	writeFleetRoot(t, root)
+	base := startQueryd(t,
+		"-data", root, "-addr", "127.0.0.1:0",
+		"-shards", "2", "-replicas", "2", "-q")
+
+	// Inventory: both members, analysis enabled, federation configured.
+	var inv struct {
+		Clusters []struct {
+			Name       string `json:"name"`
+			Site       string `json:"site"`
+			Nodes      int    `json:"nodes"`
+			Windows    int    `json:"windows"`
+			Analysis   bool   `json:"analysis"`
+			Federation *struct {
+				Shards   int   `json:"shards"`
+				Replicas int   `json:"replicas"`
+				Fanouts  int64 `json:"fanouts"`
+			} `json:"federation"`
+		} `json:"clusters"`
+	}
+	if code := getInto(t, base+"/api/v1/clusters", &inv); code != 200 {
+		t.Fatalf("clusters = %d", code)
+	}
+	if len(inv.Clusters) != 2 || inv.Clusters[0].Name != "summit-0" || inv.Clusters[1].Name != "frontier-0" {
+		t.Fatalf("inventory = %+v", inv.Clusters)
+	}
+	for _, c := range inv.Clusters {
+		if !c.Analysis || c.Federation == nil {
+			t.Fatalf("cluster %s: analysis=%v federation=%v", c.Name, c.Analysis, c.Federation)
+		}
+		if c.Federation.Shards != 2 || c.Federation.Replicas != 2 {
+			t.Errorf("cluster %s federation = %+v", c.Name, c.Federation)
+		}
+	}
+	if inv.Clusters[0].Site != "summit" || inv.Clusters[1].Site != "frontier" {
+		t.Errorf("sites = %s, %s", inv.Clusters[0].Site, inv.Clusters[1].Site)
+	}
+
+	// Per-cluster routing: a multi-cluster server demands ?cluster=.
+	if code := getInto(t, base+"/api/v1/datasets", nil); code != 400 {
+		t.Errorf("datasets without cluster = %d, want 400", code)
+	}
+	if code := getInto(t, base+"/api/v1/datasets?cluster=nope", nil); code != 404 {
+		t.Errorf("unknown cluster = %d, want 404", code)
+	}
+	var ds struct {
+		Datasets []struct {
+			Name string `json:"name"`
+		} `json:"datasets"`
+	}
+	if code := getInto(t, base+"/api/v1/datasets?cluster=frontier-0", &ds); code != 200 {
+		t.Fatalf("datasets?cluster= = %d", code)
+	}
+	if len(ds.Datasets) == 0 {
+		t.Fatal("no datasets for frontier-0")
+	}
+	var sum struct {
+		Cluster struct {
+			MeanW float64 `json:"mean_w"`
+		} `json:"cluster_power"`
+	}
+	if code := getInto(t, base+"/api/v1/analysis/summary?cluster=summit-0", &sum); code != 200 {
+		t.Fatalf("analysis summary = %d", code)
+	}
+
+	// Fleet summary: per-member rows plus merged totals.
+	var fs struct {
+		Clusters []struct {
+			Cluster   string  `json:"cluster"`
+			Nodes     int     `json:"nodes"`
+			EnergyMWh float64 `json:"energy_mwh"`
+		} `json:"clusters"`
+		Fleet struct {
+			Clusters  int     `json:"clusters"`
+			Nodes     int     `json:"nodes"`
+			MaxPowerW float64 `json:"max_power_w"`
+			EnergyMWh float64 `json:"energy_mwh"`
+		} `json:"fleet"`
+	}
+	if code := getInto(t, base+"/api/v1/fleet/summary", &fs); code != 200 {
+		t.Fatalf("fleet summary = %d", code)
+	}
+	if fs.Fleet.Clusters != 2 || fs.Fleet.Nodes != 18+12 {
+		t.Fatalf("fleet totals = %+v", fs.Fleet)
+	}
+	sumEnergy := 0.0
+	for _, c := range fs.Clusters {
+		sumEnergy += c.EnergyMWh
+	}
+	if math.Abs(fs.Fleet.EnergyMWh-sumEnergy) > 1e-9*sumEnergy {
+		t.Errorf("fleet energy %v != Σ cluster energies %v", fs.Fleet.EnergyMWh, sumEnergy)
+	}
+
+	// Fleet series merge: the merged fleet curve sums member curves.
+	var fss struct {
+		Clusters []string `json:"clusters"`
+		Points   []struct {
+			T int64    `json:"t"`
+			V *float64 `json:"v"`
+		} `json:"points"`
+	}
+	u := base + "/api/v1/fleet/series?name=" + source.SeriesClusterPower
+	if code := getInto(t, u, &fss); code != 200 {
+		t.Fatalf("fleet series = %d", code)
+	}
+	if len(fss.Clusters) != 2 || len(fss.Points) == 0 {
+		t.Fatalf("fleet series = %d clusters, %d points", len(fss.Clusters), len(fss.Points))
+	}
+	// A single-member "merge" answers the member's own curve.
+	var solo fss2
+	if code := getInto(t, u+"&clusters=summit-0", &solo); code != 200 {
+		t.Fatalf("subset fleet series = %d", code)
+	}
+	if len(solo.Clusters) != 1 || solo.Clusters[0] != "summit-0" {
+		t.Fatalf("subset clusters = %v", solo.Clusters)
+	}
+	if code := getInto(t, u+"&clusters=nope", nil); code != 404 {
+		t.Errorf("unknown subset = %d, want 404", code)
+	}
+
+	// Federation stats made it to /debug/vars, and the merges above drove
+	// fan-outs through every member's shards.
+	var vars struct {
+		Clusters map[string]struct {
+			Cache      map[string]int64 `json:"cache"`
+			Federation *struct {
+				Fanouts  int64 `json:"fanouts"`
+				PerShard []struct {
+					Shard    string `json:"name"`
+					OwnedDay int    `json:"owned_days"`
+					Requests int64  `json:"requests"`
+				} `json:"per_shard"`
+			} `json:"federation"`
+		} `json:"clusters"`
+	}
+	if code := getInto(t, base+"/debug/vars", &vars); code != 200 {
+		t.Fatalf("vars = %d", code)
+	}
+	for _, name := range []string{"summit-0", "frontier-0"} {
+		c, ok := vars.Clusters[name]
+		if !ok || c.Federation == nil {
+			t.Fatalf("vars missing federation block for %s: %+v", name, vars.Clusters)
+		}
+		if c.Federation.Fanouts == 0 {
+			t.Errorf("%s: no fan-outs recorded", name)
+		}
+		if len(c.Federation.PerShard) != 2 {
+			t.Errorf("%s: per-shard stats = %+v", name, c.Federation.PerShard)
+		}
+		var reqs int64
+		for _, s := range c.Federation.PerShard {
+			reqs += s.Requests
+		}
+		if reqs == 0 {
+			t.Errorf("%s: shards served no requests", name)
+		}
+	}
+}
+
+type fss2 struct {
+	Clusters []string `json:"clusters"`
 }
 
 func TestParseFlags(t *testing.T) {

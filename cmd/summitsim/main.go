@@ -3,9 +3,15 @@
 // daily-partitioned columnar format (the reproduction's equivalent of the
 // paper's 8.5 TB/year archive, at configurable scale).
 //
+// With -clusters N (N >= 2) it simulates a heterogeneous fleet instead: N
+// independently-seeded clusters cycling through the -sites presets, archived
+// as one fleet root (out/<cluster>/ per member plus a fleet.json manifest)
+// that queryd and analyze consume directly.
+//
 // Usage:
 //
 //	summitsim -out /path/to/archive [-nodes N] [-days D] [-seed S]
+//	summitsim -out /path/to/fleet -clusters 2 [-sites summit,frontier]
 package main
 
 import (
@@ -17,11 +23,13 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 	"runtime/trace"
+	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/source"
 	"repro/internal/store"
 	"repro/internal/units"
 )
@@ -29,9 +37,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("summitsim: ")
-	nodes := flag.Int("nodes", 256, "system size in nodes")
+	nodes := flag.Int("nodes", 256, "system size in nodes (per cluster)")
 	days := flag.Float64("days", 1, "simulated span in days")
-	seed := flag.Uint64("seed", 2020, "simulation seed")
+	seed := flag.Uint64("seed", 2020, "simulation seed (fleet members derive per-cluster seeds)")
+	clusters := flag.Int("clusters", 1, "number of clusters; >= 2 archives a fleet root with a manifest")
+	sites := flag.String("sites", "summit", "comma-separated site presets cycled across fleet members")
 	out := flag.String("out", "", "archive directory (required)")
 	setpoint := flag.Float64("setpoint", 0, "MTW supply setpoint override in °C (0 = model default)")
 	placement := flag.String("placement", "", "scheduler placement policy: contiguous|packed|scatter")
@@ -49,6 +59,9 @@ func main() {
 	}
 	if err := validateSize(*nodes, *days); err != nil {
 		log.Fatal(err)
+	}
+	if *clusters < 1 {
+		log.Fatalf("-clusters must be >= 1, got %d", *clusters)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -102,6 +115,12 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	if *clusters >= 2 {
+		if err := runFleet(cfg, *clusters, *sites, *out, *nodeData, *jobSeries, *quiet); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	start := time.Now()
 	var data *repro.RunData
 	var res *repro.Result
@@ -138,48 +157,116 @@ func main() {
 			res.Steps, cfg.Nodes, len(res.Allocations), len(res.Failures),
 			res.Utilization*100, time.Since(start).Seconds())
 	}
-	if err := core.WriteDatasets(*out, data); err != nil {
+	if err := archiveRun(*out, "", data, *nodeData, *jobSeries, *quiet); err != nil {
 		log.Fatal(err)
 	}
-	if *jobSeries {
-		if err := core.WriteJobSeriesDataset(*out, data); err != nil {
-			log.Fatal(err)
+}
+
+// runFleet simulates n independently-seeded clusters sharing the base
+// config's knobs (size, span, setpoint, placement, cap) and archives them
+// as a fleet root: out/<cluster>/ per member plus fleet.json.
+func runFleet(base repro.Config, n int, sites, out string, nodeData, jobSeries, quiet bool) error {
+	siteList := strings.Split(sites, ",")
+	var manifest source.FleetManifest
+	cfgs := make([]repro.Config, n)
+	names := make([]string, n)
+	for i := range cfgs {
+		site := strings.TrimSpace(siteList[i%len(siteList)])
+		if site == "" {
+			return fmt.Errorf("empty site name in -sites %q", sites)
+		}
+		name := fmt.Sprintf("%s-%d", site, i)
+		cfg := base
+		cfg.Seed = sim.DeriveSeed(base.Seed, i)
+		cfg.Cluster = name
+		cfg.Site = site
+		cfgs[i] = cfg
+		names[i] = name
+		manifest.Clusters = append(manifest.Clusters, source.FleetEntry{
+			Name: name, Site: site, Nodes: cfg.Nodes, Dir: name,
+		})
+	}
+	var dirFor func(i int) string
+	if nodeData {
+		dirFor = func(i int) string { return filepath.Join(out, names[i]) }
+	}
+	start := time.Now()
+	runs, err := core.CollectFleet(cfgs, 0, dirFor)
+	if err != nil {
+		return err
+	}
+	for i, run := range runs {
+		if !quiet {
+			fmt.Printf("%-12s simulated %d windows on %d nodes: %d jobs, %d failures, utilization %.1f%%\n",
+				names[i], run.Result.Steps, cfgs[i].Nodes, len(run.Result.Allocations),
+				len(run.Result.Failures), run.Result.Utilization*100)
+		}
+		if err := archiveRun(filepath.Join(out, names[i]), names[i], run.Data, nodeData, jobSeries, quiet); err != nil {
+			return err
+		}
+	}
+	if err := source.WriteFleetManifest(out, manifest); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Printf("fleet of %d cluster(s) archived in %s (%.1fs)\n", n, out, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// archiveRun writes one run's datasets, scheduler CSV logs and per-dataset
+// footprint report into dir. prefix labels report lines in fleet mode.
+func archiveRun(dir, prefix string, data *repro.RunData, nodeData, jobSeries, quiet bool) error {
+	if err := core.WriteDatasets(dir, data); err != nil {
+		return err
+	}
+	if jobSeries {
+		if err := core.WriteJobSeriesDataset(dir, data); err != nil {
+			return err
 		}
 	}
 	// Job scheduler logs (Datasets C and D) as CSV for external tooling.
-	if err := writeCSV(filepath.Join(*out, "allocations.csv"), func(w io.Writer) error {
+	if err := writeCSV(filepath.Join(dir, "allocations.csv"), func(w io.Writer) error {
 		return core.WriteAllocationCSV(w, data)
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := writeCSV(filepath.Join(*out, "allocations-per-node.csv"), func(w io.Writer) error {
+	if err := writeCSV(filepath.Join(dir, "allocations-per-node.csv"), func(w io.Writer) error {
 		return core.WritePerNodeCSV(w, data)
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Report archive footprint per dataset (the paper tracks this
 	// closely: compression made the full-scale archive practical).
 	names := []string{core.DatasetClusterPower, core.DatasetJobRecords, core.DatasetFailures}
-	if *nodeData {
+	if nodeData {
 		names = append(names, core.DatasetNodePower)
 	}
-	if *jobSeries {
+	if jobSeries {
 		names = append(names, core.DatasetJobSeries)
 	}
 	for _, name := range names {
-		ds, err := store.NewDataset(*out, name)
+		ds, err := store.NewDataset(dir, name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		size, err := ds.SizeOnDisk()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		days, _ := ds.Days()
-		if !*quiet {
-			fmt.Printf("dataset %-14s %3d partition(s) %8.1f KiB\n", name, len(days), float64(size)/1024)
+		if quiet {
+			continue
+		}
+		if prefix != "" {
+			fmt.Printf("%-12s dataset %-14s %3d partition(s) %8.1f KiB\n",
+				prefix, name, len(days), float64(size)/1024)
+		} else {
+			fmt.Printf("dataset %-14s %3d partition(s) %8.1f KiB\n",
+				name, len(days), float64(size)/1024)
 		}
 	}
+	return nil
 }
 
 // validateSize rejects nonsense run dimensions up front: ScaledConfig

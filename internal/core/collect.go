@@ -45,6 +45,12 @@ type RunData struct {
 	StartTime int64
 	StepSec   int64
 	Nodes     int
+	// Cluster and Site carry the run's cluster identity ("" = the
+	// anonymous single-cluster run): they flow into the run-meta manifest,
+	// the source layer's Meta, and every analysis output that names its
+	// origin.
+	Cluster string
+	Site    string
 
 	Allocations []scheduler.Allocation
 	Failures    []failures.Event
@@ -90,9 +96,12 @@ type RunData struct {
 // Collector accumulates RunData from a simulation. Use NewCollector, pass
 // it to Sim.Run as an observer, then call Data.
 type Collector struct {
-	data    *RunData
-	nMSB    int
-	floorOf func(node int) int // node -> MSB index
+	data *RunData
+	// msbOf maps dense NodeID to MSB index, precomputed from the sim's
+	// floor so the per-window node pass does no modular arithmetic and —
+	// more importantly — follows the run's actual site geometry rather
+	// than assuming Summit cabinets.
+	msbOf []int32
 	// Per-window scratch reused across Observe calls: Observe sits on the
 	// simulation hot path, and a fresh map plus accumulator allocations
 	// every window were a measurable share of run cost.
@@ -123,6 +132,8 @@ func NewCollector(s *sim.Sim, cfg sim.Config) *Collector {
 		StartTime:        cfg.StartTime,
 		StepSec:          cfg.StepSec,
 		Nodes:            cfg.Nodes,
+		Cluster:          cfg.Cluster,
+		Site:             cfg.Site,
 		Allocations:      allocs,
 		ClusterPower:     mk(),
 		ClusterTruePower: mk(),
@@ -174,7 +185,11 @@ func NewCollector(s *sim.Sim, cfg sim.Config) *Collector {
 			GPUTempMax:    mkJob(),
 		}
 	}
-	return &Collector{data: data}
+	msbOf := make([]int32, cfg.Nodes)
+	for i := range msbOf {
+		msbOf[i] = int32(s.Floor().MSBOf(topology.NodeID(i)))
+	}
+	return &Collector{data: data, msbOf: msbOf}
 }
 
 // Observe implements sim.Observer.
@@ -276,7 +291,7 @@ func (c *Collector) Observe(snap *sim.Snapshot) {
 			continue // telemetry lost for this node-window
 		}
 		nodePower := snap.NodeStat[i].Mean
-		msbSum[topology.MSBForNode(d.Nodes, len(msbSum), i)] += nodePower
+		msbSum[c.msbOf[i]] += nodePower
 		aIdx := snap.AllocIdx[i]
 		if aIdx < 0 {
 			continue

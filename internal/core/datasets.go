@@ -48,6 +48,8 @@ func writeManifest(dir string, d *RunData) error {
 		StepSec:   d.StepSec,
 		Nodes:     d.Nodes,
 		Windows:   d.ClusterPower.Len(),
+		Cluster:   d.Cluster,
+		Site:      d.Site,
 	}))
 }
 

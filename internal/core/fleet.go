@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// FleetRun is one cluster's outcome in a multi-cluster simulation.
+type FleetRun struct {
+	Data   *RunData
+	Result *sim.Result
+}
+
+// CollectFleet simulates every cluster config concurrently on one worker
+// pool and collects each run. Each cluster is an independent simulation —
+// own seed, own preset, own floor — so runs are embarrassingly parallel
+// and each cluster's output is bit-identical to simulating it alone.
+// nodeDataDir, when non-nil, names the directory that receives cluster i's
+// per-node dataset ("" skips it for that cluster). workers <= 0 uses one
+// worker per cluster up to GOMAXPROCS.
+func CollectFleet(cfgs []sim.Config, workers int, nodeDataDir func(i int) string) ([]FleetRun, error) {
+	if len(cfgs) == 0 {
+		return nil, errors.New("core: fleet has no clusters")
+	}
+	seen := map[string]bool{}
+	for i := range cfgs {
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("core: cluster %d (%s): %w", i, cfgs[i].Cluster, err)
+		}
+		if name := cfgs[i].Cluster; name != "" {
+			if seen[name] {
+				return nil, fmt.Errorf("core: duplicate cluster name %q", name)
+			}
+			seen[name] = true
+		}
+	}
+	if workers <= 0 || workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if max := parallel.DefaultWorkers(); workers > max {
+		workers = max
+	}
+	runs := make([]FleetRun, len(cfgs))
+	errs := make([]error, len(cfgs))
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	pool.ForEach(len(cfgs), func(i int) {
+		runs[i], errs[i] = collectOne(cfgs[i], nodeDataDir, i)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// collectOne is CollectRun plus the optional per-node dataset attachment.
+func collectOne(cfg sim.Config, nodeDataDir func(i int) string, i int) (FleetRun, error) {
+	wrap := func(err error) error {
+		return fmt.Errorf("core: cluster %d (%s): %w", i, cfg.Cluster, err)
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return FleetRun{}, wrap(err)
+	}
+	col := NewCollector(s, cfg)
+	observers := []sim.Observer{col}
+	var nw *NodeDatasetWriter
+	if nodeDataDir != nil {
+		if dir := nodeDataDir(i); dir != "" {
+			if nw, err = NewNodeDatasetWriter(dir, cfg.Nodes); err != nil {
+				return FleetRun{}, wrap(err)
+			}
+			observers = append(observers, nw)
+		}
+	}
+	res, err := s.Run(observers...)
+	if err != nil {
+		return FleetRun{}, wrap(err)
+	}
+	if nw != nil {
+		if err := nw.Close(); err != nil {
+			return FleetRun{}, wrap(err)
+		}
+	}
+	col.SetFailures(res.Failures)
+	return FleetRun{Data: col.Data(), Result: res}, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/topology"
+)
+
+// fleetTestConfig is a small cluster config for fleet tests.
+func fleetTestConfig(name, site string, seed uint64) sim.Config {
+	return sim.Config{
+		Seed:             seed,
+		Nodes:            16,
+		Cluster:          name,
+		Site:             site,
+		StartTime:        1_577_836_800,
+		DurationSec:      3 * 3600,
+		StepSec:          30,
+		SamplesPerWindow: 1,
+		Jobs:             8,
+	}
+}
+
+// TestCollectFleetMatchesSoloRuns is the fleet determinism guarantee: a
+// cluster simulated as part of a concurrent fleet produces bit-identical
+// data to the same cluster simulated alone, regardless of fleet worker
+// count.
+func TestCollectFleetMatchesSoloRuns(t *testing.T) {
+	cfgs := []sim.Config{
+		fleetTestConfig("summit-0", "", sim.DeriveSeed(42, 0)),
+		fleetTestConfig("frontier-1", topology.SiteFrontier, sim.DeriveSeed(42, 1)),
+	}
+	for _, workers := range []int{1, 2} {
+		runs, err := CollectFleet(append([]sim.Config(nil), cfgs...), workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != 2 {
+			t.Fatalf("got %d runs", len(runs))
+		}
+		for i, cfg := range cfgs {
+			solo, _, err := CollectRun(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runs[i].Data
+			if got.Cluster != cfg.Cluster || got.Site != cfg.Site {
+				t.Fatalf("run %d lost identity: %q/%q", i, got.Cluster, got.Site)
+			}
+			a, b := solo.ClusterPower, got.ClusterPower
+			if a.Len() != b.Len() {
+				t.Fatalf("run %d window counts differ: %d vs %d", i, a.Len(), b.Len())
+			}
+			for w := range a.Vals {
+				if math.Float64bits(a.Vals[w]) != math.Float64bits(b.Vals[w]) {
+					t.Fatalf("run %d window %d: solo %v, fleet %v", i, w, a.Vals[w], b.Vals[w])
+				}
+			}
+			if fmt.Sprintf("%+v", solo.Failures) != fmt.Sprintf("%+v", got.Failures) {
+				t.Fatalf("run %d failure logs differ", i)
+			}
+		}
+	}
+}
+
+// TestCollectFleetValidation covers the error paths: empty fleets,
+// duplicate cluster names, bad member configs.
+func TestCollectFleetValidation(t *testing.T) {
+	if _, err := CollectFleet(nil, 0, nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	dup := []sim.Config{
+		fleetTestConfig("c0", "", 1),
+		fleetTestConfig("c0", "", 2),
+	}
+	if _, err := CollectFleet(dup, 0, nil); err == nil {
+		t.Fatal("duplicate cluster names accepted")
+	}
+	bad := []sim.Config{fleetTestConfig("c0", "atlantis", 1)}
+	if _, err := CollectFleet(bad, 0, nil); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+// TestFleetIdentityThroughArchive closes the loop: a fleet member archived
+// and re-opened reports its cluster identity through source.Meta.
+func TestFleetIdentityThroughArchive(t *testing.T) {
+	dir := t.TempDir()
+	runs, err := CollectFleet([]sim.Config{
+		fleetTestConfig("frontier-1", topology.SiteFrontier, 7),
+	}, 0, func(int) string { return dir })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDatasets(dir, runs[0].Data); err != nil {
+		t.Fatal(err)
+	}
+	arc, err := source.OpenArchive(source.ArchiveConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := arc.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Cluster != "frontier-1" || meta.Site != topology.SiteFrontier {
+		t.Fatalf("identity lost through archive: %+v", meta)
+	}
+	if _, err := arc.NodeWindows(0); err != nil {
+		t.Fatalf("fleet node dataset unreadable: %v", err)
+	}
+	floor, err := arc.Floor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor.Cabinets() == 0 {
+		t.Fatal("archive floor not built from the frontier preset")
+	}
+}
+
+// TestDeriveSeedSpreads pins the per-cluster seed derivation: distinct,
+// stable, and not the base seed.
+func TestDeriveSeedSpreads(t *testing.T) {
+	seen := map[uint64]bool{42: true}
+	for i := 0; i < 64; i++ {
+		s := sim.DeriveSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at cluster %d", i)
+		}
+		seen[s] = true
+		if s != sim.DeriveSeed(42, i) {
+			t.Fatalf("seed derivation unstable at cluster %d", i)
+		}
+	}
+}

@@ -51,7 +51,11 @@ func WriteAllocationCSV(w io.Writer, d *RunData) error {
 // WritePerNodeCSV emits the Dataset D equivalent: one row per (job, node),
 // with Summit-style hostnames resolved through the floor layout.
 func WritePerNodeCSV(w io.Writer, d *RunData) error {
-	floor, err := topology.New(topology.ScaledConfig(d.Nodes))
+	tcfg, err := topology.PresetScaled(d.Site, d.Nodes)
+	if err != nil {
+		return err
+	}
+	floor, err := topology.New(tcfg)
 	if err != nil {
 		return err
 	}

@@ -55,6 +55,8 @@ func (d *RunData) Source() *source.MemorySource {
 			StepSec:   d.StepSec,
 			Nodes:     d.Nodes,
 			Windows:   windows,
+			Cluster:   d.Cluster,
+			Site:      d.Site,
 		},
 		SeriesByName: byName,
 		Meters:       d.MeterPower,

@@ -1,0 +1,49 @@
+package facility
+
+import "fmt"
+
+// Profile names a site cooling architecture. It mirrors topology.Cooling
+// (the two packages stay decoupled: topology describes the floor, facility
+// the plant) and selects the plant parameter set a cluster's CEP starts
+// from before any what-if Tuning is applied on top.
+type Profile string
+
+// Profiles.
+const (
+	// ProfileHybridAirWater is Summit's plant, the package default: every
+	// parameter keeps the NewCEP calibration, so applying it is a no-op.
+	ProfileHybridAirWater Profile = "hybrid-air-water"
+	// ProfileDirectLiquid is a Frontier-class warm-water direct-liquid
+	// plant: a warmer supply set point keeps the loop on the economizer in
+	// almost all weather, fans and pumps run more efficiently per ton, and
+	// the larger loop carries more thermal mass per switchboard.
+	ProfileDirectLiquid Profile = "direct-liquid"
+)
+
+// ApplyProfile re-bases the plant's parameters on the named cooling
+// architecture and re-settles the loop at the profile's set point. Call it
+// before Tune: Tuning overrides then land on top of the profile, exactly as
+// they land on top of the Summit defaults today. The empty profile and
+// ProfileHybridAirWater keep every NewCEP default untouched.
+func (c *CEP) ApplyProfile(p Profile) error {
+	switch p {
+	case "", ProfileHybridAirWater:
+		return nil
+	case ProfileDirectLiquid:
+		c.SupplySetpointC = 30 // warm-water loop (W3-class, ~86 °F supply)
+		c.LoopFlowGPM = 6000
+		c.LoopMassKg = 70000
+		c.TowerApproachC = 3.0
+		c.HXApproachC = 0.8
+		c.TauDownSec = 240
+		c.TowerKWPerTon = 0.10
+		c.ChillerKWPerTon = 0.65
+		c.FixedOverheadW = 280e3
+		c.TowerUnitTons = 900
+		c.ChillerUnitTons = 1100
+		c.supplyC = c.SupplySetpointC
+		c.returnC = c.SupplySetpointC
+		return nil
+	}
+	return fmt.Errorf("facility: unknown cooling profile %q", p)
+}

@@ -26,6 +26,9 @@ var Determinism = &Analyzer{
 // stream is on the list because the batch/stream parity contract holds the
 // live operators bit-identical to the offline analyses: a wall-clock read
 // or map-order accumulation in an operator would break it silently.
+// source is on the list because the federation layer promises N-shard
+// scatter-gather reads bit-identical to a direct read; its one legitimate
+// timer (the hedged-request trigger) carries an explicit allow directive.
 var simPackages = map[string]bool{
 	"nodesim":   true,
 	"workload":  true,
@@ -37,6 +40,7 @@ var simPackages = map[string]bool{
 	"stats":     true,
 	"stream":    true,
 	"whatif":    true,
+	"source":    true,
 }
 
 // wallClockFuncs are the time package entry points that read or depend on

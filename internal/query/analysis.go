@@ -23,11 +23,15 @@ var errSourceUnavailable = &apiError{
 	"analysis endpoints unavailable: archive has no cluster dataset",
 }
 
-func (h *handler) analysisSource() (source.RunSource, error) {
-	if h.cfg.Source == nil {
-		return nil, errSourceUnavailable
+func (h *handler) analysisSource(r *http.Request) (source.RunSource, *Engine, error) {
+	cl, err := h.cluster(r)
+	if err != nil {
+		return nil, nil, err
 	}
-	return h.cfg.Source, nil
+	if cl.Source == nil {
+		return nil, nil, errSourceUnavailable
+	}
+	return cl.Source, cl.Engine, nil
 }
 
 // analysisErr maps source-layer sentinels onto HTTP statuses.
@@ -48,11 +52,11 @@ type apiSeriesSummary struct {
 }
 
 func (h *handler) analysisSummary(ctx context.Context, r *http.Request) (any, error) {
-	src, err := h.analysisSource()
+	src, eng, err := h.analysisSource(r)
 	if err != nil {
 		return nil, err
 	}
-	h.eng.Metrics().AnalysisQueries.Add(1)
+	eng.Metrics().AnalysisQueries.Add(1)
 	rows, err := core.SummaryFromSource(src)
 	if err != nil {
 		return nil, analysisErr(err)
@@ -75,11 +79,11 @@ type apiEdge struct {
 }
 
 func (h *handler) analysisEdges(ctx context.Context, r *http.Request) (any, error) {
-	src, err := h.analysisSource()
+	src, eng, err := h.analysisSource(r)
 	if err != nil {
 		return nil, err
 	}
-	h.eng.Metrics().AnalysisQueries.Add(1)
+	eng.Metrics().AnalysisQueries.Add(1)
 	es, err := core.EdgesFromSource(src)
 	if err != nil {
 		return nil, analysisErr(err)
@@ -106,11 +110,11 @@ type apiSwingComponent struct {
 }
 
 func (h *handler) analysisSwings(ctx context.Context, r *http.Request) (any, error) {
-	src, err := h.analysisSource()
+	src, eng, err := h.analysisSource(r)
 	if err != nil {
 		return nil, err
 	}
-	h.eng.Metrics().AnalysisQueries.Add(1)
+	eng.Metrics().AnalysisQueries.Add(1)
 	rep, err := core.SwingsFromSource(src)
 	if err != nil {
 		return nil, analysisErr(err)
@@ -146,11 +150,11 @@ type apiBand struct {
 }
 
 func (h *handler) analysisBands(ctx context.Context, r *http.Request) (any, error) {
-	src, err := h.analysisSource()
+	src, eng, err := h.analysisSource(r)
 	if err != nil {
 		return nil, err
 	}
-	h.eng.Metrics().AnalysisQueries.Add(1)
+	eng.Metrics().AnalysisQueries.Add(1)
 	rows, err := core.ThermalBandsFromSource(src)
 	if err != nil {
 		return nil, analysisErr(err)
@@ -177,7 +181,7 @@ type apiPrecursor struct {
 }
 
 func (h *handler) analysisEarlyWarning(ctx context.Context, r *http.Request) (any, error) {
-	src, err := h.analysisSource()
+	src, eng, err := h.analysisSource(r)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +192,7 @@ func (h *handler) analysisEarlyWarning(ctx context.Context, r *http.Request) (an
 	if windowSec <= 0 {
 		return nil, &apiError{http.StatusBadRequest, "window must be positive"}
 	}
-	h.eng.Metrics().AnalysisQueries.Add(1)
+	eng.Metrics().AnalysisQueries.Add(1)
 	stats, err := core.EarlyWarningFromSource(src, windowSec)
 	if err != nil {
 		return nil, analysisErr(err)
@@ -206,11 +210,11 @@ func (h *handler) analysisEarlyWarning(ctx context.Context, r *http.Request) (an
 }
 
 func (h *handler) analysisOvercooling(ctx context.Context, r *http.Request) (any, error) {
-	src, err := h.analysisSource()
+	src, eng, err := h.analysisSource(r)
 	if err != nil {
 		return nil, err
 	}
-	h.eng.Metrics().AnalysisQueries.Add(1)
+	eng.Metrics().AnalysisQueries.Add(1)
 	rep, err := core.OvercoolingFromSource(src)
 	if err != nil {
 		return nil, analysisErr(err)
@@ -236,11 +240,11 @@ type apiMSBValidation struct {
 }
 
 func (h *handler) analysisValidation(ctx context.Context, r *http.Request) (any, error) {
-	src, err := h.analysisSource()
+	src, eng, err := h.analysisSource(r)
 	if err != nil {
 		return nil, err
 	}
-	h.eng.Metrics().AnalysisQueries.Add(1)
+	eng.Metrics().AnalysisQueries.Add(1)
 	rep, err := core.ValidationFromSource(src)
 	if err != nil {
 		return nil, analysisErr(err)
@@ -276,11 +280,11 @@ type apiCorrelation struct {
 }
 
 func (h *handler) analysisFailures(ctx context.Context, r *http.Request) (any, error) {
-	src, err := h.analysisSource()
+	src, eng, err := h.analysisSource(r)
 	if err != nil {
 		return nil, err
 	}
-	h.eng.Metrics().AnalysisQueries.Add(1)
+	eng.Metrics().AnalysisQueries.Add(1)
 	rows, err := core.FailureCompositionFromSource(src)
 	if err != nil {
 		return nil, analysisErr(err)
@@ -316,11 +320,11 @@ type apiJobRecord struct {
 }
 
 func (h *handler) analysisJobs(ctx context.Context, r *http.Request) (any, error) {
-	src, err := h.analysisSource()
+	src, eng, err := h.analysisSource(r)
 	if err != nil {
 		return nil, err
 	}
-	h.eng.Metrics().AnalysisQueries.Add(1)
+	eng.Metrics().AnalysisQueries.Add(1)
 	recs, err := src.JobRecords()
 	if err != nil {
 		return nil, analysisErr(err)

@@ -44,6 +44,9 @@ type Config struct {
 	// Nodes is the floor size the archive was produced with; required for
 	// topology rollups (0 disables them).
 	Nodes int
+	// Site is the floor preset the archive's cluster instantiates
+	// ("" = summit); rollup geometry follows it. See topology.Preset.
+	Site string
 	// Workers bounds the parallel partition scan (<= 0: GOMAXPROCS).
 	Workers int
 	// CacheBytes bounds the decoded-table cache (<= 0: 256 MiB). Ignored
@@ -112,8 +115,11 @@ func Open(cfg Config) (*Engine, error) {
 		datasets: make(map[string]*datasetState, len(names)),
 	}
 	if cfg.Nodes > 0 {
-		e.floor, err = topology.New(topology.ScaledConfig(cfg.Nodes))
+		tcfg, err := topology.PresetScaled(cfg.Site, cfg.Nodes)
 		if err != nil {
+			return nil, fmt.Errorf("query: floor: %w", err)
+		}
+		if e.floor, err = topology.New(tcfg); err != nil {
 			return nil, fmt.Errorf("query: floor: %w", err)
 		}
 	}

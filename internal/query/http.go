@@ -18,7 +18,8 @@ import (
 type ServerConfig struct {
 	// Source, when set, enables the /api/v1/analysis/* routes, serving
 	// the paper's analyses over the archive. Leave nil for archives
-	// without a cluster dataset; the routes then answer 404.
+	// without a cluster dataset; the routes then answer 404. Used by
+	// NewHandler only; NewFleetHandler takes per-cluster sources.
 	Source source.RunSource
 	// Timeout is the per-request deadline (<= 0: 30 s).
 	Timeout time.Duration
@@ -31,6 +32,20 @@ type ServerConfig struct {
 	MaxPoints int
 	// MaxQueryLen bounds the raw query string (<= 0: 8192).
 	MaxQueryLen int
+}
+
+// Cluster is one fleet member served by the handler: its raw-query engine
+// and (optionally) its analysis source, which may be a federated
+// coordinator over archive shards.
+type Cluster struct {
+	// Name selects the cluster via ?cluster=; it must be unique. The empty
+	// name is legal only for a single-cluster handler (the pre-fleet API).
+	Name string
+	// Engine serves the cluster's raw range/rollup/dataset queries.
+	Engine *Engine
+	// Source serves the cluster's analyses; nil disables them for this
+	// cluster (404).
+	Source source.RunSource
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -49,26 +64,68 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
-// handler serves the queryd JSON API over an Engine.
+// handler serves the queryd JSON API over one or more clusters.
 type handler struct {
-	eng *Engine
-	cfg ServerConfig
-	sem chan struct{}
+	clusters []Cluster
+	byName   map[string]*Cluster
+	cfg      ServerConfig
+	sem      chan struct{}
 }
 
-// NewHandler returns the queryd HTTP API:
+// NewHandler returns the single-cluster queryd HTTP API — the pre-fleet
+// shape, serving one anonymous cluster:
 //
 //	GET /api/v1/range       — range/downsample query over one dataset column
 //	GET /api/v1/rollup      — per-cabinet / per-MSB / fleet aggregation
 //	GET /api/v1/datasets    — archive inventory
 //	GET /api/v1/analysis/…  — server-side analyses over the RunSource layer
+//	GET /api/v1/clusters    — cluster inventory
+//	GET /api/v1/fleet/…     — fleet-wide merges (series, summary)
 //	GET /healthz            — liveness
 //	GET /debug/vars         — instrumentation counters
 //
 // Every API route runs under the concurrency limiter, a per-request
 // timeout, and the request-size limits of cfg.
 func NewHandler(eng *Engine, cfg ServerConfig) http.Handler {
-	h := &handler{eng: eng, cfg: cfg.withDefaults()}
+	h, err := newFleetHandler([]Cluster{{Engine: eng, Source: cfg.Source}}, cfg)
+	if err != nil {
+		// Unreachable: one anonymous cluster always validates.
+		panic(err)
+	}
+	return h
+}
+
+// NewFleetHandler returns the multi-cluster queryd HTTP API: the same
+// routes as NewHandler, with ?cluster= selecting the member each
+// cluster-scoped query addresses and /api/v1/fleet/* merging across all
+// members. Cluster names must be unique and (for more than one member)
+// non-empty.
+func NewFleetHandler(clusters []Cluster, cfg ServerConfig) (http.Handler, error) {
+	return newFleetHandler(clusters, cfg)
+}
+
+func newFleetHandler(clusters []Cluster, cfg ServerConfig) (http.Handler, error) {
+	if len(clusters) == 0 {
+		return nil, errors.New("query: handler needs at least one cluster")
+	}
+	h := &handler{
+		clusters: clusters,
+		byName:   make(map[string]*Cluster, len(clusters)),
+		cfg:      cfg.withDefaults(),
+	}
+	for i := range clusters {
+		c := &h.clusters[i]
+		if c.Engine == nil {
+			return nil, fmt.Errorf("query: cluster %q has no engine", c.Name)
+		}
+		if c.Name == "" && len(clusters) > 1 {
+			return nil, errors.New("query: fleet members need names")
+		}
+		if _, dup := h.byName[c.Name]; dup {
+			return nil, fmt.Errorf("query: duplicate cluster name %q", c.Name)
+		}
+		h.byName[c.Name] = c
+	}
 	h.sem = make(chan struct{}, h.cfg.MaxConcurrent)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -79,6 +136,9 @@ func NewHandler(eng *Engine, cfg ServerConfig) http.Handler {
 	mux.HandleFunc("/api/v1/datasets", h.guard(h.datasets))
 	mux.HandleFunc("/api/v1/range", h.guard(h.rangeQuery))
 	mux.HandleFunc("/api/v1/rollup", h.guard(h.rollup))
+	mux.HandleFunc("/api/v1/clusters", h.guard(h.clustersRoute))
+	mux.HandleFunc("/api/v1/fleet/series", h.guard(h.fleetSeries))
+	mux.HandleFunc("/api/v1/fleet/summary", h.guard(h.fleetSummary))
 	mux.HandleFunc("/api/v1/analysis/summary", h.guard(h.analysisSummary))
 	mux.HandleFunc("/api/v1/analysis/edges", h.guard(h.analysisEdges))
 	mux.HandleFunc("/api/v1/analysis/swings", h.guard(h.analysisSwings))
@@ -88,8 +148,32 @@ func NewHandler(eng *Engine, cfg ServerConfig) http.Handler {
 	mux.HandleFunc("/api/v1/analysis/validation", h.guard(h.analysisValidation))
 	mux.HandleFunc("/api/v1/analysis/failures", h.guard(h.analysisFailures))
 	mux.HandleFunc("/api/v1/analysis/jobs", h.guard(h.analysisJobs))
-	return mux
+	return mux, nil
 }
+
+// cluster resolves the member a request addresses: ?cluster= when given, or
+// the sole member for single-cluster handlers. A multi-cluster handler
+// requires the parameter; an unknown name is 404.
+func (h *handler) cluster(r *http.Request) (*Cluster, error) {
+	name := r.URL.Query().Get("cluster")
+	if name == "" {
+		if len(h.clusters) == 1 {
+			return &h.clusters[0], nil
+		}
+		return nil, &apiError{http.StatusBadRequest, fmt.Sprintf(
+			"fleet has %d clusters; pass ?cluster= (see /api/v1/clusters)", len(h.clusters))}
+	}
+	c, ok := h.byName[name]
+	if !ok {
+		return nil, &apiError{http.StatusNotFound, fmt.Sprintf("unknown cluster %q", name)}
+	}
+	return c, nil
+}
+
+// metrics returns the serving-tier metrics (shedding, in-flight); they live
+// on the first cluster's engine so the single-cluster counters keep their
+// historical home.
+func (h *handler) metrics() *Metrics { return h.clusters[0].Engine.Metrics() }
 
 type apiError struct {
 	status int
@@ -115,13 +199,13 @@ func (h *handler) guard(fn func(ctx context.Context, r *http.Request) (any, erro
 		case h.sem <- struct{}{}:
 			defer func() { <-h.sem }()
 		default:
-			h.eng.Metrics().Rejected.Add(1)
+			h.metrics().Rejected.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "query concurrency limit reached")
 			return
 		}
-		h.eng.Metrics().InFlight.Add(1)
-		defer h.eng.Metrics().InFlight.Add(-1)
+		h.metrics().InFlight.Add(1)
+		defer h.metrics().InFlight.Add(-1)
 		ctx, cancel := context.WithTimeout(r.Context(), h.cfg.Timeout)
 		defer cancel()
 		resp, err := fn(ctx, r)
@@ -154,12 +238,34 @@ func errStatus(err error) (int, string) {
 }
 
 func (h *handler) vars(w http.ResponseWriter, r *http.Request) {
-	snap := h.eng.Metrics().Snapshot()
-	entries, bytes := h.eng.CacheStats()
+	// Top-level shape is the historical single-cluster snapshot (first
+	// cluster); the fleet view nests one entry per member under "clusters",
+	// including the federation fan-out counters and per-shard cache
+	// occupancy when the cluster's source is a federated coordinator.
+	primary := h.clusters[0].Engine
+	snap := primary.Metrics().Snapshot()
+	entries, bytes := primary.CacheStats()
 	cache := snap["cache"].(map[string]int64)
 	cache["entries"] = int64(entries)
 	cache["bytes"] = bytes
-	cache["max_bytes"] = h.eng.CacheBytesMax()
+	cache["max_bytes"] = primary.CacheBytesMax()
+	perCluster := make(map[string]any, len(h.clusters))
+	for i := range h.clusters {
+		c := &h.clusters[i]
+		ce, cb := c.Engine.CacheStats()
+		entry := map[string]any{
+			"cache": map[string]int64{
+				"entries":   int64(ce),
+				"bytes":     cb,
+				"max_bytes": c.Engine.CacheBytesMax(),
+			},
+		}
+		if fed, ok := c.Source.(*source.FederatedSource); ok {
+			entry["federation"] = fed.Stats()
+		}
+		perCluster[c.Name] = entry
+	}
+	snap["clusters"] = perCluster
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -175,7 +281,11 @@ type apiDataset struct {
 }
 
 func (h *handler) datasets(ctx context.Context, r *http.Request) (any, error) {
-	infos, err := h.eng.Datasets()
+	cl, err := h.cluster(r)
+	if err != nil {
+		return nil, err
+	}
+	infos, err := cl.Engine.Datasets()
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +384,11 @@ func (h *handler) rangeQuery(ctx context.Context, r *http.Request) (any, error) 
 			return nil, err
 		}
 	}
-	res, err := h.eng.Range(ctx, req)
+	cl, err := h.cluster(r)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cl.Engine.Range(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +483,11 @@ func (h *handler) rollup(ctx context.Context, r *http.Request) (any, error) {
 	if err := h.checkWindowBudget(req.T0, req.T1, req.Step); err != nil {
 		return nil, err
 	}
-	res, err := h.eng.Rollup(ctx, req)
+	cl, err := h.cluster(r)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cl.Engine.Rollup(ctx, req)
 	if err != nil {
 		return nil, err
 	}

@@ -224,7 +224,8 @@ func TestHTTPLoadShedding(t *testing.T) {
 	// Deterministic shed test: occupy the single semaphore slot directly,
 	// then issue a request through the guard.
 	e := testEngine(t)
-	hs := &handler{eng: e, cfg: ServerConfig{MaxConcurrent: 1}.withDefaults()}
+	hs := &handler{clusters: []Cluster{{Engine: e}}, cfg: ServerConfig{MaxConcurrent: 1}.withDefaults()}
+	hs.byName = map[string]*Cluster{"": &hs.clusters[0]}
 	hs.sem = make(chan struct{}, 1)
 	hs.sem <- struct{}{} // slot taken
 	rec := httptest.NewRecorder()

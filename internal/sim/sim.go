@@ -58,7 +58,17 @@ import (
 
 // Config sizes and seeds a simulation run.
 type Config struct {
-	Seed      uint64
+	Seed uint64
+	// Cluster names this run's cluster identity. It is carried end to end
+	// — run-meta manifest, archive metadata, analysis outputs, the query
+	// plane's ?cluster= selection — and never interpreted by the engine.
+	// Empty means the anonymous single-cluster run every earlier build
+	// produced.
+	Cluster string
+	// Site selects the floor/plant preset the cluster is an instance of:
+	// "" or "summit" (hybrid air-water, the historical default) or
+	// "frontier" (direct-liquid). See topology.Preset.
+	Site      string
 	Nodes     int   // system size
 	StartTime int64 // unix seconds
 	// DurationSec is the simulated span.
@@ -169,6 +179,9 @@ func (c *Config) Validate() error {
 		}
 	}
 	if _, err := scheduler.ParsePlacement(c.Placement); err != nil {
+		return fmt.Errorf("%w: %w", ErrConfig, err)
+	}
+	if _, err := topology.Preset(c.Site); err != nil {
 		return fmt.Errorf("%w: %w", ErrConfig, err)
 	}
 	if err := c.Plant.Validate(); err != nil {
@@ -311,7 +324,11 @@ func New(cfg Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	floor, err := topology.New(topology.ScaledConfig(cfg.Nodes))
+	tcfg, err := topology.PresetScaled(cfg.Site, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	floor, err := topology.New(tcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -357,13 +374,23 @@ func New(cfg Config) (*Sim, error) {
 		util:     sched.Utilization(cfg.Nodes),
 	}
 	s.cep = facility.NewCEP(s.weather)
+	// The site's cooling architecture sets the plant's base parameters;
+	// explicit Tuning then overrides on top, exactly as it overrides the
+	// Summit defaults on the historical path.
+	if err := s.cep.ApplyProfile(facility.Profile(tcfg.Cooling)); err != nil {
+		return nil, err
+	}
 	if err := s.cep.Tune(cfg.Plant); err != nil {
 		return nil, err
 	}
 	// Scale the plant to the system: fixed overhead, loop flow and loop
-	// thermal mass are sized for the full 4,626-node floor; a scaled run
+	// thermal mass are sized for the site's full-scale floor; a scaled run
 	// gets a proportionally smaller plant so PUE stays meaningful.
-	frac := float64(cfg.Nodes) / float64(units.SummitNodes)
+	full, err := topology.Preset(cfg.Site)
+	if err != nil {
+		return nil, err
+	}
+	frac := float64(cfg.Nodes) / float64(full.Nodes)
 	s.cep.FixedOverheadW *= frac
 	s.cep.LoopFlowGPM *= frac
 	s.cep.LoopMassKg *= frac
@@ -395,6 +422,21 @@ func (s *Sim) Allocations() []scheduler.Allocation { return s.allocs }
 
 // Config returns the validated run configuration.
 func (s *Sim) Config() Config { return s.cfg }
+
+// Floor exposes the floor layout the run was built on (the site preset
+// scaled to the configured node count).
+func (s *Sim) Floor() *topology.Floor { return s.floor }
+
+// DeriveSeed derives the i-th cluster's seed from a fleet base seed via a
+// splitmix64 step: statistically independent streams, deterministic in
+// (base, i), and stable across fleet sizes so adding a cluster never
+// reseeds the existing ones.
+func DeriveSeed(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
 // rollupBlockNodes is the fixed node-block granularity of the parallel
 // sweep and the sharded cluster roll-up. It is a structural constant of

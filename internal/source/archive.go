@@ -33,16 +33,23 @@ const (
 	manifestStepSec  = "step_sec"
 	manifestStart    = "start_time"
 	manifestDuration = "duration_sec"
+	manifestCluster  = "cluster"
+	manifestSite     = "site"
 )
 
 // ManifestTable encodes run dimensions as the one-row run-meta table the
-// archive writer stores and OpenArchive reads back.
+// archive writer stores and OpenArchive reads back. The cluster identity
+// columns are always written (as string columns, bumping the manifest file
+// — and only the manifest file — to the string-capable format version);
+// archives predating them read back with empty identity.
 func ManifestTable(m Meta) *store.Table {
 	return &store.Table{Cols: []store.Column{
 		{Name: manifestNodes, Ints: []int64{int64(m.Nodes)}},
 		{Name: manifestStepSec, Ints: []int64{m.StepSec}},
 		{Name: manifestStart, Ints: []int64{m.StartTime}},
 		{Name: manifestDuration, Ints: []int64{m.SpanSec()}},
+		{Name: manifestCluster, Strs: []string{m.Cluster}},
+		{Name: manifestSite, Strs: []string{m.Site}},
 	}}
 }
 
@@ -161,6 +168,13 @@ func (a *ArchiveSource) resolveMeta() error {
 			}
 			return c.Ints[0], true
 		}
+		getStr := func(name string) string {
+			c := tab.Col(name)
+			if c == nil || !c.IsStr() || len(c.Strs) == 0 {
+				return "" // archive predates the identity columns
+			}
+			return c.Strs[0]
+		}
 		nodes, okN := get(manifestNodes)
 		step, okS := get(manifestStepSec)
 		start, okT := get(manifestStart)
@@ -171,6 +185,8 @@ func (a *ArchiveSource) resolveMeta() error {
 				StepSec:   step,
 				Nodes:     int(nodes),
 				Windows:   int(dur / step),
+				Cluster:   getStr(manifestCluster),
+				Site:      getStr(manifestSite),
 			}
 			return nil
 		}
@@ -219,7 +235,7 @@ func (a *ArchiveSource) CacheStats() (entries int, bytes int64) { return a.cache
 func (a *ArchiveSource) hasFloatColumn(name string) bool {
 	for _, dm := range a.clusterMeta {
 		for _, c := range dm.Columns {
-			if c.Name == name && !c.Int {
+			if c.Name == name && !c.Int && !c.Str {
 				return true
 			}
 		}
@@ -288,7 +304,7 @@ func (a *ArchiveSource) SeriesNames() ([]string, error) {
 	var names []string
 	for _, day := range a.clusterDays {
 		for _, c := range a.clusterMeta[day].Columns {
-			if c.Int || seen[c.Name] {
+			if c.Int || c.Str || seen[c.Name] {
 				continue
 			}
 			seen[c.Name] = true
@@ -466,15 +482,20 @@ func (a *ArchiveSource) NodeWindows(day int) (map[int][]tsagg.WindowStat, error)
 	return out, nil
 }
 
-// Floor lazily builds the floor topology for the archive's system size
-// (rollup-style consumers need it; plain analyses do not).
+// Floor lazily builds the floor topology for the archive's system size and
+// site preset (rollup-style consumers need it; plain analyses do not).
 func (a *ArchiveSource) Floor() (*topology.Floor, error) {
 	a.floorOnce.Do(func() {
 		if a.meta.Nodes <= 0 {
 			a.floorErr = fmt.Errorf("source: archive system size unknown: %w", ErrUnavailable)
 			return
 		}
-		a.floor, a.floorErr = topology.New(topology.ScaledConfig(a.meta.Nodes))
+		cfg, err := topology.PresetScaled(a.meta.Site, a.meta.Nodes)
+		if err != nil {
+			a.floorErr = err
+			return
+		}
+		a.floor, a.floorErr = topology.New(cfg)
 	})
 	return a.floor, a.floorErr
 }

@@ -1,0 +1,167 @@
+package source
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/tsagg"
+)
+
+// FleetManifestName is the manifest file a multi-cluster run writes at the
+// fleet root so tooling can discover the member clusters.
+const FleetManifestName = "fleet.json"
+
+// FleetEntry describes one member cluster of a fleet: its identity, the
+// preset it instantiates, and its archive directory relative to the fleet
+// root.
+type FleetEntry struct {
+	Name  string `json:"name"`
+	Site  string `json:"site,omitempty"`
+	Nodes int    `json:"nodes,omitempty"`
+	Dir   string `json:"dir"`
+}
+
+// Path resolves the entry's archive directory against the fleet root.
+func (e FleetEntry) Path(root string) string {
+	if filepath.IsAbs(e.Dir) {
+		return e.Dir
+	}
+	return filepath.Join(root, e.Dir)
+}
+
+// FleetManifest is the fleet.json document: the member clusters in the
+// order they were simulated (fleet-wide merges run in this order, so it is
+// part of the deterministic contract).
+type FleetManifest struct {
+	Clusters []FleetEntry `json:"clusters"`
+}
+
+// Find returns the entry with the given cluster name.
+func (m FleetManifest) Find(name string) (FleetEntry, bool) {
+	for _, e := range m.Clusters {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return FleetEntry{}, false
+}
+
+// Names lists the member cluster names in manifest order.
+func (m FleetManifest) Names() []string {
+	names := make([]string, len(m.Clusters))
+	for i, e := range m.Clusters {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// WriteFleetManifest writes fleet.json at the fleet root.
+func WriteFleetManifest(root string, m FleetManifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(root, FleetManifestName), append(b, '\n'), 0o644)
+}
+
+// DiscoverFleet resolves the fleet layout under root: fleet.json when
+// present, otherwise a scan of immediate subdirectories for cluster-power
+// partitions (a manually assembled fleet). A root that is itself a plain
+// single-cluster archive returns ErrNotFleet.
+var ErrNotFleet = errors.New("source: not a fleet directory")
+
+func DiscoverFleet(root string) (FleetManifest, error) {
+	b, err := os.ReadFile(filepath.Join(root, FleetManifestName))
+	switch {
+	case err == nil:
+		var m FleetManifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			return FleetManifest{}, fmt.Errorf("source: parse %s: %w", FleetManifestName, err)
+		}
+		if len(m.Clusters) == 0 {
+			return FleetManifest{}, fmt.Errorf("source: %s lists no clusters", FleetManifestName)
+		}
+		return m, nil
+	case !os.IsNotExist(err):
+		return FleetManifest{}, err
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return FleetManifest{}, err
+	}
+	var m FleetManifest
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(root, e.Name(), DatasetClusterPower+"-day*.spwr"))
+		if err != nil || len(matches) == 0 {
+			continue
+		}
+		m.Clusters = append(m.Clusters, FleetEntry{Name: e.Name(), Dir: e.Name()})
+	}
+	sort.Slice(m.Clusters, func(i, j int) bool { return m.Clusters[i].Name < m.Clusters[j].Name })
+	if len(m.Clusters) == 0 {
+		return FleetManifest{}, fmt.Errorf("%w: %s has neither %s nor cluster subdirectories",
+			ErrNotFleet, root, FleetManifestName)
+	}
+	return m, nil
+}
+
+// SumSeries merges per-cluster series into one fleet-wide series by
+// index-aligned summation in slice order (callers pass a deterministic
+// order — fleet manifests are already ordered). All inputs must share one
+// step; starts may differ, the result spans the union. A window missing
+// (NaN) in an input is treated as no contribution; a window missing in
+// every input stays NaN.
+func SumSeries(series []*tsagg.Series) (*tsagg.Series, error) {
+	var in []*tsagg.Series
+	for _, s := range series {
+		if s != nil && len(s.Vals) > 0 {
+			in = append(in, s)
+		}
+	}
+	if len(in) == 0 {
+		return nil, errors.New("source: no series to merge")
+	}
+	step := in[0].Step
+	start := in[0].Start
+	var end int64
+	for _, s := range in {
+		if s.Step != step {
+			return nil, fmt.Errorf("source: cannot merge series with steps %d and %d", step, s.Step)
+		}
+		if (s.Start-start)%step != 0 {
+			return nil, fmt.Errorf("source: series grids misaligned (starts %d and %d, step %d)",
+				start, s.Start, step)
+		}
+		if s.Start < start {
+			start = s.Start
+		}
+		if e := s.Start + int64(len(s.Vals))*step; e > end {
+			end = e
+		}
+	}
+	out := tsagg.NewSeries(start, step, int((end-start)/step))
+	counts := make([]int, len(out.Vals))
+	for _, s := range in {
+		off := int((s.Start - start) / step)
+		for i, v := range s.Vals {
+			if v != v { // NaN: no contribution //lint:allow floatcompare NaN self-test
+				continue
+			}
+			idx := off + i
+			if counts[idx] == 0 {
+				out.Vals[idx] = v
+			} else {
+				out.Vals[idx] += v
+			}
+			counts[idx]++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package source
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFleetManifestRoundTrip pins the fleet.json contract.
+func TestFleetManifestRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	m := FleetManifest{Clusters: []FleetEntry{
+		{Name: "summit-0", Site: "summit", Nodes: 128, Dir: "summit-0"},
+		{Name: "frontier-1", Site: "frontier", Nodes: 256, Dir: "frontier-1"},
+	}}
+	if err := WriteFleetManifest(root, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DiscoverFleet(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clusters) != 2 || got.Clusters[0] != m.Clusters[0] || got.Clusters[1] != m.Clusters[1] {
+		t.Fatalf("manifest round trip: %+v", got)
+	}
+	if e, ok := got.Find("frontier-1"); !ok || e.Site != "frontier" {
+		t.Fatalf("Find: %+v %v", e, ok)
+	}
+	if _, ok := got.Find("nope"); ok {
+		t.Fatal("Find matched a missing cluster")
+	}
+	if want := filepath.Join(root, "summit-0"); got.Clusters[0].Path(root) != want {
+		t.Fatalf("Path: %q, want %q", got.Clusters[0].Path(root), want)
+	}
+}
+
+// TestDiscoverFleetScan covers the manifest-less fallback: subdirectories
+// holding cluster-power partitions are members; everything else is not.
+func TestDiscoverFleetScan(t *testing.T) {
+	root := t.TempDir()
+	for _, name := range []string{"beta", "alpha"} {
+		dir := filepath.Join(root, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f := filepath.Join(dir, DatasetClusterPower+"-day00000.spwr")
+		if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(root, "notes"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m, err := DiscoverFleet(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Clusters) != 2 || m.Clusters[0].Name != "alpha" || m.Clusters[1].Name != "beta" {
+		t.Fatalf("scan found %+v", m.Clusters)
+	}
+
+	if _, err := DiscoverFleet(t.TempDir()); !errors.Is(err, ErrNotFleet) {
+		t.Fatalf("plain dir: %v, want ErrNotFleet", err)
+	}
+}

@@ -1,0 +1,164 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/failures"
+	"repro/internal/tsagg"
+)
+
+// ErrNotOwned marks a request for data outside the day set a restricted
+// shard owns. The federated coordinator never triggers it (the ring routes
+// every partition to an owner); seeing it means a routing bug or a caller
+// bypassing the coordinator.
+var ErrNotOwned = errors.New("source: partition not owned by this shard")
+
+// seriesRanger is the optional fast path a RunSource may offer for
+// time-bounded reads. ArchiveSource implements it natively; sources without
+// it are read in full and sliced by the caller.
+type seriesRanger interface {
+	SeriesRange(name string, t0, t1 int64) (*tsagg.Series, error)
+}
+
+// cacheStatser is the optional per-source decoded-cache introspection hook
+// (ArchiveSource has one; /debug/vars surfaces it per shard).
+type cacheStatser interface {
+	CacheStats() (entries int, bytes int64)
+}
+
+// DayCount returns the number of day partitions a run of the given
+// dimensions spans (at least 1).
+func DayCount(m Meta) int {
+	span := m.SpanSec()
+	if span <= 0 {
+		return 1
+	}
+	return int((span + 86400 - 1) / 86400)
+}
+
+// RestrictedSource narrows a RunSource to an owned set of day partitions —
+// the in-process stand-in for a federation shard that physically holds only
+// its partitions. Requests for un-owned days fail with ErrNotOwned, so any
+// coordinator routing mistake surfaces as a hard error instead of silently
+// reading data the shard should not serve.
+//
+// Meta and SeriesNames delegate unrestricted: they are catalog reads every
+// shard can answer.
+type RestrictedSource struct {
+	inner RunSource
+	owned map[int]bool
+}
+
+var _ RunSource = (*RestrictedSource)(nil)
+var _ seriesRanger = (*RestrictedSource)(nil)
+
+// Restrict wraps inner to serve only the given day partitions.
+func Restrict(inner RunSource, days []int) *RestrictedSource {
+	owned := make(map[int]bool, len(days))
+	for _, d := range days {
+		owned[d] = true
+	}
+	return &RestrictedSource{inner: inner, owned: owned}
+}
+
+// OwnsDay reports whether the shard owns day d.
+func (r *RestrictedSource) OwnsDay(d int) bool { return r.owned[d] }
+
+// Meta implements RunSource.
+func (r *RestrictedSource) Meta() (Meta, error) { return r.inner.Meta() }
+
+// SeriesNames implements RunSource.
+func (r *RestrictedSource) SeriesNames() ([]string, error) { return r.inner.SeriesNames() }
+
+// CacheStats delegates to the inner source when it exposes one.
+func (r *RestrictedSource) CacheStats() (entries int, bytes int64) {
+	if cs, ok := r.inner.(cacheStatser); ok {
+		return cs.CacheStats()
+	}
+	return 0, 0
+}
+
+// ownsRange reports whether every day partition intersecting [t0, t1)
+// within the run's span is owned.
+func (r *RestrictedSource) ownsRange(t0, t1 int64) error {
+	m, err := r.inner.Meta()
+	if err != nil {
+		return err
+	}
+	days := DayCount(m)
+	for d := 0; d < days; d++ {
+		d0 := m.StartTime + int64(d)*86400
+		d1 := d0 + 86400
+		if d1 <= t0 || d0 >= t1 {
+			continue
+		}
+		if !r.owned[d] {
+			return fmt.Errorf("day %d: %w", d, ErrNotOwned)
+		}
+	}
+	return nil
+}
+
+// Series implements RunSource: a full-span read, legal only when the shard
+// owns every day of the run.
+func (r *RestrictedSource) Series(name string) (*tsagg.Series, error) {
+	return r.SeriesRange(name, math.MinInt64, math.MaxInt64)
+}
+
+// SeriesRange implements the ranged read over owned days only.
+func (r *RestrictedSource) SeriesRange(name string, t0, t1 int64) (*tsagg.Series, error) {
+	if err := r.ownsRange(t0, t1); err != nil {
+		return nil, err
+	}
+	if sr, ok := r.inner.(seriesRanger); ok {
+		return sr.SeriesRange(name, t0, t1)
+	}
+	// No ranged fast path: read in full and mask to [t0, t1).
+	s, err := r.inner.Series(name)
+	if err != nil {
+		return nil, err
+	}
+	out := tsagg.NewSeries(s.Start, s.Step, len(s.Vals))
+	for i, v := range s.Vals {
+		if tv := s.Start + int64(i)*s.Step; tv >= t0 && tv < t1 {
+			out.Vals[i] = v
+		}
+	}
+	return out, nil
+}
+
+// MeterSeries implements RunSource; the validation pairs span the whole
+// run, so only a shard owning every day may serve them.
+func (r *RestrictedSource) MeterSeries() ([]*tsagg.Series, []*tsagg.Series, error) {
+	if err := r.ownsRange(math.MinInt64, math.MaxInt64); err != nil {
+		return nil, nil, err
+	}
+	return r.inner.MeterSeries()
+}
+
+// JobRecords implements RunSource. Job rows live in the day-0 partition by
+// the writer's layout contract, so the day-0 owner serves them.
+func (r *RestrictedSource) JobRecords() ([]JobRecord, error) {
+	if !r.owned[0] {
+		return nil, fmt.Errorf("job records (day 0): %w", ErrNotOwned)
+	}
+	return r.inner.JobRecords()
+}
+
+// Failures implements RunSource; like job rows, the log lives at day 0.
+func (r *RestrictedSource) Failures() ([]failures.Event, error) {
+	if !r.owned[0] {
+		return nil, fmt.Errorf("failure log (day 0): %w", ErrNotOwned)
+	}
+	return r.inner.Failures()
+}
+
+// NodeWindows implements RunSource.
+func (r *RestrictedSource) NodeWindows(day int) (map[int][]tsagg.WindowStat, error) {
+	if !r.owned[day] {
+		return nil, fmt.Errorf("node windows day %d: %w", day, ErrNotOwned)
+	}
+	return r.inner.NodeWindows(day)
+}

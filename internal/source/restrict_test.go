@@ -1,0 +1,77 @@
+package source
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/tsagg"
+)
+
+// memFor builds a two-day in-memory source for restriction tests.
+func memFor() *MemorySource {
+	s := tsagg.NewSeries(0, 3600, 48)
+	for i := range s.Vals {
+		s.Vals[i] = float64(i)
+	}
+	return &MemorySource{
+		RunMeta:      Meta{StartTime: 0, StepSec: 3600, Nodes: 4, Windows: 48, Cluster: "c0"},
+		SeriesByName: map[string]*tsagg.Series{"x": s},
+		Jobs:         []JobRecord{{AllocationID: 1}},
+		NodeDays: map[int]map[int][]tsagg.WindowStat{
+			0: {1: {{T: 0, Count: 1}}},
+			1: {1: {{T: 86400, Count: 1}}},
+		},
+	}
+}
+
+// TestRestrictOwnership pins the hard-error contract: un-owned partitions
+// fail with ErrNotOwned instead of silently serving data.
+func TestRestrictOwnership(t *testing.T) {
+	r := Restrict(memFor(), []int{1})
+	if _, err := r.JobRecords(); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("job records without day 0: %v, want ErrNotOwned", err)
+	}
+	if _, err := r.Failures(); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("failures without day 0: %v, want ErrNotOwned", err)
+	}
+	if _, err := r.NodeWindows(0); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("node windows day 0: %v, want ErrNotOwned", err)
+	}
+	if _, err := r.NodeWindows(1); err != nil {
+		t.Fatalf("owned node windows: %v", err)
+	}
+	if _, err := r.Series("x"); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("full-span series on a partial owner: %v, want ErrNotOwned", err)
+	}
+	if _, err := r.SeriesRange("x", 0, 3600); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("range into un-owned day 0: %v, want ErrNotOwned", err)
+	}
+	s, err := r.SeriesRange("x", 86400, 86400+7200)
+	if err != nil {
+		t.Fatalf("owned range: %v", err)
+	}
+	// The masked fallback keeps the grid origin and blanks everything
+	// outside the request.
+	if s.Start != 0 || s.Step != 3600 {
+		t.Fatalf("masked series lost the grid origin: %+v", s)
+	}
+	for i, v := range s.Vals {
+		tv := s.Start + int64(i)*s.Step
+		in := tv >= 86400 && tv < 86400+7200
+		if in && math.Float64bits(v) != math.Float64bits(float64(i)) {
+			t.Fatalf("window %d: got %v, want %d", i, v, i)
+		}
+		if !in && !math.IsNaN(v) {
+			t.Fatalf("window %d outside the range not masked: %v", i, v)
+		}
+	}
+
+	full := Restrict(memFor(), []int{0, 1})
+	if _, err := full.Series("x"); err != nil {
+		t.Fatalf("full owner full-span series: %v", err)
+	}
+	if _, err := full.JobRecords(); err != nil {
+		t.Fatalf("full owner job records: %v", err)
+	}
+}

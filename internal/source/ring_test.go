@@ -1,0 +1,118 @@
+package source
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tsagg"
+)
+
+// TestRingDeterministic pins the federation contract that two processes
+// building the ring from the same shard list compute identical ownership.
+func TestRingDeterministic(t *testing.T) {
+	names := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	a := NewRing(names, 0)
+	b := NewRing(names, 0)
+	for day := 0; day < 400; day++ {
+		p := Partition{Cluster: "summit-0", Day: day}
+		oa := a.Owners(p, 2)
+		ob := b.Owners(p, 2)
+		if len(oa) != 2 || len(ob) != 2 || oa[0] != ob[0] || oa[1] != ob[1] {
+			t.Fatalf("day %d: owners differ across identical rings: %v vs %v", day, oa, ob)
+		}
+		if oa[0] == oa[1] {
+			t.Fatalf("day %d: replicas landed on one shard: %v", day, oa)
+		}
+	}
+}
+
+// TestRingSpread checks the vnode layout spreads a year of partitions over
+// every shard (no starving member) and that replica clamping works.
+func TestRingSpread(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r := NewRing(names, 0)
+	counts := make([]int, len(names))
+	for day := 0; day < 365; day++ {
+		owners := r.Owners(Partition{Cluster: "frontier-1", Day: day}, 1)
+		if len(owners) != 1 {
+			t.Fatalf("day %d: %d owners, want 1", day, len(owners))
+		}
+		counts[owners[0]]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %s owns no partitions: %v", names[i], counts)
+		}
+	}
+	if got := r.Owners(Partition{Day: 1}, 99); len(got) != len(names) {
+		t.Fatalf("replicas should clamp to shard count, got %d owners", len(got))
+	}
+	if got := r.Owners(Partition{Day: 1}, -5); len(got) != 1 {
+		t.Fatalf("replicas should clamp up to 1, got %d owners", len(got))
+	}
+	empty := NewRing(nil, 0)
+	if got := empty.Owners(Partition{Day: 0}, 1); got != nil {
+		t.Fatalf("empty ring returned owners: %v", got)
+	}
+}
+
+// TestRingClusterSeparation: partitions of different clusters hash
+// independently, so one cluster's days do not all follow another's layout.
+func TestRingClusterSeparation(t *testing.T) {
+	r := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	same := 0
+	const days = 200
+	for day := 0; day < days; day++ {
+		a := r.Owners(Partition{Cluster: "summit-0", Day: day}, 1)[0]
+		b := r.Owners(Partition{Cluster: "frontier-1", Day: day}, 1)[0]
+		if a == b {
+			same++
+		}
+	}
+	if same == days {
+		t.Fatal("two clusters share the exact ownership layout; cluster is not in the hash key")
+	}
+}
+
+// TestSumSeries pins the fleet-merge semantics: index-aligned summation,
+// NaN treated as no contribution, misaligned grids rejected.
+func TestSumSeries(t *testing.T) {
+	a := tsagg.NewSeries(0, 10, 3)
+	a.Vals = []float64{1, 2, math.NaN()}
+	b := tsagg.NewSeries(10, 10, 3) // offset one window
+	b.Vals = []float64{10, 20, 30}
+	got, err := SumSeries([]*tsagg.Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 12, 20, 30}
+	if got.Start != 0 || got.Step != 10 || len(got.Vals) != len(want) {
+		t.Fatalf("merged shape: %+v", got)
+	}
+	for i := range want {
+		if math.Float64bits(got.Vals[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("window %d: got %v, want %v", i, got.Vals[i], want[i])
+		}
+	}
+
+	allNaN := tsagg.NewSeries(0, 10, 2)
+	merged, err := SumSeries([]*tsagg.Series{allNaN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(merged.Vals[0]) || !math.IsNaN(merged.Vals[1]) {
+		t.Fatalf("windows missing everywhere must stay NaN: %v", merged.Vals)
+	}
+
+	badStep := tsagg.NewSeries(0, 30, 2)
+	if _, err := SumSeries([]*tsagg.Series{a, badStep}); err == nil {
+		t.Fatal("step mismatch not rejected")
+	}
+	misaligned := tsagg.NewSeries(5, 10, 2)
+	if _, err := SumSeries([]*tsagg.Series{a, misaligned}); err == nil {
+		t.Fatal("grid misalignment not rejected")
+	}
+	if _, err := SumSeries(nil); err == nil {
+		t.Fatal("empty merge not rejected")
+	}
+}

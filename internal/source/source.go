@@ -76,6 +76,12 @@ type Meta struct {
 	Nodes int
 	// Windows is the run's span in coarsening windows.
 	Windows int
+	// Cluster is the cluster identity the run was produced under ("" for
+	// runs predating — or not using — the multi-cluster plane).
+	Cluster string
+	// Site is the floor/plant preset name the cluster instantiates
+	// ("" = summit). See topology.Preset.
+	Site string
 }
 
 // SpanSec is the covered span in seconds.

@@ -189,12 +189,21 @@ func (d *Dataset) ReadDayColumnsCached(c *TableCache, day int, names []string) (
 }
 
 // TableBytes approximates the resident size of a decoded table: 8 bytes per
-// value plus per-column slice overhead. Cache accounting and decode metrics
-// share this estimate.
+// numeric value (string values count their bytes plus header) plus
+// per-column slice overhead. Cache accounting and decode metrics share this
+// estimate.
 func TableBytes(t *Table) int64 {
 	var b int64
 	for i := range t.Cols {
-		b += int64(t.Cols[i].Len())*8 + 64
+		c := &t.Cols[i]
+		if c.IsStr() {
+			for _, s := range c.Strs {
+				b += int64(len(s)) + 16
+			}
+			b += 64
+			continue
+		}
+		b += int64(c.Len())*8 + 64
 	}
 	return b
 }

@@ -14,21 +14,29 @@ import (
 	"math"
 )
 
-// Column is one named column of a table; exactly one of Ints/Floats is set.
+// Column is one named column of a table; at most one of Ints/Floats/Strs is
+// set.
 type Column struct {
 	Name   string
 	Ints   []int64
 	Floats []float64
+	Strs   []string
 }
 
-// IsInt reports whether the column is integer-typed. A column with neither
-// slice set is treated as an empty float column.
+// IsInt reports whether the column is integer-typed. A column with no slice
+// set is treated as an empty float column.
 func (c *Column) IsInt() bool { return c.Ints != nil }
+
+// IsStr reports whether the column is string-typed.
+func (c *Column) IsStr() bool { return c.Strs != nil }
 
 // Len returns the row count of the column.
 func (c *Column) Len() int {
-	if c.IsInt() {
+	switch {
+	case c.IsInt():
 		return len(c.Ints)
+	case c.IsStr():
+		return len(c.Strs)
 	}
 	return len(c.Floats)
 }
@@ -68,8 +76,14 @@ func (t *Table) Validate() error {
 			return fmt.Errorf("store: duplicate column %q", c.Name)
 		}
 		seen[c.Name] = true
-		if c.Ints != nil && c.Floats != nil {
-			return fmt.Errorf("store: column %q has both types", c.Name)
+		typed := 0
+		for _, set := range []bool{c.Ints != nil, c.Floats != nil, c.Strs != nil} {
+			if set {
+				typed++
+			}
+		}
+		if typed > 1 {
+			return fmt.Errorf("store: column %q has multiple types", c.Name)
 		}
 		if c.Len() != t.NumRows() {
 			return fmt.Errorf("store: column %q has %d rows, want %d",
@@ -79,12 +93,23 @@ func (t *Table) Validate() error {
 	return nil
 }
 
-// Format constants.
+// Format constants. Tables holding only numeric columns are written as
+// version 2, the format every earlier build of this repository reads; a
+// table with at least one string column (e.g. the run-meta manifest's
+// cluster/site identity) is written as version 3. The reader accepts both,
+// so numeric archives stay byte-identical across the version bump.
 const (
-	magic   = "SPWR" // Summit PoWeR archive
-	version = 2
-	colInt  = byte(0)
-	colFlt  = byte(1)
+	magic          = "SPWR" // Summit PoWeR archive
+	version        = 2
+	versionStrings = 3
+	colInt         = byte(0)
+	colFlt         = byte(1)
+	colStr         = byte(2)
+
+	// maxStrLen bounds one string value, on both the write and the decode
+	// side: the length prefix in a partition file is attacker-controlled,
+	// and a single claimed multi-gigabyte value must fail cleanly.
+	maxStrLen = 1 << 20
 )
 
 // Codec selects the column encoding and compression level. The default
@@ -149,7 +174,14 @@ func WriteCodec(w io.Writer, t *Table, codec Codec) error {
 		_, err := bw.Write(scratch[:n])
 		return err
 	}
-	if err := putUvarint(version); err != nil {
+	ver := uint64(version)
+	for i := range t.Cols {
+		if t.Cols[i].IsStr() {
+			ver = versionStrings
+			break
+		}
+	}
+	if err := putUvarint(ver); err != nil {
 		return err
 	}
 	if err := bw.WriteByte(byte(codec)); err != nil {
@@ -169,7 +201,25 @@ func WriteCodec(w io.Writer, t *Table, codec Codec) error {
 		if _, err := bw.WriteString(c.Name); err != nil {
 			return err
 		}
-		if c.IsInt() {
+		if c.IsStr() {
+			// Strings are length-prefixed raw bytes under every codec:
+			// there is no delta structure to exploit, and gzip already
+			// folds repeated values.
+			if err := bw.WriteByte(colStr); err != nil {
+				return err
+			}
+			for _, v := range c.Strs {
+				if len(v) > maxStrLen {
+					return fmt.Errorf("store: column %q string value too long (%d bytes)", c.Name, len(v))
+				}
+				if err := putUvarint(uint64(len(v))); err != nil {
+					return err
+				}
+				if _, err := bw.WriteString(v); err != nil {
+					return err
+				}
+			}
+		} else if c.IsInt() {
 			if err := bw.WriteByte(colInt); err != nil {
 				return err
 			}

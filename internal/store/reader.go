@@ -13,7 +13,8 @@ import (
 // ColumnInfo describes one column of a table without its data.
 type ColumnInfo struct {
 	Name string
-	Int  bool // integer-typed (false = float)
+	Int  bool // integer-typed
+	Str  bool // string-typed (neither set = float)
 }
 
 // Reader streams a table written by Write one column at a time, letting the
@@ -57,7 +58,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		_ = zr.Close()
 		return nil, err
 	}
-	if ver != version {
+	if ver != version && ver != versionStrings {
 		_ = zr.Close()
 		return nil, fmt.Errorf("store: unsupported version %d", ver)
 	}
@@ -124,11 +125,11 @@ func (r *Reader) Next() (ColumnInfo, error) {
 		return ColumnInfo{}, fmt.Errorf("store: column %q kind: %w", name, err)
 	}
 	switch kind {
-	case colInt, colFlt:
+	case colInt, colFlt, colStr:
 	default:
 		return ColumnInfo{}, fmt.Errorf("store: unknown column kind %d", kind)
 	}
-	r.cur = ColumnInfo{Name: string(name), Int: kind == colInt}
+	r.cur = ColumnInfo{Name: string(name), Int: kind == colInt, Str: kind == colStr}
 	r.pending = true
 	return r.cur, nil
 }
@@ -140,9 +141,12 @@ func (r *Reader) Column() (*Column, error) {
 	}
 	col := Column{Name: r.cur.Name}
 	var err error
-	if r.cur.Int {
+	switch {
+	case r.cur.Int:
 		col.Ints, err = r.decodeInts()
-	} else {
+	case r.cur.Str:
+		col.Strs, err = r.decodeStrs()
+	default:
 		col.Floats, err = r.decodeFloats()
 	}
 	if err != nil {
@@ -160,14 +164,30 @@ func (r *Reader) Skip() error {
 		return fmt.Errorf("store: Skip without Next")
 	}
 	var err error
-	if r.codec.delta() {
+	switch {
+	case r.cur.Str:
+		// Strings are length-prefixed under every codec; walk and
+		// discard value by value.
+		for j := 0; j < r.nRows; j++ {
+			n, err := binary.ReadUvarint(r.br)
+			if err != nil {
+				return fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
+			}
+			if n > maxStrLen {
+				return fmt.Errorf("store: column %q row %d: string too long (%d bytes)", r.cur.Name, j, n)
+			}
+			if _, err := r.br.Discard(int(n)); err != nil {
+				return fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
+			}
+		}
+	case r.codec.delta():
 		// Variable-width: the varints must still be walked.
 		for j := 0; j < r.nRows; j++ {
 			if _, err = binary.ReadUvarint(r.br); err != nil {
 				return fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
 			}
 		}
-	} else {
+	default:
 		if _, err = r.br.Discard(8 * r.nRows); err != nil {
 			return fmt.Errorf("store: column %q: %w", r.cur.Name, err)
 		}
@@ -227,6 +247,29 @@ func (r *Reader) decodeFloats() ([]float64, error) {
 			return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
 		}
 		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(raw[:])))
+	}
+	return out, nil
+}
+
+func (r *Reader) decodeStrs() ([]string, error) {
+	out := make([]string, 0, min(r.nRows, maxPreallocRows))
+	var buf []byte
+	for j := 0; j < r.nRows; j++ {
+		n, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
+		}
+		if n > maxStrLen {
+			return nil, fmt.Errorf("store: column %q row %d: string too long (%d bytes)", r.cur.Name, j, n)
+		}
+		if uint64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		b := buf[:n]
+		if _, err := io.ReadFull(r.br, b); err != nil {
+			return nil, fmt.Errorf("store: column %q row %d: %w", r.cur.Name, j, err)
+		}
+		out = append(out, string(b))
 	}
 	return out, nil
 }

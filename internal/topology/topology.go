@@ -39,22 +39,77 @@ type MSB int
 // MSB labels follow the paper's Figure 4 (MSB A..E).
 func (m MSB) String() string { return "MSB " + string(rune('A'+int(m))) }
 
+// Cooling names the facility cooling architecture of a site. The floor
+// geometry itself is cooling-agnostic; the value is carried so the facility
+// model can pick the matching plant profile.
+type Cooling string
+
+// Cooling architectures.
+const (
+	// CoolingHybridAirWater is Summit's plant: medium-temperature water to
+	// the cold plates plus rear-door air exchange. The zero value resolves
+	// here, so pre-existing configs keep their behavior.
+	CoolingHybridAirWater Cooling = "hybrid-air-water"
+	// CoolingDirectLiquid is the Frontier-class architecture: warm-water
+	// direct liquid cooling with no mechanical-chiller dependence in the
+	// nominal regime.
+	CoolingDirectLiquid Cooling = "direct-liquid"
+)
+
 // Config sizes a floor layout.
 type Config struct {
-	Nodes           int // total compute nodes
-	NodesPerCabinet int // nodes per cabinet (Summit: 18)
-	CabinetsPerRow  int // cabinets per floor row
-	MSBs            int // number of main switchboards
+	Name            string  // site preset name ("" = unnamed custom floor)
+	Nodes           int     // total compute nodes
+	NodesPerCabinet int     // nodes per cabinet (Summit: 18)
+	CabinetsPerRow  int     // cabinets per floor row
+	MSBs            int     // number of main switchboards
+	Cooling         Cooling // facility cooling architecture ("" = hybrid)
 }
 
 // SummitConfig returns the full-scale Summit floor configuration.
 func SummitConfig() Config {
 	return Config{
+		Name:            SiteSummit,
 		Nodes:           units.SummitNodes,
 		NodesPerCabinet: units.NodesPerCabinet,
 		CabinetsPerRow:  8, // h-rows hold 8 cabinets (h09..h36 naming)
 		MSBs:            5,
+		Cooling:         CoolingHybridAirWater,
 	}
+}
+
+// FrontierConfig returns a Frontier-like direct-liquid floor: 74 high-density
+// cabinets of 128 blades each fed from 4 switchboards, the geometry the
+// ExaDigiT-style exascale twin models.
+func FrontierConfig() Config {
+	return Config{
+		Name:            SiteFrontier,
+		Nodes:           units.FrontierNodes,
+		NodesPerCabinet: units.FrontierNodesPerCabinet,
+		CabinetsPerRow:  16,
+		MSBs:            4,
+		Cooling:         CoolingDirectLiquid,
+	}
+}
+
+// Site preset names accepted by Preset.
+const (
+	SiteSummit   = "summit"
+	SiteFrontier = "frontier"
+)
+
+// Preset resolves a site name to its floor configuration. The empty name
+// resolves to Summit — the historical single-floor default — so every
+// pre-existing call path keeps its exact behavior.
+func Preset(site string) (Config, error) {
+	switch site {
+	case "", SiteSummit:
+		return SummitConfig(), nil
+	case SiteFrontier:
+		return FrontierConfig(), nil
+	}
+	return Config{}, fmt.Errorf("topology: unknown site preset %q (have %s, %s)",
+		site, SiteSummit, SiteFrontier)
 }
 
 // ScaledConfig returns a reduced floor with the given node count preserving
@@ -63,6 +118,17 @@ func ScaledConfig(nodes int) Config {
 	c := SummitConfig()
 	c.Nodes = nodes
 	return c
+}
+
+// PresetScaled is ScaledConfig generalized over site presets: the named
+// site's geometry with the node count overridden.
+func PresetScaled(site string, nodes int) (Config, error) {
+	c, err := Preset(site)
+	if err != nil {
+		return Config{}, err
+	}
+	c.Nodes = nodes
+	return c, nil
 }
 
 // Floor is an immutable floor layout. Build one with New.

@@ -20,6 +20,19 @@ const (
 	SummitCPUs = SummitNodes * CPUsPerNode
 )
 
+// Frontier-class system constants, for the heterogeneous-fleet presets. The
+// values follow the published HPE Cray EX235a configuration the ExaDigiT
+// twin models: 9,408 blades in 74 high-density direct-liquid cabinets.
+const (
+	// FrontierNodes is the compute-blade count of the Frontier-like preset.
+	FrontierNodes = 9408
+	// FrontierNodesPerCabinet is the blade count of one EX cabinet.
+	FrontierNodesPerCabinet = 128
+	// FrontierCabinets is the cabinet count (ceil(9408/128) = 74 with the
+	// last cabinet part-populated).
+	FrontierCabinets = (FrontierNodes + FrontierNodesPerCabinet - 1) / FrontierNodesPerCabinet
+)
+
 // Power envelope constants.
 const (
 	// NodeMaxPower is the per-node maximum input power (220–240 V AC).

@@ -73,6 +73,20 @@ func Simulate(cfg Config) (*RunData, *Result, error) {
 	return core.CollectRun(cfg)
 }
 
+// FleetRun is one cluster's outcome in a multi-cluster simulation.
+type FleetRun = core.FleetRun
+
+// DeriveSeed derives cluster i's seed from a fleet base seed; distinct i
+// yield well-separated, reproducible streams.
+func DeriveSeed(base uint64, i int) uint64 { return sim.DeriveSeed(base, i) }
+
+// SimulateFleet runs every cluster config as an independent simulation on
+// one worker pool (workers <= 0 sizes it automatically). Each cluster's
+// output is bit-identical to simulating it alone with the same config.
+func SimulateFleet(cfgs []Config, workers int) ([]FleetRun, error) {
+	return core.CollectFleet(cfgs, workers, nil)
+}
+
 // SimulateWithVariability additionally captures per-GPU detail for the
 // run's exemplar (largest) job, for the Figure 17 analysis.
 func SimulateWithVariability(cfg Config) (*RunData, *core.VariabilityCollector, *Result, error) {
