@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race stream-check streamd check ci bench bench-sim bench-smoke bench-query bench-whatif optimize-smoke federate-smoke bench-report clean
+.PHONY: all build test vet fmt lint lint-smoke lint-sarif race stream-check streamd check ci bench bench-sim bench-smoke bench-query bench-whatif optimize-smoke federate-smoke bench-report clean
 
 all: check
 
@@ -21,10 +21,22 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # lint runs reprolint, the repository's own static-analysis suite
-# (see internal/lint): determinism, unit safety, float comparison,
-# error wrapping, and lock/goroutine hygiene.
+# (see internal/lint): five per-package analyzers (determinism, unit
+# safety, float comparison, error wrapping, lock/goroutine hygiene) plus
+# four whole-program call-graph analyzers (detreach, allocfree, ctxflow,
+# leakcheck).
 lint:
 	$(GO) run ./cmd/reprolint ./...
+
+# lint-smoke runs only the whole-program call-graph analyzers — the
+# expensive cross-package half of the suite — as a fast standalone gate.
+lint-smoke:
+	$(GO) run ./cmd/reprolint -analyzers detreach,allocfree,ctxflow,leakcheck ./...
+
+# lint-sarif writes the full suite's findings as SARIF 2.1.0 (the format CI
+# uploads as an artifact). Exit code still reflects violations.
+lint-sarif:
+	$(GO) run ./cmd/reprolint -sarif ./... > reprolint.sarif
 
 # race runs every package under the race detector; the heavyweight
 # simulation tests are trimmed so this stays bounded.

@@ -114,7 +114,7 @@ func run(w io.Writer, o options) error {
 		IndependentStreams: o.indep,
 		KeepFailures:       o.keepFail,
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock timing for the progress log only
 	var res *whatif.SweepResult
 	switch {
 	case o.scenarios != "":
@@ -130,7 +130,7 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:allow determinism wall-clock timing for the progress log only
 	fmt.Fprintf(w, "study %s (base seed %d)\n%s", study.Name, base.Seed, res.Summary())
 	rate := float64(len(res.Evaluated)) / elapsed.Seconds()
 	fmt.Fprintf(w, "%d evaluations in %.1fs (%.1f runs/sec)\n",

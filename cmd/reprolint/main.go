@@ -1,17 +1,25 @@
 // Command reprolint runs the repository's static-analysis suite (see
-// internal/lint) over module packages and exits non-zero on any violation.
-// It is the multichecker `make ci` runs; stock `go vet` runs alongside it
-// in the same CI target, covering the standard passes.
+// internal/lint) over module packages: five per-package analyzers plus four
+// whole-program analyzers that work over the cross-package call graph. It
+// is the multichecker `make ci` runs; stock `go vet` runs alongside it in
+// the same CI target, covering the standard passes.
 //
 // Usage:
 //
-//	reprolint [-analyzers list] [-list] [packages ...]
+//	reprolint [-analyzers list] [-json|-sarif] [-baseline file]
+//	          [-write-baseline] [-list] [packages ...]
 //
 // Package patterns are directories relative to the working directory, with
 // ./... expansion; the default is ./... . Intentional exceptions are
 // annotated at the offending line:
 //
 //	//lint:allow <analyzer> <reason>
+//
+// Known-but-unfixed findings can instead be grandfathered in a baseline
+// file (default .reprolint-baseline.json, matched on analyzer + file +
+// message, never line numbers); -write-baseline regenerates it from the
+// current findings. Exit codes: 0 clean, 1 violations, 2 load or usage
+// error.
 package main
 
 import (
@@ -32,8 +40,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("reprolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list  = fs.Bool("list", false, "list analyzers and exit")
-		names = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		names    = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		asJSON   = fs.Bool("json", false, "emit diagnostics as JSON")
+		asSARIF  = fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
+		baseline = fs.String("baseline", ".reprolint-baseline.json",
+			"baseline file of grandfathered findings (missing file = empty)")
+		writeBaseline = fs.Bool("write-baseline", false,
+			"write current findings to the baseline file and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -42,12 +56,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, a := range lint.All() {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range lint.ProgramAnalyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
 		return 0
 	}
-	analyzers := lint.All()
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "reprolint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	analyzers, progAnalyzers := lint.All(), lint.ProgramAnalyzers()
 	if *names != "" {
 		var err error
-		analyzers, err = lint.ByName(strings.Split(*names, ","))
+		analyzers, progAnalyzers, err = lint.ByName(strings.Split(*names, ","))
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
@@ -58,13 +79,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	diags, err := lint.LintPackages(cwd, fs.Args(), analyzers)
+	diags, err := lint.LintPackages(cwd, fs.Args(), analyzers, progAnalyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "reprolint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, relativize(cwd, d))
+	if *writeBaseline {
+		if err := lint.WriteBaseline(*baseline, diags, cwd); err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "reprolint: wrote %d finding(s) to %s\n", len(diags), *baseline)
+		return 0
+	}
+	bl, err := lint.ReadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+	diags, stale := bl.Filter(diags, cwd)
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "reprolint: stale baseline entry (finding fixed — delete it): %s %s: %s\n",
+			e.File, e.Analyzer, e.Message)
+	}
+	switch {
+	case *asJSON:
+		if err := lint.EncodeJSON(stdout, diags, cwd); err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
+	case *asSARIF:
+		if err := lint.EncodeSARIF(stdout, diags, cwd); err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, relativize(cwd, d))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "reprolint: %d violation(s)\n", len(diags))
@@ -76,8 +128,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 // relativize shortens absolute diagnostic paths to the working directory
 // for readable, clickable output.
 func relativize(cwd string, d lint.Diagnostic) string {
+	prefix := cwd + string(os.PathSeparator)
 	s := d.String()
-	if rel, ok := strings.CutPrefix(s, cwd+string(os.PathSeparator)); ok {
+	s = strings.ReplaceAll(s, "\n\t"+prefix, "\n\t") // notes embed paths too
+	if rel, ok := strings.CutPrefix(s, prefix); ok {
 		return rel
 	}
 	return s

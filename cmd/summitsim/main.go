@@ -121,7 +121,7 @@ func main() {
 		}
 		return
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock timing for the progress log only
 	var data *repro.RunData
 	var res *repro.Result
 	var err error
@@ -155,7 +155,7 @@ func main() {
 	if !*quiet {
 		fmt.Printf("simulated %d windows on %d nodes: %d jobs, %d failures, utilization %.1f%% (%.1fs)\n",
 			res.Steps, cfg.Nodes, len(res.Allocations), len(res.Failures),
-			res.Utilization*100, time.Since(start).Seconds())
+			res.Utilization*100, time.Since(start).Seconds()) //lint:allow determinism wall-clock timing for the progress log only
 	}
 	if err := archiveRun(*out, "", data, *nodeData, *jobSeries, *quiet); err != nil {
 		log.Fatal(err)
@@ -190,7 +190,7 @@ func runFleet(base repro.Config, n int, sites, out string, nodeData, jobSeries, 
 	if nodeData {
 		dirFor = func(i int) string { return filepath.Join(out, names[i]) }
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock timing for the progress log only
 	runs, err := core.CollectFleet(cfgs, 0, dirFor)
 	if err != nil {
 		return err
@@ -209,7 +209,7 @@ func runFleet(base repro.Config, n int, sites, out string, nodeData, jobSeries, 
 		return err
 	}
 	if !quiet {
-		fmt.Printf("fleet of %d cluster(s) archived in %s (%.1fs)\n", n, out, time.Since(start).Seconds())
+		fmt.Printf("fleet of %d cluster(s) archived in %s (%.1fs)\n", n, out, time.Since(start).Seconds()) //lint:allow determinism wall-clock timing for the progress log only
 	}
 	return nil
 }

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline support: a checked-in JSON file of grandfathered findings. An
+// entry matches on (analyzer, file, message) — never on line numbers, which
+// churn with every edit — and carries a count, so N known findings in a
+// file tolerate exactly N occurrences and the N+1st still fails the build.
+// The intended workflow: adopt a new analyzer, write the current findings
+// to the baseline with -write-baseline, burn entries down over time, and
+// keep the file empty once the tree is clean (the repository's baseline is
+// empty — every intentional exception is an annotated //lint:allow with a
+// reason instead).
+
+// BaselineEntry is one grandfathered finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is a set of grandfathered findings.
+type Baseline struct {
+	Entries []BaselineEntry
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty baseline,
+// so the flag can default to the conventional path without requiring the
+// file to exist.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &Baseline{Entries: entries}, nil
+}
+
+// Filter suppresses baselined diagnostics, consuming each entry's count in
+// diagnostic order. It returns the surviving diagnostics and the stale
+// entries — those whose allowance was not fully consumed, meaning the
+// grandfathered finding has been fixed and the entry should be deleted.
+// Diagnostic paths are relativized against base before matching.
+func (b *Baseline) Filter(diags []Diagnostic, base string) (kept []Diagnostic, stale []BaselineEntry) {
+	allowance := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		allowance[baselineKey{e.Analyzer, e.File, e.Message}] += n
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, relPath(base, d.Pos.Filename), d.Message}
+		if allowance[k] > 0 {
+			allowance[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if allowance[k] > 0 {
+			stale = append(stale, e)
+			allowance[k] = 0 // report a duplicated entry once
+		}
+	}
+	return kept, stale
+}
+
+// WriteBaseline writes the diagnostics as a baseline file, aggregating
+// identical findings into counted entries in deterministic order.
+func WriteBaseline(path string, diags []Diagnostic, base string) error {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{d.Analyzer, relPath(base, d.Pos.Filename), d.Message}]++
+	}
+	entries := make([]BaselineEntry, 0, len(counts))
+	for k, n := range counts {
+		entries = append(entries, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

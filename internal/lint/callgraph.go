@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Call-graph construction. The graph is CHA-style (class hierarchy
+// analysis): static calls resolve to their single target; a call through an
+// interface method fans out to every concrete method in the program whose
+// receiver type implements the interface; a call through a plain function
+// value is recorded as Dynamic and not followed. Function literals do not
+// get nodes of their own — their bodies are attributed to the enclosing
+// declaration, so a closure handed to a worker pool still counts against
+// the function that built it. Together these choices over-approximate
+// reachability everywhere except dynamic calls of escaping function
+// values, which the analyzers document as their blind spot.
+
+// buildCalls walks node's body (including nested function literals) and
+// appends one Call per call expression, in source order.
+func (prog *Program) buildCalls(node *FuncNode) {
+	if node.Decl.Body == nil {
+		return
+	}
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		prog.addCall(node, info, call)
+		return true
+	})
+}
+
+// addCall resolves one call expression to zero or more edges.
+func (prog *Program) addCall(node *FuncNode, info *types.Info, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	// Conversions are not calls.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			prog.addStatic(node, call, obj)
+		case *types.Builtin:
+			// Builtins (make, append, ...) are matched on the AST by the
+			// analyzers that care; they are not graph edges.
+		default:
+			// A variable or parameter of function type: dynamic.
+			node.Calls = append(node.Calls, Call{Pos: call.Pos(), Dynamic: true})
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				fn, ok := sel.Obj().(*types.Func)
+				if !ok {
+					return
+				}
+				recv := sel.Recv()
+				if iface, ok := recv.Underlying().(*types.Interface); ok {
+					prog.addInterfaceCall(node, call, fn, iface)
+					return
+				}
+				prog.addStatic(node, call, fn)
+			default:
+				// Selecting a func-typed field and calling it: dynamic.
+				node.Calls = append(node.Calls, Call{Pos: call.Pos(), Dynamic: true})
+			}
+			return
+		}
+		// Qualified identifier: pkg.F.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			prog.addStatic(node, call, fn)
+			return
+		}
+		// pkg.Var of function type, or similar: dynamic.
+		node.Calls = append(node.Calls, Call{Pos: call.Pos(), Dynamic: true})
+	default:
+		// Calling the result of another call, an index expression, or a
+		// function literal invoked in place. The literal's body is already
+		// attributed to this node, so the edge itself is just dynamic.
+		node.Calls = append(node.Calls, Call{Pos: call.Pos(), Dynamic: true})
+	}
+}
+
+// addStatic appends a statically-resolved edge. Generic instantiations are
+// folded onto their origin declaration, which is where the source lives.
+func (prog *Program) addStatic(node *FuncNode, call *ast.CallExpr, fn *types.Func) {
+	fn = fn.Origin()
+	node.Calls = append(node.Calls, Call{
+		Pos:    call.Pos(),
+		Callee: prog.Funcs[fn],
+		Fn:     fn,
+	})
+}
+
+// addInterfaceCall fans an interface method call out to every concrete
+// implementation in the program (CHA), keeping the interface method itself
+// as the printable callee when nothing implements it locally.
+func (prog *Program) addInterfaceCall(node *FuncNode, call *ast.CallExpr, fn *types.Func, iface *types.Interface) {
+	impls := prog.implementations(iface, fn.Name())
+	if len(impls) == 0 {
+		node.Calls = append(node.Calls, Call{Pos: call.Pos(), Fn: fn.Origin(), ViaIface: true})
+		return
+	}
+	for _, impl := range impls {
+		node.Calls = append(node.Calls, Call{
+			Pos:      call.Pos(),
+			Callee:   impl,
+			Fn:       impl.Fn,
+			ViaIface: true,
+		})
+	}
+}
+
+// implementations returns the program's concrete methods that can back the
+// named method of iface, in deterministic (node) order.
+func (prog *Program) implementations(iface *types.Interface, method string) []*FuncNode {
+	key := chaKey{iface, method}
+	if impls, ok := prog.chaCache[key]; ok {
+		return impls
+	}
+	var impls []*FuncNode
+	seen := map[*FuncNode]bool{}
+	// prog.Nodes is deterministically ordered, so scanning methods through
+	// it keeps the fan-out order stable run to run.
+	for _, node := range prog.Nodes {
+		sig, _ := node.Fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil || node.Fn.Name() != method {
+			continue
+		}
+		recv := sig.Recv().Type()
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(deref(recv)), iface) {
+			if !seen[node] {
+				seen[node] = true
+				impls = append(impls, node)
+			}
+		}
+	}
+	prog.chaCache[key] = impls
+	return impls
+}
+
+// deref strips one pointer level.
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// SCCs returns the call graph's strongly-connected components in
+// deterministic bottom-up order: every component appears after all the
+// components it calls into (Tarjan's algorithm emits reverse-topological
+// order, and both the node list and each node's edge list are ordered).
+func (prog *Program) SCCs() [][]*FuncNode {
+	if prog.sccOrder != nil {
+		return prog.sccOrder
+	}
+	var (
+		out   [][]*FuncNode
+		stack []*FuncNode
+		next  = 1
+	)
+	var strongconnect func(v *FuncNode)
+	strongconnect = func(v *FuncNode) {
+		v.index, v.lowlink = next, next
+		next++
+		stack = append(stack, v)
+		v.onStack = true
+		for _, c := range v.Calls {
+			w := c.Callee
+			if w == nil {
+				continue
+			}
+			if w.index == 0 {
+				strongconnect(w)
+				if w.lowlink < v.lowlink {
+					v.lowlink = w.lowlink
+				}
+			} else if w.onStack && w.index < v.lowlink {
+				v.lowlink = w.index
+			}
+		}
+		if v.lowlink == v.index {
+			var comp []*FuncNode
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				w.onStack = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, n := range prog.Nodes {
+		if n.index == 0 {
+			strongconnect(n)
+		}
+	}
+	prog.sccOrder = out
+	return out
+}

@@ -2,6 +2,8 @@ package lint
 
 import (
 	"strings"
+
+	"repro/internal/parallel"
 )
 
 // LintPackages loads and analyzes the module packages matched by patterns
@@ -10,7 +12,15 @@ import (
 // package, the package plus its in-package test files, and its external
 // _test package. Diagnostics from the augmented view are filtered to the
 // test files so plain-package findings are not reported twice.
-func LintPackages(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+//
+// Packages are type-checked and analyzed from a worker pool — the loader's
+// singleflight cache makes the demand-driven import recursion safe and
+// walks the import DAG in dependency order — and the per-path results land
+// in pattern-expansion order, so the output is deterministic regardless of
+// scheduling. The whole-program analyzers then run once over every plain
+// view together (they need the cross-package call graph, which is exactly
+// what the shared loader's canonical package identities make possible).
+func LintPackages(dir string, patterns []string, analyzers []*Analyzer, progAnalyzers []*ProgramAnalyzer) ([]Diagnostic, error) {
 	loader, err := NewLoader(dir)
 	if err != nil {
 		return nil, err
@@ -22,11 +32,18 @@ func LintPackages(dir string, patterns []string, analyzers []*Analyzer) ([]Diagn
 	if err != nil {
 		return nil, err
 	}
-	var out []Diagnostic
-	for _, path := range paths {
+	type result struct {
+		diags []Diagnostic
+		plain *Package
+		err   error
+	}
+	results := make([]result, len(paths))
+	parallel.ForEach(len(paths), parallel.DefaultWorkers(), func(i int) {
+		path := paths[i]
 		pkgs, err := loader.LoadVariants(path)
 		if err != nil {
-			return nil, err
+			results[i].err = err
+			return
 		}
 		seenPlain := false
 		for _, pkg := range pkgs {
@@ -45,8 +62,26 @@ func LintPackages(dir string, patterns []string, analyzers []*Analyzer) ([]Diagn
 			if !strings.HasSuffix(pkg.Path, "_test") {
 				seenPlain = true
 			}
-			out = append(out, diags...)
+			results[i].diags = append(results[i].diags, diags...)
 		}
+		// The canonical plain view (a cache hit after LoadVariants) feeds
+		// the whole-program pass; nil for test-only directories.
+		results[i].plain, _ = loader.LoadPackage(path)
+	})
+	var out []Diagnostic
+	var plains []*Package
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.diags...)
+		if r.plain != nil {
+			plains = append(plains, r.plain)
+		}
+	}
+	if len(progAnalyzers) > 0 && len(plains) > 0 {
+		prog := BuildProgram(plains)
+		out = append(out, RunProgram(prog, progAnalyzers)...)
 	}
 	sortDiagnostics(out)
 	return out, nil

@@ -7,19 +7,29 @@ import (
 	"strings"
 )
 
-// Determinism enforces reproducibility in the simulation packages: the same
-// seed and the same telemetry bytes must yield bit-identical results every
-// run (the archive/live parity test depends on it). It forbids wall-clock
-// and timer reads, the globally-seeded math/rand functions, and
-// order-dependent accumulation across map iteration. The serving layer
-// (telemetry, query, cmd/*) is exempt — wall-clock latency measurement and
-// deadlines are its job.
+// Determinism enforces reproducibility in the simulation packages and the
+// command-line binaries: the same seed and the same telemetry bytes must
+// yield bit-identical results every run (the archive/live parity test
+// depends on it). It forbids wall-clock and timer reads, the
+// globally-seeded math/rand functions, and order-dependent accumulation
+// across map iteration. The serving-library layer (telemetry, query) is
+// exempt — wall-clock latency measurement and deadlines are its job — but
+// the cmd/ trees ARE swept: a binary that seeds from the clock or walks a
+// map into its output silently breaks the byte-identical-rerun contract
+// the smoke targets compare on, so its few legitimate timing reads carry
+// explicit //lint:allow directives instead of a blanket exemption.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall clocks, global math/rand, and map-iteration-order-dependent " +
-		"accumulation in simulation packages; use internal/rng and injected clocks",
-	Skip: func(path string) bool { return !simPackages[pathBase(path)] },
-	Run:  runDeterminism,
+		"accumulation in simulation and cmd packages; use internal/rng and injected clocks",
+	Severity: SeverityError,
+	Skip: func(path string) bool {
+		if simPackages[pathBase(path)] {
+			return false
+		}
+		return !strings.HasPrefix(path, "repro/cmd/")
+	},
+	Run: runDeterminism,
 }
 
 // simPackages are the packages whose outputs must be bit-reproducible.
@@ -60,7 +70,15 @@ var randConstructors = map[string]bool{
 }
 
 func runDeterminism(pass *Pass) {
+	// In the cmd/ trees only the shipped binary is held reproducible; their
+	// tests poll servers and bound retries with real clocks, which is fine.
+	// Simulation-package tests stay covered — parity tests compare bytes,
+	// and a wall clock in a test helper would silently weaken them.
+	cmdPkg := strings.HasPrefix(scopePath(pass.Path), "repro/cmd/")
 	for _, f := range pass.Files {
+		if cmdPkg && pass.InTest(f.Pos()) {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
@@ -93,26 +111,41 @@ func checkDeterminismSelector(pass *Pass, sel *ast.SelectorExpr) {
 	}
 }
 
-// checkMapRangeAccumulation flags order-dependent accumulation inside a
-// range over a map: appending to an outer slice, or compound-assigning an
-// outer float or string. Integer compound assignment is exact and
-// commutative, so it is allowed — and so is the collect-then-sort idiom,
-// where the appended slice is handed to a sort call after the loop, which
-// is exactly how order-dependence is repaired.
+// checkMapRangeAccumulation reports order-dependent accumulation inside a
+// range over a map (see mapRangeFindings).
 func checkMapRangeAccumulation(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
-	t := pass.Info.TypeOf(rs.X)
+	for _, f := range mapRangeFindings(pass.Info, file, rs) {
+		pass.Report(f.Pos, "%s", f.Msg)
+	}
+}
+
+// mapRangeFinding is one order-dependence site found by mapRangeFindings.
+type mapRangeFinding struct {
+	Pos token.Pos
+	Msg string
+}
+
+// mapRangeFindings flags order-dependent accumulation inside a range over
+// a map: appending to an outer slice, or compound-assigning an outer float
+// or string. Integer compound assignment is exact and commutative, so it
+// is allowed — and so is the collect-then-sort idiom, where the appended
+// slice is handed to a sort call after the loop, which is exactly how
+// order-dependence is repaired. Shared by the per-package determinism
+// analyzer and the whole-program detreach analyzer.
+func mapRangeFindings(info *types.Info, file *ast.File, rs *ast.RangeStmt) []mapRangeFinding {
+	t := info.TypeOf(rs.X)
 	if t == nil {
-		return
+		return nil
 	}
 	if _, ok := t.Underlying().(*types.Map); !ok {
-		return
+		return nil
 	}
 	// Variables introduced by the range clause itself get fresh values each
 	// iteration; writes to them never accumulate.
 	loopVars := map[types.Object]bool{}
 	for _, e := range []ast.Expr{rs.Key, rs.Value} {
 		if id, ok := e.(*ast.Ident); ok {
-			if obj := pass.Info.Defs[id]; obj != nil {
+			if obj := info.Defs[id]; obj != nil {
 				loopVars[obj] = true
 			}
 		}
@@ -120,7 +153,7 @@ func checkMapRangeAccumulation(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
 	outer := func(e ast.Expr) bool {
 		switch e := e.(type) {
 		case *ast.Ident:
-			obj := pass.Info.Uses[e]
+			obj := info.Uses[e]
 			if obj == nil || loopVars[obj] {
 				return false
 			}
@@ -131,6 +164,7 @@ func checkMapRangeAccumulation(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
 		}
 		return false
 	}
+	var out []mapRangeFinding
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok {
@@ -142,30 +176,31 @@ func checkMapRangeAccumulation(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
 				if !outer(lhs) {
 					continue
 				}
-				lt := pass.Info.TypeOf(lhs)
+				lt := info.TypeOf(lhs)
 				if lt == nil {
 					continue
 				}
 				if bt, ok := lt.Underlying().(*types.Basic); ok &&
 					bt.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0 {
-					pass.Report(as.Pos(),
-						"%s accumulation across map iteration is order-dependent; iterate over sorted keys", bt.Name())
+					out = append(out, mapRangeFinding{as.Pos(), bt.Name() +
+						" accumulation across map iteration is order-dependent; iterate over sorted keys"})
 				}
 			}
 		case token.ASSIGN:
 			for i, rhs := range as.Rhs {
 				call, ok := rhs.(*ast.CallExpr)
-				if !ok || !isBuiltin(pass, call.Fun, "append") {
+				if !ok || !isBuiltinInfo(info, call.Fun, "append") {
 					continue
 				}
-				if i < len(as.Lhs) && outer(as.Lhs[i]) && !sortedAfter(pass, file, as.Lhs[i], rs.End()) {
-					pass.Report(as.Pos(),
-						"append across map iteration is order-dependent; sort the result or iterate over sorted keys")
+				if i < len(as.Lhs) && outer(as.Lhs[i]) && !sortedAfter(info, file, as.Lhs[i], rs.End()) {
+					out = append(out, mapRangeFinding{as.Pos(),
+						"append across map iteration is order-dependent; sort the result or iterate over sorted keys"})
 				}
 			}
 		}
 		return true
 	})
+	return out
 }
 
 // sortFuncs are the sort-package entry points that impose a total order on
@@ -178,7 +213,10 @@ var sortFuncs = map[string]bool{
 // sortedAfter reports whether the accumulated expression is passed to a
 // sort.* or slices.Sort* call later in the same file, which restores a
 // deterministic order.
-func sortedAfter(pass *Pass, file *ast.File, target ast.Expr, after token.Pos) bool {
+func sortedAfter(info *types.Info, file *ast.File, target ast.Expr, after token.Pos) bool {
+	if file == nil {
+		return false
+	}
 	want := types.ExprString(target)
 	sorted := false
 	ast.Inspect(file, func(n ast.Node) bool {
@@ -190,7 +228,7 @@ func sortedAfter(pass *Pass, file *ast.File, target ast.Expr, after token.Pos) b
 		if !ok {
 			return !sorted
 		}
-		pkg, ok := pass.PkgNameOf(sel.X)
+		pkg, ok := pkgNameOf(info, sel.X)
 		if !ok {
 			return !sorted
 		}
@@ -207,10 +245,27 @@ func sortedAfter(pass *Pass, file *ast.File, target ast.Expr, after token.Pos) b
 }
 
 func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	return isBuiltinInfo(pass.Info, fun, name)
+}
+
+func isBuiltinInfo(info *types.Info, fun ast.Expr, name string) bool {
 	id, ok := fun.(*ast.Ident)
 	if !ok || id.Name != name {
 		return false
 	}
-	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	_, ok = info.Uses[id].(*types.Builtin)
 	return ok
+}
+
+// pkgNameOf is PkgNameOf for callers that hold only a types.Info.
+func pkgNameOf(info *types.Info, expr ast.Expr) (string, bool) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
 }

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetReach proves determinism reachability: from every function annotated
+// //lint:detroot (the simulation engine, what-if batch evaluation,
+// federated reads, the stream operators), no call path may reach a
+// nondeterminism source — a wall-clock or timer read, a draw from the
+// globally-seeded math/rand stream, order-dependent accumulation across a
+// map range, or a select racing multiple channels. The diagnostic lands on
+// the offending construct and carries the full call chain from the root as
+// notes. Where the per-package determinism analyzer sweeps a fixed list of
+// simulation packages, detreach follows the actual call graph, so a
+// nondeterministic helper in an unswept package (telemetry biases, a core
+// observer) is caught the moment a root can reach it.
+var DetReach = &ProgramAnalyzer{
+	Name: "detreach",
+	Doc: "prove no nondeterminism source (wall clock, global math/rand, map-order " +
+		"accumulation, racing select) is reachable from //lint:detroot functions",
+	Severity: SeverityError,
+	Run:      runDetReach,
+}
+
+func runDetReach(pass *ProgramPass) {
+	prog := pass.Prog
+	facts := prog.ComputeFacts(detDirect, func(_ *FuncNode, _ Call) bool { return true })
+	for _, root := range prog.Nodes {
+		if !root.Detroot {
+			continue
+		}
+		for _, leaf := range facts.Leaves(root, root.Name()+" is the annotated root") {
+			pass.ReportChain(leaf.Fact.Pos, leaf.Chain,
+				"%s, reachable from determinism root %s", leaf.Fact.Msg, root.Name())
+		}
+	}
+}
+
+// detDirect collects the nondeterminism sources in one function's body
+// (function literals included — they are attributed to their creator).
+func detDirect(n *FuncNode) []Fact {
+	if n.Decl.Body == nil {
+		return nil
+	}
+	info := n.Pkg.Info
+	var out []Fact
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.SelectorExpr:
+			if f := detSelector(info, node); f != nil {
+				out = append(out, *f)
+			}
+		case *ast.SelectStmt:
+			if comm := commClauses(node); comm >= 2 {
+				out = append(out, Fact{
+					Pos: node.Pos(),
+					Msg: "select racing multiple channels picks a ready case at random",
+				})
+			}
+		case *ast.RangeStmt:
+			for _, mf := range mapRangeFindings(info, enclosingFile(n, node.Pos()), node) {
+				out = append(out, Fact{Pos: mf.Pos, Msg: mf.Msg})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// detSelector flags wall-clock reads and global math/rand draws.
+func detSelector(info *types.Info, sel *ast.SelectorExpr) *Fact {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	name := sel.Sel.Name
+	switch pn.Imported().Path() {
+	case "time":
+		if wallClockFuncs[name] {
+			return &Fact{Pos: sel.Pos(), Msg: "time." + name + " reads the wall clock"}
+		}
+	case "math/rand", "math/rand/v2":
+		if _, isFunc := info.Uses[sel.Sel].(*types.Func); isFunc && !randConstructors[name] {
+			return &Fact{Pos: sel.Pos(), Msg: "global rand." + name + " is not seed-reproducible"}
+		}
+	}
+	return nil
+}
+
+// commClauses counts a select's non-default communication cases.
+func commClauses(s *ast.SelectStmt) int {
+	n := 0
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// enclosingFile finds the file of pos within the node's package.
+func enclosingFile(n *FuncNode, pos token.Pos) *ast.File {
+	for _, f := range n.Pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -76,6 +76,84 @@ func TestMalformedDirectives(t *testing.T) {
 	}
 }
 
+// fixture returns the real module import path of a program-analyzer fixture
+// package. Program fixtures live under testdata (so go build skips them) but
+// are addressed by their true module paths, which lets them import each
+// other through the loader — the point of a cross-package call graph.
+func fixture(elem string) string {
+	return "repro/internal/lint/testdata/src/" + elem
+}
+
+// TestDetReachGolden pins the tentpole case: a wall-clock read two packages
+// away from the //lint:detroot function is reported at the read, with the
+// call chain as notes, while an equally nondeterministic but unreachable
+// function stays unreported and a //lint:allow detreach site is suppressed.
+func TestDetReachGolden(t *testing.T) {
+	linttest.RunProgram(t, lint.DetReach,
+		fixture("detreach/root"), fixture("detreach/clock"))
+}
+
+func TestAllocFreeGolden(t *testing.T) {
+	linttest.RunProgram(t, lint.AllocFree, fixture("allocfree/hot"))
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	linttest.RunProgram(t, lint.CtxFlow, fixture("ctxflow/query"))
+}
+
+func TestLeakCheckGolden(t *testing.T) {
+	linttest.RunProgram(t, lint.LeakCheck, fixture("leakcheck/leak"))
+}
+
+// TestDetReachChainNotes asserts the shape of the evidence trail: the
+// diagnostic at the time.Now call must carry the root hop first, then one
+// hop per call edge from the root to the leaf.
+func TestDetReachChainNotes(t *testing.T) {
+	l := linttest.Shared(t, ".")
+	var pkgs []*lint.Package
+	for _, path := range []string{fixture("detreach/root"), fixture("detreach/clock")} {
+		pkg, err := l.LoadPackage(path)
+		if err != nil || pkg == nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	prog := lint.BuildProgram(pkgs)
+	var chained *lint.Diagnostic
+	for _, d := range lint.RunProgram(prog, []*lint.ProgramAnalyzer{lint.DetReach}) {
+		if strings.Contains(d.Message, "time.Now reads the wall clock") {
+			d := d
+			chained = &d
+		}
+	}
+	if chained == nil {
+		t.Fatal("no detreach diagnostic for the time.Now leaf")
+	}
+	if len(chained.Notes) < 3 {
+		t.Fatalf("want >= 3 chain notes (root, two call hops), got %d: %v", len(chained.Notes), chained.Notes)
+	}
+	wantNotes := []string{
+		"root.Step is the annotated root",
+		"root.Step calls root.helper",
+		"root.helper calls clock.NowUnix",
+	}
+	for i, want := range wantNotes {
+		if got := chained.Notes[i].Message; got != want {
+			t.Errorf("note %d: got %q, want %q", i, got, want)
+		}
+	}
+	if chained.Severity != lint.SeverityError {
+		t.Errorf("detreach severity: got %v, want error", chained.Severity)
+	}
+}
+
+// TestDeterminismCoversCmd pins the widened scope: the same fixture that is
+// a violation under a simulation-package path must also be a violation when
+// loaded as a cmd/ package — the shipped binaries are swept too.
+func TestDeterminismCoversCmd(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "repro/cmd/example", testdata("determinism"))
+}
+
 // TestNoFalsePositivesOnUnits runs the full suite over the real
 // internal/units package — the one place raw scale factors are sanctioned —
 // and requires silence in every view (plain, in-package tests, external

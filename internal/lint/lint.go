@@ -28,26 +28,60 @@ import (
 	"strings"
 )
 
+// Severity ranks a diagnostic. Every severity gates the build (reprolint
+// exits non-zero on any finding); the rank is carried into the JSON and
+// SARIF encodings so downstream tooling can triage.
+type Severity string
+
+const (
+	SeverityError   Severity = "error"
+	SeverityWarning Severity = "warning"
+)
+
+// Note is one step of supporting context attached to a diagnostic — the
+// call-graph analyzers use a note per hop to print the path from an
+// annotated root to the offending construct.
+type Note struct {
+	Pos     token.Position
+	Message string
+}
+
 // Diagnostic is one reported violation, with its position resolved.
 type Diagnostic struct {
 	Analyzer string
+	Severity Severity // empty means SeverityError
 	Pos      token.Position
 	Message  string
+	Notes    []Note // optional call-chain context, root first
+}
+
+// EffectiveSeverity resolves the empty default.
+func (d Diagnostic) EffectiveSeverity() Severity {
+	if d.Severity == "" {
+		return SeverityError
+	}
+	return d.Severity
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s",
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%d:%d: %s: %s",
 		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	for _, n := range d.Notes {
+		fmt.Fprintf(&b, "\n\t%s:%d: %s", n.Pos.Filename, n.Pos.Line, n.Message)
+	}
+	return b.String()
 }
 
 // Analyzer is one named check. Skip, when non-nil, exempts whole packages by
 // import path before Run is invoked (the coarse allowlist; //lint:allow is
 // the per-line escape hatch).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Skip func(pkgPath string) bool
-	Run  func(*Pass)
+	Name     string
+	Doc      string
+	Severity Severity // default SeverityError
+	Skip     func(pkgPath string) bool
+	Run      func(*Pass)
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -66,6 +100,7 @@ type Pass struct {
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -90,26 +125,55 @@ func (p *Pass) PkgNameOf(expr ast.Expr) (string, bool) {
 	return pn.Imported().Path(), true
 }
 
-// All returns the full suite in reporting order.
+// All returns the per-package suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{Determinism, UnitSafety, FloatCompare, ErrWrap, LockSafety}
 }
 
-// ByName returns the named analyzers from the full suite.
-func ByName(names []string) ([]*Analyzer, error) {
-	index := make(map[string]*Analyzer)
+// ProgramAnalyzers returns the whole-program (call-graph) suite in
+// reporting order.
+func ProgramAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{DetReach, AllocFree, CtxFlow, LeakCheck}
+}
+
+// AllNames returns every analyzer name of the full nine-analyzer suite, the
+// per-package checks first.
+func AllNames() []string {
+	var out []string
 	for _, a := range All() {
-		index[a.Name] = a
+		out = append(out, a.Name)
 	}
-	var out []*Analyzer
+	for _, a := range ProgramAnalyzers() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// ByName resolves names against the full suite, splitting them into the
+// per-package and whole-program analyzers they select.
+func ByName(names []string) ([]*Analyzer, []*ProgramAnalyzer, error) {
+	pkgIdx := make(map[string]*Analyzer)
+	for _, a := range All() {
+		pkgIdx[a.Name] = a
+	}
+	progIdx := make(map[string]*ProgramAnalyzer)
+	for _, a := range ProgramAnalyzers() {
+		progIdx[a.Name] = a
+	}
+	var pkgOut []*Analyzer
+	var progOut []*ProgramAnalyzer
 	for _, n := range names {
-		a, ok := index[n]
-		if !ok {
-			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		if a, ok := pkgIdx[n]; ok {
+			pkgOut = append(pkgOut, a)
+			continue
 		}
-		out = append(out, a)
+		if a, ok := progIdx[n]; ok {
+			progOut = append(progOut, a)
+			continue
+		}
+		return nil, nil, fmt.Errorf("lint: unknown analyzer %q", n)
 	}
-	return out, nil
+	return pkgOut, progOut, nil
 }
 
 // scopePath strips the external-test suffix so package allowlists treat a
@@ -128,6 +192,11 @@ func pathBase(path string) string {
 // group 2 the (required) reason.
 var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)(?:\s+(\S.*))?$`)
 
+// annotRe matches the whole-program annotation directives: //lint:detroot
+// marks a determinism root for detreach and //lint:allocfree an
+// allocation-free contract for allocfree. A trailing reason is optional.
+var annotRe = regexp.MustCompile(`^//lint:(detroot|allocfree)(?:\s+\S.*)?$`)
+
 // allowKey identifies one suppressed (file, line, analyzer) site.
 type allowKey struct {
 	file     string
@@ -135,29 +204,35 @@ type allowKey struct {
 	analyzer string
 }
 
-// allowDirectives scans the package's comments for //lint:allow directives.
-// Malformed directives (unknown analyzer, missing reason) are returned as
-// diagnostics so they fail the build rather than silently suppressing.
+// allowDirectives scans the package's comments for //lint: directives.
+// Malformed directives (unknown analyzer, missing reason, misspelled
+// annotation) are returned as diagnostics so they fail the build rather
+// than silently suppressing. Comment text is normalized for CRLF sources:
+// a trailing carriage return never leaks into an analyzer name or reason.
 func allowDirectives(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
 	known := make(map[string]bool)
-	for _, a := range All() {
-		known[a.Name] = true
+	for _, n := range AllNames() {
+		known[n] = true
 	}
 	allowed := make(map[allowKey]bool)
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, "//lint:allow") {
+				text := strings.TrimRight(c.Text, "\r")
+				if !strings.HasPrefix(text, "//lint:") {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				m := allowRe.FindStringSubmatch(c.Text)
+				if annotRe.MatchString(text) {
+					continue // consumed by BuildProgram
+				}
+				m := allowRe.FindStringSubmatch(text)
 				if m == nil || m[2] == "" || !known[m[1]] {
 					bad = append(bad, Diagnostic{
 						Analyzer: "lint",
 						Pos:      pos,
-						Message:  "malformed directive: want //lint:allow <analyzer> <reason>",
+						Message:  "malformed directive: want //lint:allow <analyzer> <reason>, //lint:detroot, or //lint:allocfree",
 					})
 					continue
 				}

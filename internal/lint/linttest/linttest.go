@@ -95,6 +95,51 @@ func Run(t *testing.T, a *lint.Analyzer, importPath, dir string) {
 	}
 }
 
+// RunProgram loads the module packages at importPaths through the shared
+// loader, builds the whole-program view over them, analyzes it with one
+// program analyzer, and compares the diagnostics against the // want
+// comments across all the fixture packages. Fixture packages live under
+// testdata but are addressed by their real module import paths, so they can
+// import each other (and real module packages) through the normal loader —
+// which is exactly what exercising a cross-package call graph requires.
+func RunProgram(t *testing.T, a *lint.ProgramAnalyzer, importPaths ...string) {
+	t.Helper()
+	l := Shared(t, ".")
+	var pkgs []*lint.Package
+	var wants []*expectation
+	loaderMu.Lock()
+	for _, path := range importPaths {
+		pkg, err := l.LoadPackage(path)
+		if err != nil {
+			loaderMu.Unlock()
+			t.Fatalf("load %s: %v", path, err)
+		}
+		if pkg == nil {
+			loaderMu.Unlock()
+			t.Fatalf("load %s: no non-test Go files", path)
+		}
+		pkgs = append(pkgs, pkg)
+		ws, err := parseWants(pkg)
+		if err != nil {
+			loaderMu.Unlock()
+			t.Fatalf("parse want comments: %v", err)
+		}
+		wants = append(wants, ws...)
+	}
+	loaderMu.Unlock()
+	prog := lint.BuildProgram(pkgs)
+	for _, d := range lint.RunProgram(prog, []*lint.ProgramAnalyzer{a}) {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
 // claim marks the first unmet expectation on the diagnostic's line whose
 // pattern matches the message, and reports whether one was found.
 func claim(wants []*expectation, d lint.Diagnostic) bool {

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -28,14 +29,34 @@ type Package struct {
 // of this module by path prefix and everything else through go/build's
 // GOROOT lookup, so it works offline with no toolchain export data and no
 // third-party dependencies. Cgo is disabled so the pure-Go fallbacks of
-// stdlib packages are used. Not safe for concurrent use.
+// stdlib packages are used.
+//
+// The loader is safe for concurrent use: each import path is type-checked
+// exactly once behind a singleflight entry, so callers can preload disjoint
+// packages from a worker pool and the demand-driven import recursion walks
+// the import DAG in dependency order. Module-internal packages are checked
+// with full types.Info and that check is the canonical *types.Package for
+// both importers and analysis — one check serves both, which is what keeps
+// *types.Func identity stable across packages for the call graph.
 type Loader struct {
 	Fset    *token.FileSet
 	ctxt    build.Context
 	modPath string
 	modDir  string
-	// typed caches dependency type-checks keyed by resolved import path.
-	typed map[string]*types.Package
+
+	mu sync.Mutex
+	// loads holds one singleflight entry per resolved import path.
+	loads map[string]*loadEntry
+}
+
+// loadEntry is the singleflight slot for one package: the first requester
+// creates it and closes ready when the check completes; everyone else
+// blocks on ready.
+type loadEntry struct {
+	ready chan struct{}
+	pkg   *Package // full package (Info filled) for module paths; nil for externals
+	tpkg  *types.Package
+	err   error
 }
 
 // NewLoader returns a loader rooted at the module containing dir.
@@ -55,7 +76,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ctxt:    ctxt,
 		modPath: modPath,
 		modDir:  modDir,
-		typed:   map[string]*types.Package{},
+		loads:   map[string]*loadEntry{},
 	}, nil
 }
 
@@ -114,12 +135,13 @@ func (l *Loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Pac
 	}
 	var dir, key string
 	var files []string
+	module := false
 	if mdir, ok := l.inModule(path); ok {
 		bp, err := l.ctxt.ImportDir(mdir, 0)
 		if err != nil {
 			return nil, fmt.Errorf("lint: import %q: %w", path, err)
 		}
-		dir, files, key = mdir, bp.GoFiles, path
+		dir, files, key, module = mdir, bp.GoFiles, path, true
 	} else {
 		bp, err := l.ctxt.Import(path, srcDir, 0)
 		if err != nil {
@@ -127,15 +149,57 @@ func (l *Loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Pac
 		}
 		dir, files, key = bp.Dir, bp.GoFiles, bp.ImportPath
 	}
-	if pkg, ok := l.typed[key]; ok {
-		return pkg, nil
+	e := l.load(key, dir, files, module)
+	if e.err != nil {
+		return nil, e.err
 	}
-	checked, err := l.check(key, dir, files, false)
+	return e.tpkg, nil
+}
+
+// load returns the singleflight entry for key, creating it (and running the
+// check) on first request. Module packages are checked with full Info so
+// the cached *types.Package is the same one analysis sees. Import cycles
+// would deadlock here, but cycles are already illegal Go and rejected by
+// the type checker on legal inputs.
+func (l *Loader) load(key, dir string, files []string, withInfo bool) *loadEntry {
+	l.mu.Lock()
+	if e, ok := l.loads[key]; ok {
+		l.mu.Unlock()
+		<-e.ready
+		return e
+	}
+	e := &loadEntry{ready: make(chan struct{})}
+	l.loads[key] = e
+	l.mu.Unlock()
+	e.pkg, e.err = l.check(key, dir, files, withInfo)
+	if e.pkg != nil {
+		e.tpkg = e.pkg.Pkg
+		if !withInfo {
+			e.pkg = nil // dependency view: only the types.Package is retained
+		}
+	}
+	close(e.ready)
+	return e
+}
+
+// LoadPackage loads the plain (non-test) view of a module package, with
+// full types.Info, through the singleflight cache: the returned Package is
+// canonical — importers of the package see the identical *types.Package.
+// A directory holding only test files returns (nil, nil).
+func (l *Loader) LoadPackage(path string) (*Package, error) {
+	dir, ok := l.inModule(path)
+	if !ok {
+		return nil, fmt.Errorf("lint: %q is not in module %s", path, l.modPath)
+	}
+	bp, err := l.importDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
 	}
-	l.typed[key] = checked.Pkg
-	return checked.Pkg, nil
+	if len(bp.GoFiles) == 0 {
+		return nil, nil
+	}
+	e := l.load(path, dir, bp.GoFiles, true)
+	return e.pkg, e.err
 }
 
 // check parses the named files in dir and type-checks them as one package.
@@ -204,12 +268,9 @@ func (l *Loader) LoadVariants(path string) ([]*Package, error) {
 	}
 	var out []*Package
 	if len(bp.GoFiles) > 0 {
-		pkg, err := l.check(path, dir, bp.GoFiles, true)
+		pkg, err := l.LoadPackage(path)
 		if err != nil {
 			return nil, err
-		}
-		if _, cached := l.typed[path]; !cached {
-			l.typed[path] = pkg.Pkg
 		}
 		out = append(out, pkg)
 	}

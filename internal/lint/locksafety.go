@@ -142,73 +142,22 @@ func checkLockAssignCopy(pass *Pass, as *ast.AssignStmt) {
 // checkGoroutineCancellation flags `go func() { ... }()` whose body contains
 // an unbounded for-loop (no condition, no return, no break) while the body
 // as a whole never consults a cancellation source: a context value, a
-// channel receive, a select, or a range over a channel.
+// channel receive, a select, or a range over a channel. The loop and signal
+// detection is shared with the whole-program leakcheck analyzer
+// (leakcheck.go), which applies the same rule tree-wide and through the
+// call graph.
 func checkGoroutineCancellation(pass *Pass, g *ast.GoStmt) {
 	fl, ok := g.Call.Fun.(*ast.FuncLit)
 	if !ok {
 		return
 	}
-	if hasCancellationSignal(pass, fl.Body) {
+	if consultsCancellation(pass.Info, fl.Body) {
 		return
 	}
-	var unbounded bool
-	ast.Inspect(fl.Body, func(n ast.Node) bool {
-		fs, ok := n.(*ast.ForStmt)
-		if !ok || fs.Cond != nil {
-			return true
-		}
-		exits := false
-		ast.Inspect(fs.Body, func(m ast.Node) bool {
-			switch m := m.(type) {
-			case *ast.ReturnStmt:
-				exits = true
-			case *ast.BranchStmt:
-				if m.Tok == token.BREAK || m.Tok == token.GOTO {
-					exits = true
-				}
-			case *ast.FuncLit:
-				return false // returns inside nested literals do not exit the loop
-			}
-			return !exits
-		})
-		if !exits {
-			unbounded = true
-		}
-		return !unbounded
-	})
-	if unbounded {
+	if len(unboundedLoops(fl.Body)) > 0 {
 		pass.Report(g.Pos(),
 			"goroutine spins an unbounded loop with no cancellation path (context, channel receive, or return)")
 	}
-}
-
-// hasCancellationSignal reports whether body consults anything that can end
-// the goroutine from outside: a context.Context value, a channel receive, a
-// select statement, or ranging over a channel.
-func hasCancellationSignal(pass *Pass, body *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SelectStmt:
-			found = true
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				found = true
-			}
-		case *ast.RangeStmt:
-			if t := pass.Info.TypeOf(n.X); t != nil {
-				if _, ok := t.Underlying().(*types.Chan); ok {
-					found = true
-				}
-			}
-		case *ast.Ident:
-			if t := pass.Info.TypeOf(n); t != nil && isContextType(t) {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
 }
 
 func isContextType(t types.Type) bool {

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Machine-readable encodings of a diagnostic run. Both encoders emit file
+// paths relative to a base directory (forward-slashed), so the output is
+// stable across checkouts; diagnostics arrive already sorted, so the
+// encodings are byte-deterministic.
+
+// jsonNote mirrors Note for encoding.
+type jsonNote struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Message string `json:"message"`
+}
+
+// jsonDiagnostic mirrors Diagnostic for encoding.
+type jsonDiagnostic struct {
+	Analyzer string     `json:"analyzer"`
+	Severity string     `json:"severity"`
+	File     string     `json:"file"`
+	Line     int        `json:"line"`
+	Column   int        `json:"column"`
+	Message  string     `json:"message"`
+	Notes    []jsonNote `json:"notes,omitempty"`
+}
+
+// relPath shortens an absolute diagnostic path against base, normalizing to
+// forward slashes.
+func relPath(base, path string) string {
+	if base != "" {
+		if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+// EncodeJSON writes the diagnostics as a JSON array of objects.
+func EncodeJSON(w io.Writer, diags []Diagnostic, base string) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			Severity: string(d.EffectiveSeverity()),
+			File:     relPath(base, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		}
+		for _, n := range d.Notes {
+			jd.Notes = append(jd.Notes, jsonNote{
+				File:    relPath(base, n.Pos.Filename),
+				Line:    n.Pos.Line,
+				Message: n.Message,
+			})
+		}
+		out = append(out, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 scaffolding — the minimum GitHub code scanning and other
+// SARIF consumers need: one run, one rule per analyzer, one result per
+// diagnostic with the call-chain notes as related locations.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID           string          `json:"ruleId"`
+	Level            string          `json:"level"`
+	Message          sarifText       `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifText    `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// EncodeSARIF writes the diagnostics as a SARIF 2.1.0 log. The rule table
+// always lists the full nine-analyzer suite so rule metadata is present
+// even for findings suppressed in this run.
+func EncodeSARIF(w io.Writer, diags []Diagnostic, base string) error {
+	var rules []sarifRule
+	for _, a := range All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{a.Doc}})
+	}
+	for _, a := range ProgramAnalyzers() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{a.Doc}})
+	}
+	// The framework's own directive diagnostics use this pseudo-rule.
+	rules = append(rules, sarifRule{ID: "lint",
+		ShortDescription: sarifText{"malformed or misplaced //lint: directive"}})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		r := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   string(d.EffectiveSeverity()),
+			Message: sarifText{d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{relPath(base, d.Pos.Filename)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		}
+		for _, n := range d.Notes {
+			msg := sarifText{n.Message}
+			r.RelatedLocations = append(r.RelatedLocations, sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{relPath(base, n.Pos.Filename)},
+					Region:           sarifRegion{StartLine: n.Pos.Line},
+				},
+				Message: &msg,
+			})
+		}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "reprolint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

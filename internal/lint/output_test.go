@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "detreach",
+			Severity: SeverityError,
+			Pos:      token.Position{Filename: "/mod/internal/sim/sim.go", Line: 10, Column: 3},
+			Message:  "time.Now reads the wall clock, reachable from determinism root sim.Run",
+			Notes: []Note{
+				{Pos: token.Position{Filename: "/mod/internal/sim/sim.go", Line: 5}, Message: "sim.Run is the annotated root"},
+			},
+		},
+		{
+			Analyzer: "ctxflow",
+			Severity: SeverityWarning,
+			Pos:      token.Position{Filename: "/mod/internal/query/q.go", Line: 20, Column: 2},
+			Message:  "time.Sleep blocks without a deadline on a path from handler query.Handle; plumb the request context through",
+		},
+	}
+}
+
+func TestEncodeJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, sampleDiags(), filepath.FromSlash("/mod")); err != nil {
+		t.Fatal(err)
+	}
+	var out []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(out))
+	}
+	if out[0].File != "internal/sim/sim.go" || out[0].Severity != "error" || out[0].Line != 10 {
+		t.Errorf("first diagnostic mangled: %+v", out[0])
+	}
+	if len(out[0].Notes) != 1 || out[0].Notes[0].Line != 5 {
+		t.Errorf("notes mangled: %+v", out[0].Notes)
+	}
+	if out[1].Severity != "warning" {
+		t.Errorf("ctxflow severity: got %q, want warning", out[1].Severity)
+	}
+}
+
+func TestEncodeJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty run: got %q, want []", got)
+	}
+}
+
+func TestEncodeSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSARIF(&buf, sampleDiags(), filepath.FromSlash("/mod")); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("bad log envelope: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "reprolint" {
+		t.Errorf("driver name: got %q", run.Tool.Driver.Name)
+	}
+	// Every analyzer in the suite plus the directive pseudo-rule.
+	wantRules := len(All()) + len(ProgramAnalyzers()) + 1
+	if len(run.Tool.Driver.Rules) != wantRules {
+		t.Errorf("got %d rules, want %d", len(run.Tool.Driver.Rules), wantRules)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "detreach" || r.Level != "error" {
+		t.Errorf("first result: %+v", r)
+	}
+	if uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/sim/sim.go" {
+		t.Errorf("uri not relativized: %q", uri)
+	}
+	if len(r.RelatedLocations) != 1 || r.RelatedLocations[0].Message.Text != "sim.Run is the annotated root" {
+		t.Errorf("related locations mangled: %+v", r.RelatedLocations)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	diags := sampleDiags()
+	// Duplicate the first finding so aggregation into a counted entry is
+	// exercised.
+	diags = append(diags, diags[0])
+	if err := WriteBaseline(path, diags, filepath.FromSlash("/mod")); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (duplicates aggregate): %+v", len(bl.Entries), bl.Entries)
+	}
+	for _, e := range bl.Entries {
+		if e.Analyzer == "detreach" && e.Count != 2 {
+			t.Errorf("detreach entry count: got %d, want 2", e.Count)
+		}
+	}
+	kept, stale := bl.Filter(diags, filepath.FromSlash("/mod"))
+	if len(kept) != 0 || len(stale) != 0 {
+		t.Errorf("round trip must fully consume: kept=%d stale=%d", len(kept), len(stale))
+	}
+}
+
+func TestBaselineStaleAndOverflow(t *testing.T) {
+	bl := &Baseline{Entries: []BaselineEntry{
+		{Analyzer: "detreach", File: "internal/sim/sim.go",
+			Message: "time.Now reads the wall clock, reachable from determinism root sim.Run", Count: 1},
+		{Analyzer: "errwrap", File: "gone.go", Message: "fixed long ago", Count: 3},
+	}}
+	diags := sampleDiags()
+	diags = append(diags, diags[0]) // second occurrence exceeds the count of 1
+	kept, stale := bl.Filter(diags, filepath.FromSlash("/mod"))
+	if len(kept) != 2 {
+		t.Errorf("got %d kept, want 2 (the ctxflow finding and the overflow occurrence)", len(kept))
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" {
+		t.Errorf("stale entries: %+v", stale)
+	}
+}
+
+func TestReadBaselineMissingFile(t *testing.T) {
+	bl, err := ReadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.Entries) != 0 {
+		t.Errorf("missing file must be an empty baseline, got %+v", bl.Entries)
+	}
+}
+
+func TestRelPath(t *testing.T) {
+	base := filepath.FromSlash("/mod")
+	if got := relPath(base, filepath.FromSlash("/mod/a/b.go")); got != "a/b.go" {
+		t.Errorf("relPath inside base: got %q", got)
+	}
+	if got := relPath(base, filepath.FromSlash("/other/c.go")); got != "/other/c.go" {
+		t.Errorf("relPath outside base must stay absolute: got %q", got)
+	}
+}

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the whole-program layer of reprolint. The per-package
+// analyzers (lint.go) see one type-checked package at a time; the
+// ProgramAnalyzers below see a Program — every analyzed package plus a
+// cross-package, CHA-style call graph (callgraph.go) and per-function fact
+// summaries computed bottom-up over its SCC condensation (facts.go). That
+// is what turns "sim.Run was deterministic on the paths the parity tests
+// exercised" into "no path reachable from sim.Run can read a wall clock".
+//
+// Two source annotations drive the whole-program suite:
+//
+//	//lint:detroot    — the function is a determinism root: detreach proves
+//	                    no nondeterminism source is reachable from it.
+//	//lint:allocfree  — the function must be transitively free of
+//	                    allocating constructs (allocfree).
+//
+// Both are written in the function's doc comment.
+
+// ProgramAnalyzer is one whole-program check, run over the call graph of
+// every analyzed package at once rather than per package.
+type ProgramAnalyzer struct {
+	Name     string
+	Doc      string
+	Severity Severity // default SeverityError
+	Run      func(*ProgramPass)
+}
+
+// ProgramPass carries one whole-program analyzer's view of the Program.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Prog     *Program
+
+	diags []Diagnostic
+}
+
+// Report records a violation at pos.
+func (p *ProgramPass) Report(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportChain records a violation at pos with the call chain that reaches
+// it, rendered as one note per hop starting at the root.
+func (p *ProgramPass) ReportChain(pos token.Pos, chain []ChainHop, format string, args ...any) {
+	d := Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	}
+	for _, h := range chain {
+		d.Notes = append(d.Notes, Note{
+			Pos:     p.Prog.Fset.Position(h.Pos),
+			Message: h.Message,
+		})
+	}
+	p.diags = append(p.diags, d)
+}
+
+// ChainHop is one step of a reported call chain.
+type ChainHop struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Program is the whole-program view: every analyzed package, an index of
+// their source functions, and the call graph over them.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package // plain (non-test) views, sorted by import path
+
+	// Funcs indexes every source function (and method) by its type-checker
+	// object; identity holds across packages because all packages were
+	// type-checked through one shared loader.
+	Funcs map[*types.Func]*FuncNode
+
+	// Nodes lists the same functions in deterministic order: package path,
+	// then file name, then line.
+	Nodes []*FuncNode
+
+	allowed map[allowKey]bool
+	bad     []Diagnostic // misplaced annotation directives
+
+	chaCache map[chaKey][]*FuncNode
+	sccOrder [][]*FuncNode
+}
+
+// FuncNode is one source function in the call graph.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Calls lists the outgoing edges in source order, including calls made
+	// inside function literals declared in the body (a closure's calls are
+	// attributed to the function that creates it — the over-approximation
+	// that keeps reachability sound without a dataflow analysis).
+	Calls []Call
+
+	// Detroot and Allocfree record the //lint: annotations on the
+	// declaration's doc comment.
+	Detroot   bool
+	Allocfree bool
+
+	index, lowlink int // Tarjan scratch
+	onStack        bool
+}
+
+// Name returns the function's display name, e.g. "sim.Run" or
+// "(*stream.Pipeline).Ingest".
+func (n *FuncNode) Name() string { return funcDisplayName(n.Fn) }
+
+// Call is one outgoing call edge.
+type Call struct {
+	Pos    token.Pos
+	Callee *FuncNode   // non-nil when the callee's source is in the program
+	Fn     *types.Func // the callee object, set even for externals; nil when dynamic
+	// Dynamic marks a call through a plain function value; the target is
+	// unknown, and propagation stops (the creating function already owns
+	// any literal's body, see FuncNode.Calls).
+	Dynamic bool
+	// ViaIface marks an edge added by class-hierarchy analysis for an
+	// interface method call: Callee is one possible concrete target.
+	ViaIface bool
+}
+
+// CalleeName returns a printable name for the call target.
+func (c Call) CalleeName() string {
+	if c.Fn != nil {
+		return funcDisplayName(c.Fn)
+	}
+	return "dynamic call"
+}
+
+type chaKey struct {
+	iface  *types.Interface
+	method string
+}
+
+// BuildProgram assembles the whole-program view over the given packages
+// (plain views, each type-checked with Info through one shared loader).
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Funcs:    map[*types.Func]*FuncNode{},
+		allowed:  map[allowKey]bool{},
+		chaCache: map[chaKey][]*FuncNode{},
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	prog.Pkgs = sorted
+	if len(sorted) > 0 {
+		prog.Fset = sorted[0].Fset
+	}
+	// Index every function declaration, with its annotations. Malformed
+	// //lint:allow directives are NOT collected here — reporting them is
+	// the per-package Run's job, and collecting them twice would duplicate
+	// the diagnostics when both suites run.
+	for _, pkg := range sorted {
+		allowed, _ := allowDirectives(pkg.Fset, pkg.Files)
+		for k := range allowed {
+			prog.allowed[k] = true
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: obj, Decl: fd, Pkg: pkg}
+				node.Detroot, node.Allocfree = funcAnnotations(fd)
+				prog.Funcs[obj] = node
+				prog.Nodes = append(prog.Nodes, node)
+			}
+		}
+		prog.bad = append(prog.bad, misplacedAnnotations(pkg)...)
+	}
+	sort.Slice(prog.Nodes, func(i, j int) bool {
+		a, b := prog.Nodes[i], prog.Nodes[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		pa, pb := prog.Fset.Position(a.Decl.Pos()), prog.Fset.Position(b.Decl.Pos())
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		return pa.Line < pb.Line
+	})
+	// Second pass: call edges (needs the full index for resolution).
+	for _, node := range prog.Nodes {
+		prog.buildCalls(node)
+	}
+	return prog
+}
+
+// funcAnnotations reads the //lint:detroot and //lint:allocfree markers
+// from a declaration's doc comment.
+func funcAnnotations(fd *ast.FuncDecl) (detroot, allocfree bool) {
+	if fd.Doc == nil {
+		return false, false
+	}
+	for _, c := range fd.Doc.List {
+		m := annotRe.FindStringSubmatch(strings.TrimRight(c.Text, "\r"))
+		if m == nil {
+			continue
+		}
+		switch m[1] {
+		case "detroot":
+			detroot = true
+		case "allocfree":
+			allocfree = true
+		}
+	}
+	return detroot, allocfree
+}
+
+// misplacedAnnotations flags //lint:detroot / //lint:allocfree comments
+// that are not part of a function declaration's doc comment — anywhere
+// else they silently do nothing, which is worse than an error.
+func misplacedAnnotations(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		docs := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					docs[c] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !annotRe.MatchString(strings.TrimRight(c.Text, "\r")) || docs[c] {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Analyzer: "lint",
+					Pos:      pkg.Fset.Position(c.Pos()),
+					Message:  "annotation must be in a function's doc comment",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunProgram applies the whole-program analyzers and returns the surviving
+// diagnostics sorted by position. //lint:allow suppressions from every
+// analyzed package apply, keyed as for per-package analyzers: the
+// directive sits on the offending line or the line above it.
+func RunProgram(prog *Program, analyzers []*ProgramAnalyzer) []Diagnostic {
+	out := append([]Diagnostic(nil), prog.bad...)
+	for _, a := range analyzers {
+		pass := &ProgramPass{Analyzer: a, Prog: prog}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if prog.allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+				prog.allowed[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// funcDisplayName renders a function object compactly: pkg.Func for
+// package-level functions, (recv).Method for methods.
+func funcDisplayName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	qual := func(p *types.Package) string {
+		if p == nil {
+			return ""
+		}
+		return pathBase(p.Path())
+	}
+	if sig != nil && sig.Recv() != nil {
+		return fmt.Sprintf("(%s).%s",
+			types.TypeString(sig.Recv().Type(), qual), fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return qual(fn.Pkg()) + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (prog *Program) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(prog.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,39 @@
+// Package hot is the allocfree fixture: an annotated hot path that leaks
+// allocations through a callee — an interface-boxing argument and an append
+// — plus allocating code no annotated function reaches, which must stay
+// unreported.
+package hot
+
+// Step is the fixture hot path.
+//
+//lint:allocfree
+func Step(vs []float64) float64 {
+	var sum float64
+	for i := 0; i < len(vs); i++ {
+		sum += vs[i]
+	}
+	return scale(sum)
+}
+
+func scale(v float64) float64 {
+	record(v) // want `passing float64 to an interface parameter boxes the value, on a path from alloc-free function hot\.Step`
+	return v * grow()
+}
+
+func record(v any) { _ = v }
+
+var scratch []int
+
+func grow() float64 {
+	scratch = append(scratch, 1) // want `append may grow the backing array, on a path from alloc-free function hot\.Step`
+	return float64(len(scratch))
+}
+
+// BuildTable allocates freely, but nothing annotated reaches it.
+func BuildTable(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}

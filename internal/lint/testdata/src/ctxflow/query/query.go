@@ -1,0 +1,55 @@
+// Package query is the ctxflow fixture. Its directory basename puts it in
+// the serving-layer scope, so handler shapes and parallel submissions are
+// checked: a blocking call reached without a context is reported, a callee
+// that accepts a context stops propagation, and a fresh root context inside
+// a handler is its own violation.
+package query
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+func Handle(w http.ResponseWriter, r *http.Request) {
+	work()
+}
+
+func work() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks without a deadline on a path from handler query\.Handle`
+}
+
+// HandleOK hands the request context to its callee; the sleep behind a
+// context-taking function is assumed cooperative and not reported.
+func HandleOK(w http.ResponseWriter, r *http.Request) {
+	workCtx(r.Context())
+}
+
+func workCtx(ctx context.Context) {
+	_ = ctx
+	time.Sleep(time.Millisecond)
+}
+
+func HandleFresh(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `handler query\.HandleFresh creates a fresh context\.Background`
+	workCtx(ctx)
+}
+
+// fanOut submits a blocking task to the parallel package without giving it
+// a context.
+func fanOut() {
+	parallel.ForEach(4, 2, func(i int) { // want `task passed to parallel\.ForEach calls time\.Sleep`
+		time.Sleep(time.Millisecond)
+	})
+}
+
+// fanOutOK threads a context into the task, which satisfies the check.
+func fanOutOK(ctx context.Context) {
+	parallel.ForEach(4, 2, func(i int) {
+		if ctx.Err() == nil {
+			time.Sleep(time.Millisecond)
+		}
+	})
+}

@@ -1,0 +1,31 @@
+// Package root is the annotated half of the detreach fixture.
+package root
+
+import (
+	"time"
+
+	"repro/internal/lint/testdata/src/detreach/clock"
+)
+
+// Step is the fixture's simulation entry point: the wall-clock read two
+// calls away (helper → clock.NowUnix → time.Now) must be reported with the
+// full chain.
+//
+//lint:detroot
+func Step() int64 {
+	return helper() + clock.Frozen() + allowedHelper()
+}
+
+func helper() int64 { return clock.NowUnix() }
+
+// allowedHelper pins //lint:allow suppression for program analyzers: the
+// read below is reachable from Step but explicitly sanctioned.
+func allowedHelper() int64 {
+	//lint:allow detreach fixture exception with a reason
+	return time.Now().UnixNano()
+}
+
+// Unreached also reads the clock, but no detroot can reach it, so detreach
+// stays silent about it (the per-package determinism analyzer would be the
+// one to catch it in a scoped package).
+func Unreached() int64 { return time.Now().Unix() }

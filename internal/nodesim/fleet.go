@@ -118,6 +118,8 @@ func (f *Fleet) StepSec() float64 { return f.stepSec }
 
 // StepNode advances node i's thermal state by the fleet's fixed step under
 // the given component power and cabinet water supply temperature.
+//
+//lint:allocfree
 func (f *Fleet) StepNode(i int, p *workload.NodePower, supplyC units.Celsius) {
 	gbase, cbase := i*units.GPUsPerNode, i*units.CPUsPerNode
 	f.step(i, p, supplyC,

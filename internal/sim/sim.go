@@ -501,6 +501,8 @@ func (rs *runState) removeActive(idx int) {
 }
 
 // Run executes the simulation, invoking every observer once per window.
+//
+//lint:detroot
 func (s *Sim) Run(obs ...Observer) (*Result, error) {
 	cfg := s.cfg
 	n := cfg.Nodes
@@ -701,6 +703,8 @@ func (s *Sim) Run(obs ...Observer) (*Result, error) {
 // runBlock steps every node of block b and accumulates the block's share
 // of the cluster roll-up. Distinct blocks touch disjoint state, so blocks
 // run concurrently; within a block, nodes run in index order.
+//
+//lint:allocfree
 func (s *Sim) runBlock(b int, rs *runState) {
 	start := b * rollupBlockNodes
 	end := start + rollupBlockNodes
@@ -726,6 +730,8 @@ func (s *Sim) runBlock(b int, rs *runState) {
 
 // stepNode evaluates one node's window: sub-sampled power statistics from
 // the memoized job profile bases, sensor bias, and the thermal step.
+//
+//lint:allocfree
 func (s *Sim) stepNode(i int, rs *runState) {
 	snap := rs.snap
 	id := topology.NodeID(i)

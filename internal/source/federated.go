@@ -280,11 +280,13 @@ func fetchOwned[T any](f *FederatedSource, p Partition, fetch func(RunSource) (T
 		}()
 	}
 	launch(owners[0], false)
+	//lint:allow detreach hedge trigger only; replica answers are byte-identical
 	timer := time.NewTimer(f.cfg.HedgeDelay) //lint:allow determinism hedge trigger only; replica answers are byte-identical
 	defer timer.Stop()
 	next, pending := 1, 1
 	var errs []error
 	for {
+		//lint:allow detreach the racing arms return byte-identical replica answers
 		select {
 		case r := <-ch:
 			pending--
@@ -328,6 +330,8 @@ func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
 
 // Series implements RunSource. Per-shard failures fail the read unless
 // AllowPartial is set; SeriesDetail exposes the partial-result errors.
+//
+//lint:detroot
 func (f *FederatedSource) Series(name string) (*tsagg.Series, error) {
 	s, _, err := f.SeriesDetail(name)
 	return s, err
@@ -337,6 +341,8 @@ func (f *FederatedSource) Series(name string) (*tsagg.Series, error) {
 // the stitched series, plus one ShardError per day whose owners all failed.
 // Without AllowPartial any ShardError fails the read; with it, failed days
 // stay NaN and the caller decides whether a partial answer is acceptable.
+//
+//lint:detroot
 func (f *FederatedSource) SeriesDetail(name string) (*tsagg.Series, []ShardError, error) {
 	if !f.nameSet[name] {
 		return nil, nil, fmt.Errorf("source: series %q: %w", name, ErrUnknownSeries)
@@ -398,6 +404,8 @@ func (f *FederatedSource) SeriesDetail(name string) (*tsagg.Series, []ShardError
 
 // MeterSeries implements RunSource, mirroring the archive's probe loop over
 // the federated name catalog.
+//
+//lint:detroot
 func (f *FederatedSource) MeterSeries() ([]*tsagg.Series, []*tsagg.Series, error) {
 	var meters, sums []*tsagg.Series
 	for m := 0; ; m++ {
@@ -423,6 +431,8 @@ func (f *FederatedSource) MeterSeries() ([]*tsagg.Series, []*tsagg.Series, error
 
 // JobRecords implements RunSource: job rows live at day 0 by the writer's
 // layout contract, so the read routes to that partition's owners.
+//
+//lint:detroot
 func (f *FederatedSource) JobRecords() ([]JobRecord, error) {
 	recs, _, err := fetchOwned(f, Partition{Cluster: f.meta.Cluster, Day: 0},
 		func(src RunSource) ([]JobRecord, error) { return src.JobRecords() })
@@ -430,6 +440,8 @@ func (f *FederatedSource) JobRecords() ([]JobRecord, error) {
 }
 
 // Failures implements RunSource; like job rows, the log lives at day 0.
+//
+//lint:detroot
 func (f *FederatedSource) Failures() ([]failures.Event, error) {
 	evs, _, err := fetchOwned(f, Partition{Cluster: f.meta.Cluster, Day: 0},
 		func(src RunSource) ([]failures.Event, error) { return src.Failures() })
@@ -438,6 +450,8 @@ func (f *FederatedSource) Failures() ([]failures.Event, error) {
 
 // NodeWindows implements RunSource: day-addressed, so it routes directly to
 // the day's owners.
+//
+//lint:detroot
 func (f *FederatedSource) NodeWindows(day int) (map[int][]tsagg.WindowStat, error) {
 	m, _, err := fetchOwned(f, Partition{Cluster: f.meta.Cluster, Day: day},
 		func(src RunSource) (map[int][]tsagg.WindowStat, error) { return src.NodeWindows(day) })

@@ -30,6 +30,8 @@ func (b *Bands) Name() string { return "bands" }
 // Apply implements Operator. Gap frames contribute zero counts, exactly
 // like the offline collector, which sets every band series slot on every
 // window.
+//
+//lint:detroot
 func (b *Bands) Apply(f *Frame) {
 	for i := 0; i < core.NumTempBands; i++ {
 		v := float64(f.BandGPUs[i])

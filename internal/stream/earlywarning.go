@@ -64,6 +64,8 @@ func (ew *EarlyWarning) Name() string { return "earlywarning" }
 // Apply implements Operator. Early warning consumes the failure feed, not
 // the telemetry frames; frames only advance the observation span, which
 // the pipeline tracks.
+//
+//lint:detroot
 func (ew *EarlyWarning) Apply(f *Frame) {}
 
 // Flush implements Operator.

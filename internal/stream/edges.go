@@ -182,6 +182,8 @@ func (e *Edges) Name() string { return "edges" }
 // Apply implements Operator. The fleet value replicates the rollup's
 // node-order summation so the detector sees exactly the offline cluster
 // power series.
+//
+//lint:detroot
 func (e *Edges) Apply(f *Frame) {
 	v := math.NaN()
 	if f.Observed > 0 {

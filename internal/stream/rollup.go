@@ -51,6 +51,8 @@ func newRollup(cfg Config) *Rollup {
 func (r *Rollup) Name() string { return "rollup" }
 
 // Apply implements Operator.
+//
+//lint:detroot
 func (r *Rollup) Apply(f *Frame) {
 	w := RollupWindow{
 		T:        f.Start,

@@ -43,6 +43,8 @@ func (o Options) weights() Weights {
 // of the power-cap experiment); the knobs may still change what starts
 // and when. Evaluations fan out over a parallel.Pool and are
 // bit-reproducible for any worker count.
+//
+//lint:detroot
 func Evaluate(base sim.Config, scns []Scenario, opt Options) ([]Report, error) {
 	if err := base.Validate(); err != nil {
 		return nil, fmt.Errorf("whatif: base config: %w", err)

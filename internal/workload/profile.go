@@ -158,6 +158,8 @@ type SampleBase struct {
 }
 
 // BaseAt returns the shared sample base at dt seconds after job start.
+//
+//lint:allocfree
 func (p Profile) BaseAt(dt float64) SampleBase {
 	act := p.Activity(dt)
 	cpuAct := 0.35 + 0.65*act
@@ -171,6 +173,8 @@ func (p Profile) BaseAt(dt float64) SampleBase {
 // PowerFromBase applies node nodeIdx's deterministic noise and the
 // per-component clamps to a shared sample base. Power(key, n, dt) is by
 // construction bit-identical to PowerFromBase(BaseAt(dt), key, n).
+//
+//lint:allocfree
 func (p Profile) PowerFromBase(b SampleBase, key uint64, nodeIdx int) NodePower {
 	var np NodePower
 	var compute float64
