@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint lint-smoke lint-sarif race stream-check streamd check ci bench bench-sim bench-smoke bench-query bench-whatif optimize-smoke federate-smoke bench-report clean
+.PHONY: all build test vet fmt lint lint-smoke lint-sarif race stream-check streamd check ci bench bench-sim bench-smoke bench-query bench-whatif optimize-smoke federate-smoke scenario-smoke bench-report clean
 
 all: check
 
@@ -114,6 +114,20 @@ federate-smoke:
 	/tmp/fedsmoke-analyze -data /tmp/fedsmoke-fleet -cluster summit-0 -shards 2 > /tmp/fedsmoke-sharded.txt
 	cmp /tmp/fedsmoke-direct.txt /tmp/fedsmoke-sharded.txt
 	rm -rf /tmp/fedsmoke-fleet /tmp/fedsmoke-summitsim /tmp/fedsmoke-analyze /tmp/fedsmoke-direct.txt /tmp/fedsmoke-sharded.txt
+
+# scenario-smoke gates the declarative scenario plane: the full-catalog
+# golden regression under the race detector, then an end-to-end check that
+# one scenario run at two worker counts archives byte-identical datasets
+# and reports (the bit-reproducibility contract).
+scenario-smoke:
+	$(GO) test -race -run 'TestGoldenCatalogReports|TestRunArchiveParity' ./internal/scenario
+	$(GO) build -o /tmp/scnsmoke-scenario ./cmd/scenario
+	/tmp/scnsmoke-scenario -list
+	rm -rf /tmp/scnsmoke-w1 /tmp/scnsmoke-w4
+	/tmp/scnsmoke-scenario -run trace-replay -workers 1 -out /tmp/scnsmoke-w1
+	/tmp/scnsmoke-scenario -run trace-replay -workers 4 -out /tmp/scnsmoke-w4
+	diff -r /tmp/scnsmoke-w1 /tmp/scnsmoke-w4
+	rm -rf /tmp/scnsmoke-scenario /tmp/scnsmoke-w1 /tmp/scnsmoke-w4
 
 # bench-report regenerates the checked-in markdown trend report from every
 # BENCH_*.json baseline.

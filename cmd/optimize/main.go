@@ -24,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/whatif"
 )
@@ -32,6 +33,7 @@ import (
 type options struct {
 	list      bool
 	study     string
+	scenario  string // base-scenario override: catalog name or spec file
 	strategy  string
 	scenarios string // path to a scenario-list JSON file (skips search)
 	workers   int
@@ -75,6 +77,8 @@ func main() {
 	var o options
 	flag.BoolVar(&o.list, "list", false, "list the study catalog and exit")
 	flag.StringVar(&o.study, "study", "heatwave-setpoint", "catalog study to run (see -list)")
+	flag.StringVar(&o.scenario, "scenario", "",
+		"override the study's base scenario: a scenario-catalog name or a spec JSON file")
 	flag.StringVar(&o.strategy, "strategy", "grid", "search strategy: grid|cd|cem")
 	flag.StringVar(&o.scenarios, "scenarios", "", "JSON file with explicit scenarios to evaluate (skips search)")
 	flag.IntVar(&o.workers, "workers", 0, "scenario-level parallelism (0 = all cores)")
@@ -105,7 +109,18 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	base := study.Base
+	// Studies reference their base by scenario-catalog name (or any
+	// -scenario name/file override): resolve it to a sim.Config here —
+	// optimize sits above both planes in the dependency order.
+	baseRef := study.Scenario
+	if o.scenario != "" {
+		baseRef = o.scenario
+	}
+	resolved, err := scenario.Resolve(baseRef)
+	if err != nil {
+		return err
+	}
+	base := resolved.Config
 	if o.seed != 0 {
 		base.Seed = o.seed
 	}
@@ -188,16 +203,22 @@ func evaluateFile(base sim.Config, path string, opt whatif.Options) (*whatif.Swe
 	return res, nil
 }
 
-// listStudies prints the catalog.
+// listStudies prints the catalog, resolving each study's base scenario for
+// its dimensions.
 func listStudies(w io.Writer) error {
 	for _, s := range whatif.Catalog() {
 		points := 1
 		for _, ax := range s.Axes {
 			points *= len(ax.Values)
 		}
-		fmt.Fprintf(w, "%-20s %4d grid points, %d nodes, %s\n    %s\n",
-			s.Name, points, s.Base.Nodes,
-			(time.Duration(s.Base.DurationSec) * time.Second).String(), s.Description)
+		spec, err := scenario.ByName(s.Scenario)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-20s %4d grid points, %d nodes, %s (scenario %s)\n    %s\n",
+			s.Name, points, spec.Nodes,
+			(time.Duration(spec.DurationSec) * time.Second).String(),
+			s.Scenario, s.Description)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@
 // Usage:
 //
 //	summitsim -out /path/to/archive [-nodes N] [-days D] [-seed S]
+//	summitsim -out /path/to/archive -scenario heatwave-summer
 //	summitsim -out /path/to/fleet -clusters 2 [-sites summit,frontier]
 package main
 
@@ -28,6 +29,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/source"
 	"repro/internal/store"
@@ -37,6 +39,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("summitsim: ")
+	scenarioRef := flag.String("scenario", "",
+		"run a declarative scenario (catalog name or spec file) instead of building the config from flags")
 	nodes := flag.Int("nodes", 256, "system size in nodes (per cluster)")
 	days := flag.Float64("days", 1, "simulated span in days")
 	seed := flag.Uint64("seed", 2020, "simulation seed (fleet members derive per-cluster seeds)")
@@ -56,6 +60,20 @@ func main() {
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *scenarioRef != "" {
+		// A scenario is a complete run description: every flag that would
+		// also shape the config conflicts rather than silently losing.
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "nodes", "days", "seed", "setpoint", "placement", "powercap-mw", "clusters", "sites":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			log.Fatalf("-scenario describes the full run config; drop %s", strings.Join(conflicts, ", "))
+		}
 	}
 	if err := validateSize(*nodes, *days); err != nil {
 		log.Fatal(err)
@@ -101,19 +119,31 @@ func main() {
 			f.Close()
 		}()
 	}
-	cfg := repro.ScaledConfig(*nodes, time.Duration(*days*24*float64(time.Hour)))
-	cfg.Seed = *seed
-	if *capMW < 0 {
-		log.Fatalf("-powercap-mw must be >= 0, got %g", *capMW)
-	}
-	cfg.Plant.SupplySetpointC = *setpoint
-	cfg.Placement = *placement
-	cfg.PowerCap = units.Watts(*capMW * units.WattsPerMW)
-	// The knob surface shares sim.Config's validation: a bad setpoint,
-	// placement name or cap fails here with the same wrapped errors the
-	// what-if plane reports.
-	if err := cfg.Validate(); err != nil {
-		log.Fatal(err)
+	var cfg repro.Config
+	if *scenarioRef != "" {
+		r, err := scenario.Resolve(*scenarioRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = r.Config
+		if !*quiet {
+			fmt.Printf("scenario %s (hash %s, run seed %d)\n", r.Spec.Name, r.Identity(), r.Seed)
+		}
+	} else {
+		cfg = repro.ScaledConfig(*nodes, time.Duration(*days*24*float64(time.Hour)))
+		cfg.Seed = *seed
+		if *capMW < 0 {
+			log.Fatalf("-powercap-mw must be >= 0, got %g", *capMW)
+		}
+		cfg.Plant.SupplySetpointC = *setpoint
+		cfg.Placement = *placement
+		cfg.PowerCap = units.Watts(*capMW * units.WattsPerMW)
+		// The knob surface shares sim.Config's validation: a bad setpoint,
+		// placement name or cap fails here with the same wrapped errors the
+		// what-if plane reports.
+		if err := cfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *clusters >= 2 {
 		if err := runFleet(cfg, *clusters, *sites, *out, *nodeData, *jobSeries, *quiet); err != nil {

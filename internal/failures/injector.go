@@ -20,6 +20,12 @@ type InjectorConfig struct {
 	// malfunction node that accounts for ~97 % of NVLink errors. Negative
 	// disables it.
 	SuperOffenderNVLink int
+	// SuperOffenders, when non-empty, overrides SuperOffenderNVLink with an
+	// epidemic of offender nodes: the single offender's fleet-dwarfing
+	// NVLink multiplier is split evenly across the listed nodes, preserving
+	// the total offender-attributed volume while spreading it spatially
+	// (the what-if question "one bad chip vs. a bad batch").
+	SuperOffenders []int
 	// MissingTempFrac is the fraction of events recorded without thermal
 	// context (the paper lost spring/early-summer temperature data).
 	MissingTempFrac float64
@@ -95,7 +101,14 @@ func NewInjector(cfg InjectorConfig) *Injector {
 			in.propensity[n][t] = m
 		}
 	}
-	if cfg.SuperOffenderNVLink >= 0 && cfg.SuperOffenderNVLink < cfg.Nodes {
+	if len(cfg.SuperOffenders) > 0 {
+		share := 30 * float64(cfg.Nodes) / float64(len(cfg.SuperOffenders))
+		for _, n := range cfg.SuperOffenders {
+			if n >= 0 && n < cfg.Nodes {
+				in.propensity[n][NVLinkError] = share
+			}
+		}
+	} else if cfg.SuperOffenderNVLink >= 0 && cfg.SuperOffenderNVLink < cfg.Nodes {
 		// ~97 % of NVLink errors come from one chip: give it a multiplier
 		// that dwarfs the rest of the fleet combined.
 		in.propensity[cfg.SuperOffenderNVLink][NVLinkError] = 30 * float64(cfg.Nodes)

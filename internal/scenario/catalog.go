@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/facility"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Catalog returns the checked-in scenario specs, sorted by name. Every
+// entry is pinned by a golden regression test (tolerance 0), so a catalog
+// name is a stable, citable run identity. The first three entries are the
+// base configurations of the historical what-if studies and reproduce
+// those studies' run shapes bit-for-bit.
+func Catalog() []Spec {
+	specs := []Spec{
+		{
+			Version: Version,
+			Name:    "heatwave-summer",
+			Description: "Mid-July afternoon heat wave on a 64-node floor: the " +
+				"wet-bulb peak of the weather year under the calibrated generator. " +
+				"Base of the heatwave-setpoint study.",
+			Nodes:       64,
+			DurationSec: 12 * units.SecondsPerHour,
+			Weather:     WeatherSummerHeatwave,
+		},
+		{
+			Version: Version,
+			Name:    "winter-economizer",
+			Description: "Deep-winter half day: cold wet bulbs keep the trim " +
+				"chillers idle and the towers carry the load. Base of the " +
+				"winter-economizer study.",
+			Nodes:       64,
+			DurationSec: 12 * units.SecondsPerHour,
+			Weather:     WeatherWinter,
+		},
+		{
+			Version: Version,
+			Name:    "summer-capday",
+			Description: "A full heat-wave day at nominal settings: the 24-hour " +
+				"span the cap-placement study sweeps admission caps over.",
+			Nodes:       64,
+			DurationSec: 24 * units.SecondsPerHour,
+			Weather:     WeatherSummerHeatwave,
+		},
+		{
+			Version: Version,
+			Name:    "chiller-outage",
+			Description: "Heat-wave afternoon with the trim-chiller plant degraded " +
+				"to one small inefficient unit and the supply setpoint forced up " +
+				"to 26 °C — the thermal-excursion stress case.",
+			Nodes:       64,
+			DurationSec: 12 * units.SecondsPerHour,
+			Weather:     WeatherSummerHeatwave,
+			Tuning: facility.Tuning{
+				SupplySetpointC: 26,
+				ChillerKWPerTon: 2.5,
+				ChillerUnitTons: 400,
+			},
+		},
+		{
+			Version: Version,
+			Name:    "offender-epidemic",
+			Description: "A bad manufacturing batch: the single NVLink " +
+				"super-offender's error volume spread over six nodes across the " +
+				"fleet, over a winter day at nominal cooling.",
+			Nodes:       64,
+			DurationSec: 24 * units.SecondsPerHour,
+			Weather:     WeatherWinter,
+			Failures:    FailureSpec{Regime: FailureEpidemic, Offenders: 6},
+		},
+		{
+			Version: Version,
+			Name:    "power-capped-brownout",
+			Description: "Grid-emergency brownout: six hours in, admission drops " +
+				"to a 0.12 MW ceiling for twelve hours, then the cap lifts — the " +
+				"demand-response what-if over a heat-wave day.",
+			Nodes:       64,
+			DurationSec: 24 * units.SecondsPerHour,
+			Weather:     WeatherSummerHeatwave,
+			CapSchedule: []CapStep{
+				{AfterSec: 6 * units.SecondsPerHour, CapMW: 0.12},
+				{AfterSec: 18 * units.SecondsPerHour, CapMW: 0},
+			},
+		},
+		{
+			Version: Version,
+			Name:    "trace-replay",
+			Description: "Pure replay of the bundled 24-hour sample scheduler " +
+				"trace, rebased onto a summer day: recorded submits, sizes and " +
+				"app classes through the twin's own scheduler and plant.",
+			Nodes:       64,
+			DurationSec: 24 * units.SecondsPerHour,
+			Weather:     WeatherSummer,
+			Workload:    WorkloadSpec{Source: SourceTrace, TracePath: trace.BuiltinSampleName},
+		},
+		{
+			Version: Version,
+			Name:    "mixed-replay",
+			Description: "The bundled sample trace replayed on top of a 60-job " +
+				"generated background — the trace's campaigns compete with " +
+				"synthetic traffic for the same summer-day floor.",
+			Nodes:       64,
+			DurationSec: 24 * units.SecondsPerHour,
+			Weather:     WeatherSummer,
+			Workload: WorkloadSpec{
+				Source:    SourceMixed,
+				Jobs:      60,
+				TracePath: trace.BuiltinSampleName,
+			},
+		},
+	}
+	sort.Slice(specs, func(a, b int) bool { return specs[a].Name < specs[b].Name })
+	return specs
+}
+
+// ByName looks up a catalog spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := ""
+	for i, s := range Catalog() {
+		if i > 0 {
+			names += ", "
+		}
+		names += s.Name
+	}
+	return Spec{}, fmt.Errorf("%w: unknown scenario %q (have %s)", ErrScenario, name, names)
+}

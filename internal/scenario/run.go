@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/whatif"
+)
+
+// Run executes the compiled scenario and returns the collected run data
+// and the sim result. The run is bit-reproducible for any worker count
+// (the engine's block-sharded roll-up contract), so the same scenario
+// hash always yields byte-identical archives.
+//
+//lint:detroot
+func Run(r *Resolved, workers int) (*core.RunData, *sim.Result, error) {
+	cfg := r.Config
+	cfg.Workers = workers
+	return core.CollectRun(cfg)
+}
+
+// Assess reduces a RunSource holding one run of this scenario to its
+// objective report — the same shape the what-if sweeps emit, stamped with
+// the scenario's identity. It is pure FromSource (whatif.AssessSource), so
+// the report is byte-identical whether computed from the live run's memory
+// source or from the archive it was written to.
+func (r *Resolved) Assess(src source.RunSource, w whatif.Weights) (whatif.Report, error) {
+	if w == (whatif.Weights{}) {
+		w = whatif.DefaultWeights()
+	}
+	rep, err := whatif.AssessSource(src, w)
+	if err != nil {
+		return rep, err
+	}
+	rep.Label = r.Spec.Name
+	rep.Hash = r.Identity()
+	rep.Seed = r.Seed
+	return rep, nil
+}

@@ -88,6 +88,11 @@ type Config struct {
 	Workload []workload.Job
 	// FailureRateScale accelerates XID rates for scaled-down runs.
 	FailureRateScale float64
+	// FailureOffenders reshapes the NVLink super-offender population:
+	// 0 keeps the default single offender, -1 disables it, and N ≥ 1 spreads
+	// the offender volume over N nodes spaced evenly across the fleet (the
+	// "bad batch" epidemic regime). Must not exceed Nodes.
+	FailureOffenders int
 	// FailureCheckSec is the failure-injection interval (coarser than the
 	// power step for efficiency). Defaults to 300 s.
 	FailureCheckSec int64
@@ -177,6 +182,10 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("%w: cap schedule offsets not strictly increasing at step %d (%d after %d)",
 				ErrConfig, i, st.AfterSec, c.PowerCapSchedule[i-1].AfterSec)
 		}
+	}
+	if c.FailureOffenders < -1 || c.FailureOffenders > c.Nodes {
+		return fmt.Errorf("%w: failure offenders %d outside [-1, %d]",
+			ErrConfig, c.FailureOffenders, c.Nodes)
 	}
 	if _, err := scheduler.ParsePlacement(c.Placement); err != nil {
 		return fmt.Errorf("%w: %w", ErrConfig, err)
@@ -363,6 +372,19 @@ func New(cfg Config) (*Sim, error) {
 	root := rng.New(cfg.Seed)
 	fcfg := failures.DefaultConfig(cfg.Seed+1, cfg.Nodes)
 	fcfg.RateScale = cfg.FailureRateScale
+	switch {
+	case cfg.FailureOffenders < 0:
+		fcfg.SuperOffenderNVLink = -1
+	case cfg.FailureOffenders == 1:
+		// A single explicit offender keeps the default node choice.
+	case cfg.FailureOffenders > 1:
+		// Space the offender epidemic evenly across the fleet.
+		offs := make([]int, cfg.FailureOffenders)
+		for i := range offs {
+			offs[i] = (i*cfg.Nodes + cfg.Nodes/2) / cfg.FailureOffenders % cfg.Nodes
+		}
+		fcfg.SuperOffenders = offs
+	}
 	s := &Sim{
 		cfg:      cfg,
 		floor:    floor,

@@ -1,0 +1,27 @@
+package trace
+
+import (
+	"bytes"
+	_ "embed"
+)
+
+// BuiltinSampleName is the reserved trace path that resolves to the
+// bundled sample trace instead of a file on disk: a synthetic 24-hour,
+// 64-node scheduler log in the documented CSV column mapping, shipped so
+// the scenario catalog's replay entries work without any external data.
+const BuiltinSampleName = "builtin:summit-2020-sample"
+
+//go:embed testdata/summit-2020-sample.csv
+var builtinSampleCSV []byte
+
+// BuiltinSampleBytes returns the bundled sample trace's raw CSV bytes.
+// Scenario identity hashes cover trace content, so the bytes are part of
+// the public surface, returned as a copy.
+func BuiltinSampleBytes() []byte {
+	return append([]byte(nil), builtinSampleCSV...)
+}
+
+// BuiltinSample parses the bundled sample trace.
+func BuiltinSample() ([]Row, error) {
+	return ParseCSV(bytes.NewReader(builtinSampleCSV))
+}

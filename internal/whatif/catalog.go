@@ -4,34 +4,36 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/sim"
 	"repro/internal/units"
 )
 
 // Study is a catalog entry: a ready-to-run what-if question with its base
-// configuration and search axes.
+// scenario and search axes. The base is referenced by internal/scenario
+// catalog name rather than an inlined sim.Config — the scenario catalog is
+// the one place run shapes are defined, and whatif sits below it in the
+// dependency order, so callers (cmd/optimize) resolve the name to a config
+// via scenario.Compile before calling Evaluate.
 type Study struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
-	Base        sim.Config
-	Axes        []Axis `json:"axes"`
+	// Scenario names the internal/scenario catalog entry supplying the
+	// base configuration.
+	Scenario string `json:"scenario"`
+	Axes     []Axis `json:"axes"`
 }
 
 // midJulyOffsetSec places a run in a mid-July afternoon heat wave (the
-// wet-bulb peak of the weather model's year).
+// wet-bulb peak of the weather model's year). The scenario catalog's
+// "summer-heatwave" weather regime is defined as exactly this offset.
 const midJulyOffsetSec = (196*24 + 12) * units.SecondsPerHour
 
-// Catalog returns the named studies, sorted by name. Each base is a
-// scaled floor sized so a full grid completes in seconds.
+// MidJulyOffsetSec exposes the heat-wave placement for the scenario
+// catalog, which must reproduce the historical study bases bit-for-bit.
+const MidJulyOffsetSec = midJulyOffsetSec
+
+// Catalog returns the named studies, sorted by name. Each base scenario is
+// a scaled floor sized so a full grid completes in seconds.
 func Catalog() []Study {
-	heat := sim.Scaled(64, 12*units.SecondsPerHour)
-	heat.StartTime += midJulyOffsetSec
-
-	winter := sim.Scaled(64, 12*units.SecondsPerHour)
-
-	capDay := sim.Scaled(64, 24*units.SecondsPerHour)
-	capDay.StartTime += midJulyOffsetSec
-
 	studies := []Study{
 		{
 			Name: "heatwave-setpoint",
@@ -39,7 +41,7 @@ func Catalog() []Study {
 				"against the staging deadband. Raising the setpoint unloads the trim " +
 				"chillers (energy down) but runs the GPUs hotter (violations up); " +
 				"the sweep maps the frontier and picks the operating point.",
-			Base: heat,
+			Scenario: "heatwave-summer",
 			Axes: []Axis{
 				{Param: ParamSupplySetpointC, Values: []float64{17.5, 18.5, 19.5, 20.5, 21.1, 22.0, 23.0, 24.0}},
 				{Param: ParamStageDownFrac, Values: []float64{0.80, 0.86, 0.92, 0.98}},
@@ -50,7 +52,7 @@ func Catalog() []Study {
 			Name: "winter-economizer",
 			Description: "Winter economizer tuning: with the chillers idle, trade " +
 				"tower efficiency against the supply setpoint for the lowest PUE.",
-			Base: winter,
+			Scenario: "winter-economizer",
 			Axes: []Axis{
 				{Param: ParamSupplySetpointC, Values: []float64{18.0, 19.5, 21.1, 22.5}},
 				{Param: ParamTowerKWPerTon, Values: []float64{0.10, 0.14, 0.18}},
@@ -60,7 +62,7 @@ func Catalog() []Study {
 			Name: "cap-placement",
 			Description: "Power-capped day: sweep the admission cap against the " +
 				"placement policy, trading skipped work against peak power and heat.",
-			Base: capDay,
+			Scenario: "summer-capday",
 			Axes: []Axis{
 				{Param: ParamPowerCapMW, Values: []float64{0.10, 0.14, 0.18, 0.25}},
 				{Param: ParamPlacement, Values: []float64{0, 1, 2}},

@@ -80,31 +80,24 @@ func (w Weights) Score(r *Report) float64 {
 		w.SkippedJob*float64(r.JobsSkipped)
 }
 
-// Assess reduces one completed run to its objective report through the
-// unified data plane: the same FromSource analyses the dashboards and the
-// archive tier run, applied to the run's in-memory source.
-func Assess(d *core.RunData, res *sim.Result, scn Scenario, seed uint64, w Weights) (Report, error) {
-	rep := Report{
-		Scenario: scn,
-		Label:    scn.Label(),
-		Hash:     fmt.Sprintf("%016x", scn.Hash()),
-		Seed:     seed,
-	}
-	src := d.Source()
+// assessMetrics fills the purely source-derived metric block shared by
+// Assess and AssessSource — energy, mean PUE, thermal violations,
+// overcooling — and returns the run's end time for job-completion cuts.
+func assessMetrics(src source.RunSource, rep *Report) (endTime int64, err error) {
 	it, err := src.Series(source.SeriesClusterTruePower)
 	if err != nil {
-		return rep, fmt.Errorf("whatif: assess: %w", err)
+		return 0, err
 	}
 	pue, err := src.Series(source.SeriesPUE)
 	if err != nil {
-		return rep, fmt.Errorf("whatif: assess: %w", err)
+		return 0, err
 	}
 	top, err := src.Series(source.GPUBandSeries(core.NumTempBands - 1))
 	if err != nil {
-		return rep, fmt.Errorf("whatif: assess: %w", err)
+		return 0, err
 	}
 	if it.Len() == 0 || pue.Len() != it.Len() || top.Len() != it.Len() {
-		return rep, fmt.Errorf("whatif: assess: inconsistent series lengths")
+		return 0, fmt.Errorf("inconsistent series lengths")
 	}
 	step := float64(it.Step)
 	var itJ, totJ float64
@@ -132,18 +125,88 @@ func Assess(d *core.RunData, res *sim.Result, scn Scenario, seed uint64, w Weigh
 	}
 	oc, err := core.OvercoolingFromSource(src)
 	if err != nil {
-		return rep, fmt.Errorf("whatif: assess: %w", err)
+		return 0, err
 	}
 	rep.OvercoolingTonH = oc.ExcessTonHours
 	rep.OvercoolingEnergyKWh = oc.ExcessEnergyKWh
+	return it.Start + int64(it.Len())*it.Step, nil
+}
+
+// Assess reduces one completed run to its objective report through the
+// unified data plane: the same FromSource analyses the dashboards and the
+// archive tier run, applied to the run's in-memory source. Run-level
+// facts the data plane cannot serve (skipped jobs, the scheduler's own
+// utilization figure) come from the sim result.
+func Assess(d *core.RunData, res *sim.Result, scn Scenario, seed uint64, w Weights) (Report, error) {
+	rep := Report{
+		Scenario: scn,
+		Label:    scn.Label(),
+		Hash:     fmt.Sprintf("%016x", scn.Hash()),
+		Seed:     seed,
+	}
+	endTime, err := assessMetrics(d.Source(), &rep)
+	if err != nil {
+		return rep, fmt.Errorf("whatif: assess: %w", err)
+	}
 	rep.Failures = len(res.Failures)
 	rep.JobsSkipped = res.Skipped
 	rep.Utilization = res.Utilization
-	endTime := d.StartTime + int64(it.Len())*it.Step
 	for i := range res.Allocations {
 		if res.Allocations[i].EndTime <= endTime {
 			rep.JobsCompleted++
 		}
+	}
+	rep.Score = w.Score(&rep)
+	return rep, nil
+}
+
+// AssessSource reduces any RunSource — a live run's memory source or a
+// re-opened archive — to the objective report using only what the source
+// serves: failures from the failure log, completed jobs and utilization
+// from the job records. JobsSkipped is not observable from a source
+// (skipped jobs never produce records) and reads 0. Because every input is
+// FromSource, the report is byte-identical whether computed before
+// archiving or after re-opening the archive (the memory/archive parity
+// invariant) — the scenario subsystem's run → archive → report path
+// depends on exactly this.
+func AssessSource(src source.RunSource, w Weights) (Report, error) {
+	var rep Report
+	endTime, err := assessMetrics(src, &rep)
+	if err != nil {
+		return rep, fmt.Errorf("whatif: assess source: %w", err)
+	}
+	meta, err := src.Meta()
+	if err != nil {
+		return rep, fmt.Errorf("whatif: assess source: %w", err)
+	}
+	evs, err := src.Failures()
+	if err != nil {
+		return rep, fmt.Errorf("whatif: assess source: %w", err)
+	}
+	rep.Failures = len(evs)
+	recs, err := src.JobRecords()
+	if err != nil {
+		return rep, fmt.Errorf("whatif: assess source: %w", err)
+	}
+	var nodeSec float64
+	for i := range recs {
+		r := &recs[i]
+		if r.EndTime <= endTime {
+			rep.JobsCompleted++
+		}
+		b, e := r.BeginTime, r.EndTime
+		if b < meta.StartTime {
+			b = meta.StartTime
+		}
+		if e > endTime {
+			e = endTime
+		}
+		if e > b {
+			nodeSec += float64(r.Nodes) * float64(e-b)
+		}
+	}
+	if span := float64(meta.SpanSec()) * float64(meta.Nodes); span > 0 {
+		rep.Utilization = nodeSec / span
 	}
 	rep.Score = w.Score(&rep)
 	return rep, nil

@@ -62,6 +62,16 @@ func Archetypes() []Archetype {
 	}
 }
 
+// ArchetypeByName looks an archetype up in the catalogue by name.
+func ArchetypeByName(name string) (Archetype, bool) {
+	for _, a := range Archetypes() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Archetype{}, false
+}
+
 // archetype mixing weights per domain, indexed as [domain][archetype].
 // Rows follow the Domain constant order; columns follow Archetypes().
 var domainArchetypeWeights = [NumDomains][8]float64{

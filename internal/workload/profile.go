@@ -235,6 +235,34 @@ func IdleNodePower() NodePower {
 	return np
 }
 
+// MeanPowerProfile returns a flat (swing-free) profile whose steady-state
+// mean node power matches the target wattage as closely as the component
+// model allows. Trace replay uses it for jobs that carry only a mean-power
+// hint: the per-node power at full activity is linear in a shared
+// utilization u, so the hint inverts in closed form and is clamped to the
+// node's physical envelope [fully idle, all components at TDP].
+func MeanPowerProfile(target units.Watts) Profile {
+	// total(u) with GPUUtil = CPUUtil = u, activity 1 (flat plateau):
+	//   gpu(u)   = GPUsPerNode · (gpuIdle + u·(GPUTDP − gpuIdle))
+	//   cpu(u)   = CPUsPerNode · (cpuIdle + u·(CPUTDP − cpuIdle))
+	//   other(u) = otherIdle + otherPerLoad·(gpu(u) + cpu(u))
+	floor := (1+otherPerLoad)*(units.GPUsPerNode*gpuIdle+units.CPUsPerNode*cpuIdle) + otherIdle
+	slope := (1 + otherPerLoad) * (units.GPUsPerNode*(float64(units.GPUTDP)-gpuIdle) +
+		units.CPUsPerNode*(float64(units.CPUTDP)-cpuIdle))
+	u := (float64(target) - floor) / slope
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return Profile{
+		GPUUtil: u, CPUUtil: u,
+		PeriodSec: 300, Duty: 1, // flat: always in the high phase
+		SwingFrac: 0, RampSec: 60, NoiseFrac: 0.04,
+	}
+}
+
 // SwingPerNode returns the profile's peak-to-trough per-node power swing in
 // watts — the quantity compared against the 868 W edge threshold.
 func (p Profile) SwingPerNode() units.Watts {
