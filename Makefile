@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint lint-smoke lint-sarif race stream-check streamd check ci bench bench-sim bench-smoke bench-query bench-whatif optimize-smoke federate-smoke scenario-smoke bench-report clean
+.PHONY: all build test vet fmt lint lint-smoke lint-sarif race stream-check streamd check ci bench bench-sim bench-smoke bench-query bench-query-smoke bench-whatif optimize-smoke federate-smoke scenario-smoke bench-report clean
 
 all: check
 
@@ -79,9 +79,23 @@ bench-sim:
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSim' -benchmem -benchtime 1x .
 
-# bench-query runs just the query-engine benchmarks (cold vs cached scans).
+# bench-query records the query-engine benchmarks (cold decode, cached,
+# iterator-aggregate, pre-aggregate) in BENCH_query.json twice: once with
+# the engine pinned to the decode-everything path ("materialized", the
+# pre-optimization baseline) and once on the default vectorized read path
+# ("vectorized"). The report then renders both labels side by side.
 bench-query:
-	$(GO) test -run xxx -bench 'BenchmarkQueryRange' -benchmem .
+	QUERYBENCH_MODE=materialized $(GO) test -run xxx -bench 'BenchmarkQuery' -benchmem -count 3 . | \
+		$(GO) run ./cmd/benchjson -out BENCH_query.json -label materialized
+	$(GO) test -run xxx -bench 'BenchmarkQuery' -benchmem -count 3 . | \
+		$(GO) run ./cmd/benchjson -out BENCH_query.json -label vectorized
+
+# bench-query-smoke is the CI guard: one iteration of each query benchmark
+# in both scan modes, plus a parse check of the tracked BENCH_query.json.
+bench-query-smoke:
+	QUERYBENCH_MODE=materialized $(GO) test -run xxx -bench 'BenchmarkQuery' -benchmem -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkQuery' -benchmem -benchtime 1x .
+	$(GO) run ./cmd/benchjson -report - BENCH_query.json >/dev/null
 
 # bench-whatif measures what-if scenario-evaluation throughput (runs/sec)
 # and records it in BENCH_whatif.json under LABEL.

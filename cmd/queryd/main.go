@@ -12,6 +12,7 @@
 //	                          earlywarning, overcooling, validation, failures, jobs)
 //	GET /healthz            — liveness
 //	GET /debug/vars         — queries served, cache hit/miss, bytes decoded, latency histogram
+//	GET /debug/pprof/…      — Go profiling endpoints (only with -pprof)
 //
 // The analysis routes require a cluster dataset in the archive; without one
 // they answer 404 and the raw query routes still work. Both tiers share one
@@ -31,6 +32,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +56,7 @@ type options struct {
 	timeout       time.Duration
 	maxConcurrent int
 	maxPoints     int
+	pprof         bool
 	quiet         bool
 }
 
@@ -72,6 +75,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline")
 	fs.IntVar(&o.maxConcurrent, "max-concurrent", 32, "concurrent query limit (excess sheds with 503)")
 	fs.IntVar(&o.maxPoints, "max-points", 200_000, "points/windows budget per response")
+	fs.BoolVar(&o.pprof, "pprof", false, "expose Go profiling endpoints under /debug/pprof/")
 	fs.BoolVar(&o.quiet, "q", false, "suppress startup output")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -195,8 +199,23 @@ func newServer(o options, out io.Writer) (*http.Server, net.Listener, *query.Eng
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	// -pprof mounts the Go profiler in front of the query routes so the
+	// serving path can be profiled under real HTTP load (see
+	// EXPERIMENTS.md, "Profiling the read path"). Off by default: queryd
+	// may face untrusted readers, profiles should be opt-in.
+	var root http.Handler = handler
+	if o.pprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		root = mux
+	}
 	srv := &http.Server{
-		Handler:           handler,
+		Handler:           root,
 		ReadHeaderTimeout: 5 * time.Second,
 		// The per-request timeout lives in the handler; WriteTimeout backs
 		// it up with headroom for slow readers of large responses.

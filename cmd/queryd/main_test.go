@@ -306,7 +306,7 @@ func writeFleetRoot(t *testing.T, root string) source.FleetManifest {
 		}
 		dir := filepath.Join(root, c.name)
 		col := core.NewCollector(s, cfg)
-		nw, err := core.NewNodeDatasetWriter(dir, cfg.Nodes)
+		nw, err := core.NewNodeDatasetWriter(dir, cfg.Nodes, cfg.Site)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -519,5 +519,23 @@ func TestNewServerRejectsEmptyArchive(t *testing.T) {
 	}
 	if _, _, _, err := newServer(o, io.Discard); err == nil {
 		t.Fatal("empty archive accepted")
+	}
+}
+
+func TestPprofGate(t *testing.T) {
+	dir := t.TempDir()
+	writeE2EArchive(t, dir)
+	// Default: profiling endpoints are not mounted.
+	base := startQueryd(t, "-data", dir, "-addr", "127.0.0.1:0", "-q")
+	if code := getInto(t, base+"/debug/pprof/cmdline", nil); code != 404 {
+		t.Fatalf("pprof served without -pprof: status %d", code)
+	}
+	// Opt-in: mounted, and the query routes still work behind the mux.
+	base = startQueryd(t, "-data", dir, "-addr", "127.0.0.1:0", "-q", "-pprof")
+	if code := getInto(t, base+"/debug/pprof/cmdline", nil); code != 200 {
+		t.Fatalf("pprof status with -pprof = %d", code)
+	}
+	if code := getInto(t, base+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz behind pprof mux = %d", code)
 	}
 }

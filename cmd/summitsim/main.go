@@ -164,7 +164,7 @@ func main() {
 			log.Fatal(err)
 		}
 		col := core.NewCollector(s, cfg)
-		nw, nerr := core.NewNodeDatasetWriter(*out, cfg.Nodes)
+		nw, nerr := core.NewNodeDatasetWriter(*out, cfg.Nodes, cfg.Site)
 		if nerr != nil {
 			log.Fatal(nerr)
 		}

@@ -285,9 +285,15 @@ func ReadFailureDataset(dir string) ([]failures.Event, error) {
 const DatasetNodePower = source.DatasetNodePower
 
 // NodeDatasetWriter is a sim.Observer that archives per-node input-power
-// window statistics day by day — the Dataset 0 equivalent.
+// window statistics day by day — the Dataset 0 equivalent. Alongside each
+// day partition it persists a pre-aggregate companion dataset
+// ("node-power.rollup") holding per-cabinet/MSB/fleet accumulator state at
+// coarse windows, which the query tier answers aligned rollups from without
+// scanning a single per-node row.
 type NodeDatasetWriter struct {
 	ds      *store.Dataset
+	rds     *store.Dataset // pre-aggregate companion (nil: disabled)
+	floor   *topology.Floor
 	nodes   int
 	day     int
 	dayEnd  int64
@@ -299,13 +305,37 @@ type NodeDatasetWriter struct {
 	err                 error
 }
 
-// NewNodeDatasetWriter archives into dir.
-func NewNodeDatasetWriter(dir string, nodes int) (*NodeDatasetWriter, error) {
+// nodeRollupCols lists the day-table columns pre-aggregated into the rollup
+// companion, in emission order (the count column rides along widened to
+// float, matching how the scan path reads it).
+var nodeRollupCols = []string{
+	"input_power.count", "input_power.min", "input_power.max",
+	"input_power.mean", "input_power.std",
+}
+
+// NewNodeDatasetWriter archives into dir. site selects the floor preset the
+// cluster instantiates ("" = summit); the pre-aggregate companion follows
+// its cabinet/switchboard geometry. nodes <= 0 disables pre-aggregation
+// (the rollup groupings need a floor).
+func NewNodeDatasetWriter(dir string, nodes int, site string) (*NodeDatasetWriter, error) {
 	ds, err := store.NewDataset(dir, DatasetNodePower)
 	if err != nil {
 		return nil, err
 	}
-	return &NodeDatasetWriter{ds: ds, nodes: nodes}, nil
+	w := &NodeDatasetWriter{ds: ds, nodes: nodes}
+	if nodes > 0 {
+		tcfg, err := topology.PresetScaled(site, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("core: node dataset pre-aggregates: %w", err)
+		}
+		if w.floor, err = topology.New(tcfg); err != nil {
+			return nil, fmt.Errorf("core: node dataset pre-aggregates: %w", err)
+		}
+		if w.rds, err = store.NewDataset(dir, source.RollupDatasetName(DatasetNodePower)); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
 }
 
 // Observe implements sim.Observer.
@@ -348,8 +378,30 @@ func (w *NodeDatasetWriter) flush() {
 		{Name: "input_power.std", Floats: w.std},
 	}}
 	w.err = w.ds.WriteDay(w.day, tab)
+	if w.err == nil && w.rds != nil {
+		w.err = w.flushRollup()
+	}
 	w.ts, w.node, w.count = nil, nil, nil
 	w.min, w.max, w.mean, w.std = nil, nil, nil, nil
+}
+
+// flushRollup folds the day's rows — the same rows, in the same order as
+// the day table — into the pre-aggregate companion partition, so a rollup
+// answered from pre-aggregates is bit-identical to one scanned from the day
+// table. The companion is tiny and cold-read, so it is stored with the
+// Gorilla codec.
+func (w *NodeDatasetWriter) flushRollup() error {
+	red := source.NewRollupReducer(w.floor, nodeRollupCols)
+	vals := make([]float64, len(nodeRollupCols))
+	for i := range w.ts {
+		vals[0] = float64(w.count[i])
+		vals[1], vals[2] = w.min[i], w.max[i]
+		vals[3], vals[4] = w.mean[i], w.std[i]
+		if err := red.Add(w.ts[i], w.node[i], vals); err != nil {
+			return err
+		}
+	}
+	return w.rds.WriteDayCodec(w.day, red.Table(), store.CodecGorilla)
 }
 
 // Close flushes the final partition and reports any deferred error.

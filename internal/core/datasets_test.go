@@ -5,6 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/store"
+	"repro/internal/topology"
 )
 
 func simConfigForNodeDataset() sim.Config {
@@ -95,7 +98,7 @@ func TestNodeDatasetWriter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := NewNodeDatasetWriter(dir, cfg.Nodes)
+	w, err := NewNodeDatasetWriter(dir, cfg.Nodes, cfg.Site)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,5 +179,106 @@ func TestJobSeriesDatasetRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadJobSeriesDataset(t.TempDir(), 10); err == nil {
 		t.Error("missing dataset read succeeded")
+	}
+}
+
+// TestNodeDatasetWriterRollupCompanion pins the collector-side half of the
+// pre-aggregate parity contract: the persisted companion partition is
+// bit-identical to re-reducing the archived day table's rows in file order.
+func TestNodeDatasetWriterRollupCompanion(t *testing.T) {
+	dir := t.TempDir()
+	cfg := simConfigForNodeDataset()
+	s, err := simNew(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewNodeDatasetWriter(dir, cfg.Nodes, cfg.Site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base, err := store.NewDataset(dir, DatasetNodePower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rds, err := store.NewDataset(dir, source.RollupDatasetName(DatasetNodePower))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDays, err := base.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rollDays, err := rds.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseDays) == 0 || len(baseDays) != len(rollDays) {
+		t.Fatalf("companion covers days %v, base has %v", rollDays, baseDays)
+	}
+	tcfg, err := topology.PresetScaled(cfg.Site, cfg.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, err := topology.New(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, day := range baseDays {
+		if day != rollDays[i] {
+			t.Fatalf("day %d: companion partition %d != base %d", i, rollDays[i], day)
+		}
+		tab, err := base.ReadDay(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, node := tab.Col("timestamp").Ints, tab.Col("node").Ints
+		red := source.NewRollupReducer(floor, nodeRollupCols)
+		vals := make([]float64, len(nodeRollupCols))
+		for r := range ts {
+			for c, name := range nodeRollupCols {
+				col := tab.Col(name)
+				if col.IsInt() {
+					vals[c] = float64(col.Ints[r])
+				} else {
+					vals[c] = col.Floats[r]
+				}
+			}
+			if err := red.Add(ts[r], node[r], vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := red.Table()
+		got, err := rds.ReadDay(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Cols) != len(want.Cols) {
+			t.Fatalf("day %d: %d companion columns, want %d", day, len(got.Cols), len(want.Cols))
+		}
+		for _, wc := range want.Cols {
+			gc := got.Col(wc.Name)
+			if gc == nil {
+				t.Fatalf("day %d: companion lost column %q", day, wc.Name)
+			}
+			if len(gc.Ints) != len(wc.Ints) || len(gc.Floats) != len(wc.Floats) {
+				t.Fatalf("day %d column %q: length mismatch", day, wc.Name)
+			}
+			for r := range wc.Ints {
+				if gc.Ints[r] != wc.Ints[r] {
+					t.Fatalf("day %d column %q row %d: %d != %d", day, wc.Name, r, gc.Ints[r], wc.Ints[r])
+				}
+			}
+			for r := range wc.Floats {
+				if math.Float64bits(gc.Floats[r]) != math.Float64bits(wc.Floats[r]) {
+					t.Fatalf("day %d column %q row %d: %v != %v", day, wc.Name, r, gc.Floats[r], wc.Floats[r])
+				}
+			}
+		}
 	}
 }

@@ -70,7 +70,7 @@ func collectOne(cfg sim.Config, nodeDataDir func(i int) string, i int) (FleetRun
 	var nw *NodeDatasetWriter
 	if nodeDataDir != nil {
 		if dir := nodeDataDir(i); dir != "" {
-			if nw, err = NewNodeDatasetWriter(dir, cfg.Nodes); err != nil {
+			if nw, err = NewNodeDatasetWriter(dir, cfg.Nodes, cfg.Site); err != nil {
 				return FleetRun{}, wrap(err)
 			}
 			observers = append(observers, nw)

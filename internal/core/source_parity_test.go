@@ -224,9 +224,27 @@ func TestArchiveSourcePruning(t *testing.T) {
 	if want := int(3600 / cfg.StepSec); inRange != want {
 		t.Fatalf("ranged read returned %d values, want %d", inRange, want)
 	}
-	// Only day 0 should be resident: one cached (timestamp, sum_inp) pair.
+	// First touch streams through the column iterator: nothing admitted.
 	entries, _ := arc.CacheStats()
-	if entries != 1 {
-		t.Fatalf("pruned read cached %d partitions, want 1", entries)
+	if entries != 0 {
+		t.Fatalf("cold pruned read cached %d partitions, want 0", entries)
+	}
+	// The surviving day is now hot: the same read materializes and admits
+	// exactly the one (timestamp, sum_inp) pair — pruned days stay out —
+	// and returns bit-identical values.
+	s2, err := arc.SeriesRange(source.SeriesClusterPower, t0, t0+3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Vals) != len(s.Vals) {
+		t.Fatalf("hot read returned %d values, want %d", len(s2.Vals), len(s.Vals))
+	}
+	for i, v := range s2.Vals {
+		if math.Float64bits(v) != math.Float64bits(s.Vals[i]) {
+			t.Fatalf("hot read diverged at slot %d: %v != %v", i, v, s.Vals[i])
+		}
+	}
+	if entries, _ = arc.CacheStats(); entries != 1 {
+		t.Fatalf("hot pruned read cached %d partitions, want 1", entries)
 	}
 }

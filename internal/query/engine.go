@@ -59,7 +59,26 @@ type Config struct {
 	// TimeColumns are candidate time-axis column names in priority order
 	// (nil: "timestamp", then "begin_time").
 	TimeColumns []string
+	// ScanMode selects the cold-read strategy; see the constants. The zero
+	// value (ScanAuto) is the production choice.
+	ScanMode ScanMode
 }
+
+// ScanMode selects how cold (uncached) day partitions are read.
+type ScanMode int
+
+const (
+	// ScanAuto streams first-touch partitions through the store's column
+	// iterator — aggregation happens during decode, nothing is
+	// materialized or admitted to the cache — and only materializes (and
+	// caches) partitions seen repeatedly. Cache-resident tables are always
+	// used. Aligned rollups may be answered from persisted pre-aggregates.
+	ScanAuto ScanMode = iota
+	// ScanMaterialize always decodes whole day tables through the cache —
+	// the engine's original read path, kept for cache-backed workloads,
+	// benchmarks of the before/after trajectory, and bit-parity tests.
+	ScanMaterialize
+)
 
 // Engine serves range, downsample and rollup queries over every dataset of
 // one archive directory. Safe for concurrent use.
@@ -89,7 +108,8 @@ func Open(cfg Config) (*Engine, error) {
 		cfg.CacheBytes = 256 << 20
 	}
 	if cfg.TimeColumns == nil {
-		cfg.TimeColumns = []string{"timestamp", "begin_time"}
+		// "window" is the time axis of pre-aggregate companion datasets.
+		cfg.TimeColumns = []string{"timestamp", "begin_time", "window"}
 	}
 	entries, err := os.ReadDir(cfg.Dir)
 	if err != nil {
@@ -218,6 +238,42 @@ func (e *Engine) table(st *datasetState, day int) (*store.Table, bool, error) {
 	return tab, false, nil
 }
 
+// scanTable resolves the read path of one day scan. It returns the cached
+// table when resident, a freshly materialized (and admitted) table when the
+// day has been touched before, or a nil table — meaning the caller should
+// stream the partition through the column iterator: single-touch full-day
+// scans are served during decode and never churn the cache.
+func (e *Engine) scanTable(st *datasetState, day int) (tab *store.Table, hit bool, err error) {
+	key := store.CacheKey(st.ds.Name, day, nil)
+	if tab, ok := e.cache.Get(key); ok {
+		e.met.CacheHits.Add(1)
+		return tab, true, nil
+	}
+	e.met.CacheMisses.Add(1)
+	if e.cfg.ScanMode != ScanMaterialize && e.cache.Touch(key) < 2 {
+		return nil, false, nil
+	}
+	tab, err = st.ds.ReadDay(day)
+	if err != nil {
+		return nil, false, err
+	}
+	e.met.BytesDecoded.Add(store.TableBytes(tab))
+	if n := e.cache.Put(key, tab); n > 0 {
+		e.met.CacheEvictions.Add(int64(n))
+	}
+	return tab, false, nil
+}
+
+// metaColumn finds a column in the partition inventory.
+func metaColumn(m store.DayMeta, name string) (store.ColumnInfo, bool) {
+	for _, c := range m.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return store.ColumnInfo{}, false
+}
+
 // RangeRequest selects one column of one dataset over [T0, T1).
 type RangeRequest struct {
 	Dataset string
@@ -246,7 +302,11 @@ type QueryStats struct {
 	RowsScanned int64
 	CacheHits   int64
 	CacheMisses int64
-	Elapsed     time.Duration
+	// Preagg marks a rollup answered entirely from persisted
+	// pre-aggregates; RowsScanned then counts accumulator rows, not
+	// per-node rows.
+	Preagg  bool
+	Elapsed time.Duration
 }
 
 // RangeResult is a range query's answer: Points when Step == 0, Windows
@@ -314,15 +374,26 @@ func (e *Engine) rangeLocked(ctx context.Context, req RangeRequest) (*RangeResul
 
 	scans := parallel.ProcessChunks(len(scanDays), e.cfg.Workers, func(c parallel.Chunk) dayScan {
 		var out dayScan
+		var sc store.IterScratch
 		for _, day := range scanDays[c.Start:c.End] {
 			if err := ctx.Err(); err != nil {
 				out.err = err
 				return out
 			}
-			tab, hit, err := e.table(st, day)
+			tab, hit, err := e.scanTable(st, day)
 			if err != nil {
 				out.err = err
 				return out
+			}
+			if tab == nil {
+				// First-touch partition: aggregate during decode.
+				out.misses++
+				e.met.IterScans.Add(1)
+				if err := e.iterRange(st, meta[day], req, &out, &sc); err != nil {
+					out.err = err
+					return out
+				}
+				continue
 			}
 			if hit {
 				out.hits++
@@ -356,6 +427,52 @@ func (e *Engine) rangeLocked(ctx context.Context, req RangeRequest) (*RangeResul
 		}
 	}
 	return res, nil
+}
+
+// iterRange streams one partition through the column iterator, appending
+// matching (t, v) samples during decode — same order, same values, bit for
+// bit, as scanRange over the materialized table, without building it.
+func (e *Engine) iterRange(st *datasetState, m store.DayMeta, req RangeRequest, out *dayScan, sc *store.IterScratch) error {
+	if m.TimeColumn == "" {
+		return fmt.Errorf("query: partition day %d has no time column: %w",
+			m.Day, ErrBadRequest)
+	}
+	if _, ok := metaColumn(m, req.Column); !ok {
+		return fmt.Errorf("query: dataset %q has no column %q: %w",
+			req.Dataset, req.Column, ErrNotFound)
+	}
+	axes := []string{m.TimeColumn}
+	if req.Node >= 0 {
+		if c, ok := metaColumn(m, "node"); !ok || !c.Int {
+			return fmt.Errorf("query: dataset %q has no node column; node filter unsupported: %w",
+				req.Dataset, ErrBadRequest)
+		}
+		axes = append(axes, "node")
+	}
+	rows, err := st.ds.IterDayColumns(m.Day, axes, req.Column, sc, func(start int, vals []float64) error {
+		times := sc.Axes[0]
+		var nodes []int64
+		if len(sc.Axes) > 1 {
+			nodes = sc.Axes[1]
+		}
+		for j, v := range vals {
+			i := start + j
+			t := times[i]
+			if t < req.T0 || t >= req.T1 {
+				continue
+			}
+			if nodes != nil && nodes[i] != req.Node {
+				continue
+			}
+			out.samples = append(out.samples, tsagg.Sample{T: t, V: v})
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	out.rows += int64(rows)
+	return nil
 }
 
 // scanRange extracts matching (t, v) samples of one decoded partition.

@@ -69,10 +69,14 @@ func writeTestArchive(t testing.TB, dir string) {
 }
 
 func testEngine(t testing.TB) *Engine {
+	return testEngineMode(t, ScanAuto)
+}
+
+func testEngineMode(t testing.TB, mode ScanMode) *Engine {
 	t.Helper()
 	dir := t.TempDir()
 	writeTestArchive(t, dir)
-	e, err := Open(Config{Dir: dir, Nodes: fixNodes})
+	e, err := Open(Config{Dir: dir, Nodes: fixNodes, ScanMode: mode})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,6 +224,9 @@ func res0SumInp(tm int64) float64 {
 	return total
 }
 
+// TestRangeCacheHits pins the admission policy: a first-touch full-day scan
+// is served by the streaming iterator and NOT admitted to the cache; the
+// second touch materializes and admits; the third hits.
 func TestRangeCacheHits(t *testing.T) {
 	e := testEngine(t)
 	req := RangeRequest{Dataset: "node-power", Column: "input_power.mean", Node: -1, T0: 0, T1: 2 * daySec}
@@ -230,27 +237,84 @@ func TestRangeCacheHits(t *testing.T) {
 	if first.Stats.CacheMisses != 2 || first.Stats.CacheHits != 0 {
 		t.Fatalf("cold query hits/misses = %d/%d", first.Stats.CacheHits, first.Stats.CacheMisses)
 	}
+	if e.Metrics().IterScans.Load() != 2 {
+		t.Fatalf("cold query iterator scans = %d, want 2", e.Metrics().IterScans.Load())
+	}
+	if e.Metrics().BytesDecoded.Load() != 0 {
+		t.Error("first-touch scan materialized a table")
+	}
+	if entries, _ := e.CacheStats(); entries != 0 {
+		t.Fatalf("first-touch scan admitted %d entries", entries)
+	}
+	second, err := e.Range(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.CacheHits != 0 || second.Stats.CacheMisses != 2 {
+		t.Fatalf("second query hits/misses = %d/%d", second.Stats.CacheHits, second.Stats.CacheMisses)
+	}
+	if e.Metrics().BytesDecoded.Load() == 0 {
+		t.Error("bytes decoded not counted")
+	}
+	if entries, _ := e.CacheStats(); entries != 2 {
+		t.Fatalf("second touch admitted %d entries, want 2", entries)
+	}
+	third, err := e.Range(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Stats.CacheHits != 2 || third.Stats.CacheMisses != 0 {
+		t.Fatalf("warm query hits/misses = %d/%d", third.Stats.CacheHits, third.Stats.CacheMisses)
+	}
+	if e.Metrics().CacheHits.Load() != 2 || e.Metrics().CacheMisses.Load() != 4 {
+		t.Errorf("metrics hits/misses = %d/%d",
+			e.Metrics().CacheHits.Load(), e.Metrics().CacheMisses.Load())
+	}
+	// Results along all three paths are identical.
+	if len(first.Points) != len(second.Points) || len(first.Points) != len(third.Points) {
+		t.Fatal("path results diverge in shape")
+	}
+	for i := range first.Points {
+		if first.Points[i] != second.Points[i] || first.Points[i] != third.Points[i] {
+			t.Fatalf("point %d diverges across read paths", i)
+		}
+	}
+	e.FlushCache()
+	flushed, err := e.Range(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flush also forgets the doorkeeper's touch counts: the cache is
+	// fully cold again, so the next scan streams without admitting.
+	if flushed.Stats.CacheMisses != 2 {
+		t.Errorf("post-flush query misses = %d", flushed.Stats.CacheMisses)
+	}
+	if entries, _ := e.CacheStats(); entries != 0 {
+		t.Fatalf("post-flush first touch admitted %d entries", entries)
+	}
+}
+
+// TestRangeScanModeMaterialize pins the legacy read path: every cold scan
+// decodes a whole table through the cache, first touch included.
+func TestRangeScanModeMaterialize(t *testing.T) {
+	e := testEngineMode(t, ScanMaterialize)
+	req := RangeRequest{Dataset: "node-power", Column: "input_power.mean", Node: -1, T0: 0, T1: 2 * daySec}
+	first, err := e.Range(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.CacheMisses != 2 || first.Stats.CacheHits != 0 {
+		t.Fatalf("cold query hits/misses = %d/%d", first.Stats.CacheHits, first.Stats.CacheMisses)
+	}
+	if e.Metrics().IterScans.Load() != 0 {
+		t.Fatalf("materialize mode used the iterator %d times", e.Metrics().IterScans.Load())
+	}
 	second, err := e.Range(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if second.Stats.CacheHits != 2 || second.Stats.CacheMisses != 0 {
 		t.Fatalf("warm query hits/misses = %d/%d", second.Stats.CacheHits, second.Stats.CacheMisses)
-	}
-	if e.Metrics().CacheHits.Load() != 2 || e.Metrics().CacheMisses.Load() != 2 {
-		t.Errorf("metrics hits/misses = %d/%d",
-			e.Metrics().CacheHits.Load(), e.Metrics().CacheMisses.Load())
-	}
-	if e.Metrics().BytesDecoded.Load() == 0 {
-		t.Error("bytes decoded not counted")
-	}
-	e.FlushCache()
-	third, err := e.Range(context.Background(), req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if third.Stats.CacheMisses != 2 {
-		t.Errorf("post-flush query misses = %d", third.Stats.CacheMisses)
 	}
 }
 

@@ -249,6 +249,13 @@ func (h *handler) vars(w http.ResponseWriter, r *http.Request) {
 	cache["entries"] = int64(entries)
 	cache["bytes"] = bytes
 	cache["max_bytes"] = primary.CacheBytesMax()
+	// The store-level counters cover every consumer of the shared cache
+	// (the analysis source layer included), where the engine's own
+	// hits/misses count only its queries.
+	sc := primary.Cache().Counters()
+	cache["store_hits"] = sc.Hits
+	cache["store_misses"] = sc.Misses
+	cache["store_evictions"] = sc.Evictions
 	perCluster := make(map[string]any, len(h.clusters))
 	for i := range h.clusters {
 		c := &h.clusters[i]
@@ -337,6 +344,7 @@ type apiStats struct {
 	RowsScanned int64 `json:"rows_scanned"`
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	Preagg      bool  `json:"preagg,omitempty"`
 	ElapsedUS   int64 `json:"elapsed_us"`
 }
 
@@ -344,6 +352,7 @@ func toAPIStats(s QueryStats) apiStats {
 	return apiStats{
 		DaysTotal: s.DaysTotal, DaysScanned: s.DaysScanned, DaysPruned: s.DaysPruned,
 		RowsScanned: s.RowsScanned, CacheHits: s.CacheHits, CacheMisses: s.CacheMisses,
+		Preagg:    s.Preagg,
 		ElapsedUS: s.Elapsed.Microseconds(),
 	}
 }

@@ -134,7 +134,15 @@ func TestHTTPRangeDownsampledAndCached(t *testing.T) {
 	if body.Stats.CacheMisses == 0 {
 		t.Errorf("cold query reported no misses: %+v", body.Stats)
 	}
-	// Identical query again: served from cache.
+	// Second identical query: the day is now hot, so it materializes and is
+	// admitted to the cache. Third: served from cache.
+	var second rangeBody
+	if code := getJSON(t, u, &second); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if second.Stats.CacheMisses == 0 {
+		t.Errorf("second query stats = %+v", second.Stats)
+	}
 	var warm rangeBody
 	if code := getJSON(t, u, &warm); code != 200 {
 		t.Fatalf("status %d", code)
@@ -251,6 +259,9 @@ func TestHTTPLoadShedding(t *testing.T) {
 
 func TestHTTPVars(t *testing.T) {
 	srv, _ := testServer(t, ServerConfig{})
+	// Twice: the first scan streams via the iterator, the second
+	// materializes (so bytes_decoded is counted).
+	getJSON(t, srv.URL+"/api/v1/range?dataset=cluster-power&column=sum_inp&t0=0&t1=3600", nil)
 	getJSON(t, srv.URL+"/api/v1/range?dataset=cluster-power&column=sum_inp&t0=0&t1=3600", nil)
 	var vars struct {
 		Queries map[string]int64 `json:"queries"`
@@ -261,8 +272,11 @@ func TestHTTPVars(t *testing.T) {
 	if code := getJSON(t, srv.URL+"/debug/vars", &vars); code != 200 {
 		t.Fatalf("status %d", code)
 	}
-	if vars.Queries["range"] != 1 {
+	if vars.Queries["range"] != 2 {
 		t.Errorf("range counter = %d", vars.Queries["range"])
+	}
+	if vars.Scan["iter_scans"] == 0 {
+		t.Errorf("scan = %+v", vars.Scan)
 	}
 	if vars.Cache["misses"] == 0 {
 		t.Errorf("cache = %+v", vars.Cache)

@@ -22,6 +22,9 @@ type Metrics struct {
 	CacheMisses    atomic.Int64
 	CacheEvictions atomic.Int64
 
+	IterScans     atomic.Int64 // day partitions served by the streaming iterator
+	PreaggQueries atomic.Int64 // rollups answered from persisted pre-aggregates
+
 	BytesDecoded atomic.Int64 // decoded (in-memory) bytes of cache misses
 	RowsScanned  atomic.Int64
 	DaysScanned  atomic.Int64
@@ -49,10 +52,12 @@ func (m *Metrics) Snapshot() map[string]any {
 			"evictions": m.CacheEvictions.Load(),
 		},
 		"scan": map[string]int64{
-			"bytes_decoded": m.BytesDecoded.Load(),
-			"rows_scanned":  m.RowsScanned.Load(),
-			"days_scanned":  m.DaysScanned.Load(),
-			"days_pruned":   m.DaysPruned.Load(),
+			"bytes_decoded":  m.BytesDecoded.Load(),
+			"rows_scanned":   m.RowsScanned.Load(),
+			"days_scanned":   m.DaysScanned.Load(),
+			"days_pruned":    m.DaysPruned.Load(),
+			"iter_scans":     m.IterScans.Load(),
+			"preagg_queries": m.PreaggQueries.Load(),
 		},
 		"latency_us": m.ScanLatency.Snapshot(),
 	}

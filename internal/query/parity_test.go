@@ -1,0 +1,224 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/store"
+	"repro/internal/topology"
+)
+
+// writePreaggCompanion persists the node-power pre-aggregate companion the
+// collector would have written: the same rows, in the same file order,
+// folded through the same reducer.
+func writePreaggCompanion(t testing.TB, dir string) {
+	t.Helper()
+	tcfg, err := topology.PresetScaled("", fixNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, err := topology.New(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := store.NewDataset(dir, "node-power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rds, err := store.NewDataset(dir, source.RollupDatasetName("node-power"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, 1)
+	for day := 0; day < fixDays; day++ {
+		tab, err := base.ReadDay(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, node := tab.Col("timestamp").Ints, tab.Col("node").Ints
+		mean := tab.Col("input_power.mean").Floats
+		red := source.NewRollupReducer(floor, []string{"input_power.mean"})
+		for i := range ts {
+			vals[0] = mean[i]
+			if err := red.Add(ts[i], node[i], vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rds.WriteDayCodec(day, red.Table(), store.CodecGorilla); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// diffRollup reports the first bitwise divergence between two rollup
+// results, or "" when they are identical (tolerance 0).
+func diffRollup(a, b *RollupResult) string {
+	if len(a.Series) != len(b.Series) {
+		return fmt.Sprintf("series count %d != %d", len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		ga, gb := a.Series[i], b.Series[i]
+		if ga.Group != gb.Group || ga.Label != gb.Label {
+			return fmt.Sprintf("series %d identity (%d,%q) != (%d,%q)", i, ga.Group, ga.Label, gb.Group, gb.Label)
+		}
+		if len(ga.Windows) != len(gb.Windows) {
+			return fmt.Sprintf("series %d window count %d != %d", i, len(ga.Windows), len(gb.Windows))
+		}
+		for j := range ga.Windows {
+			wa, wb := ga.Windows[j], gb.Windows[j]
+			if wa.T != wb.T || wa.Count != wb.Count ||
+				math.Float64bits(wa.Min) != math.Float64bits(wb.Min) ||
+				math.Float64bits(wa.Max) != math.Float64bits(wb.Max) ||
+				math.Float64bits(wa.Mean) != math.Float64bits(wb.Mean) ||
+				math.Float64bits(wa.Sum) != math.Float64bits(wb.Sum) {
+				return fmt.Sprintf("series %d window %d: %+v != %+v", i, j, wa, wb)
+			}
+		}
+	}
+	return ""
+}
+
+// TestGoldenThreePathParity pins the central correctness claim of the
+// vectorized read path: range and rollup answers are byte-identical —
+// tolerance 0 — whether a query materializes day tables, streams them
+// through the aggregate-during-decode iterator, or reads persisted
+// pre-aggregates, at every worker count.
+func TestGoldenThreePathParity(t *testing.T) {
+	dirScan := t.TempDir()
+	writeTestArchive(t, dirScan)
+	dirPre := t.TempDir()
+	writeTestArchive(t, dirPre)
+	writePreaggCompanion(t, dirPre)
+
+	ctx := context.Background()
+	rollupReqs := []RollupRequest{
+		{Dataset: "node-power", Column: "input_power.mean", Group: GroupCabinet, T0: 0, T1: 2 * daySec, Step: 600},
+		{Dataset: "node-power", Column: "input_power.mean", Group: GroupMSB, T0: 0, T1: 2 * daySec, Step: 600},
+		{Dataset: "node-power", Column: "input_power.mean", Group: GroupFleet, T0: 600, T1: daySec, Step: 600},
+	}
+	rangeReq := RangeRequest{Dataset: "node-power", Column: "input_power.mean", Node: 3, T0: 0, T1: 2 * daySec, Step: 600}
+
+	var refRollups []*RollupResult
+	var refRange *RangeResult
+	for _, workers := range []int{1, 2, 7} {
+		open := func(dir string, mode ScanMode) *Engine {
+			e, err := Open(Config{Dir: dir, Nodes: fixNodes, Workers: workers, ScanMode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		paths := []struct {
+			name   string
+			e      *Engine
+			preagg bool
+		}{
+			{"materialized", open(dirScan, ScanMaterialize), false},
+			{"iterator", open(dirScan, ScanAuto), false},
+			{"preagg", open(dirPre, ScanAuto), true},
+		}
+		for _, p := range paths {
+			for i, req := range rollupReqs {
+				res, err := p.e.Rollup(ctx, req)
+				if err != nil {
+					t.Fatalf("workers=%d %s rollup %d: %v", workers, p.name, i, err)
+				}
+				if res.Stats.Preagg != p.preagg {
+					t.Fatalf("workers=%d %s rollup %d: preagg=%v, want %v",
+						workers, p.name, i, res.Stats.Preagg, p.preagg)
+				}
+				if len(refRollups) <= i {
+					refRollups = append(refRollups, res)
+					continue
+				}
+				if d := diffRollup(refRollups[i], res); d != "" {
+					t.Fatalf("workers=%d %s rollup %d diverges: %s", workers, p.name, i, d)
+				}
+			}
+			res, err := p.e.Range(ctx, rangeReq)
+			if err != nil {
+				t.Fatalf("workers=%d %s range: %v", workers, p.name, err)
+			}
+			if refRange == nil {
+				refRange = res
+				continue
+			}
+			if len(res.Windows) != len(refRange.Windows) {
+				t.Fatalf("workers=%d %s range: %d windows, want %d",
+					workers, p.name, len(res.Windows), len(refRange.Windows))
+			}
+			for j := range res.Windows {
+				a, b := refRange.Windows[j], res.Windows[j]
+				if a.T != b.T || a.Count != b.Count ||
+					math.Float64bits(a.Min) != math.Float64bits(b.Min) ||
+					math.Float64bits(a.Max) != math.Float64bits(b.Max) ||
+					math.Float64bits(a.Mean) != math.Float64bits(b.Mean) ||
+					math.Float64bits(a.Std) != math.Float64bits(b.Std) {
+					t.Fatalf("workers=%d %s range window %d: %+v != %+v", workers, p.name, j, b, a)
+				}
+			}
+		}
+		// The iterator engine really streamed (fresh engine, first touch).
+		if paths[1].e.Metrics().IterScans.Load() == 0 {
+			t.Fatalf("workers=%d: iterator path never used the streaming scan", workers)
+		}
+		if paths[2].e.Metrics().PreaggQueries.Load() != int64(len(rollupReqs)) {
+			t.Fatalf("workers=%d: preagg answered %d of %d rollups",
+				workers, paths[2].e.Metrics().PreaggQueries.Load(), len(rollupReqs))
+		}
+	}
+}
+
+// TestPreaggFallsBackWhenUnaligned pins the safety gate: a window or range
+// boundary the pre-aggregates cannot express must fall back to the scan
+// path, never return a partial-window answer.
+func TestPreaggFallsBackWhenUnaligned(t *testing.T) {
+	dir := t.TempDir()
+	writeTestArchive(t, dir)
+	writePreaggCompanion(t, dir)
+	e, err := Open(Config{Dir: dir, Nodes: fixNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  RollupRequest
+		want bool
+	}{
+		{"aligned", RollupRequest{Dataset: "node-power", Column: "input_power.mean",
+			Group: GroupFleet, T0: 0, T1: daySec, Step: 600}, true},
+		{"span beyond data", RollupRequest{Dataset: "node-power", Column: "input_power.mean",
+			Group: GroupFleet, T0: 0, T1: math.MaxInt64, Step: 600}, true},
+		{"unaligned t0", RollupRequest{Dataset: "node-power", Column: "input_power.mean",
+			Group: GroupFleet, T0: 50, T1: daySec, Step: 600}, false},
+		{"unaligned t1", RollupRequest{Dataset: "node-power", Column: "input_power.mean",
+			Group: GroupFleet, T0: 0, T1: daySec - 50, Step: 600}, false},
+		{"foreign step", RollupRequest{Dataset: "node-power", Column: "input_power.mean",
+			Group: GroupFleet, T0: 0, T1: daySec, Step: 1200}, false},
+	}
+	for _, tc := range cases {
+		res, err := e.Rollup(ctx, tc.req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Stats.Preagg != tc.want {
+			t.Errorf("%s: preagg=%v, want %v", tc.name, res.Stats.Preagg, tc.want)
+		}
+	}
+	// ScanMaterialize never answers from pre-aggregates.
+	em, err := Open(Config{Dir: dir, Nodes: fixNodes, ScanMode: ScanMaterialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := em.Rollup(ctx, cases[0].req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Preagg {
+		t.Error("materialize mode answered from pre-aggregates")
+	}
+}

@@ -1,0 +1,156 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/source"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// preaggRollup tries to answer a rollup from the persisted pre-aggregate
+// companion dataset ("<base>.rollup", written by the collector alongside the
+// per-node partitions). It applies only when the requested window matches
+// the persisted aggregation grid and the range boundaries cannot split a
+// window: then every needed accumulator exists verbatim in the companion,
+// and the answer is bit-identical to a full scan — the companion stores the
+// exact Welford state the scan path would have computed, in the same
+// fold order. Returns ok=false (with no error) whenever the archive has no
+// answerable pre-aggregates, leaving the scan path to run.
+func (e *Engine) preaggRollup(ctx context.Context, st *datasetState, meta map[int]store.DayMeta, req RollupRequest, res *RollupResult) (bool, error) {
+	if e.cfg.ScanMode == ScanMaterialize || req.Step != source.RollupStepSec {
+		return false, nil
+	}
+	rst, ok := e.datasets[req.Dataset+source.RollupSuffix]
+	if !ok || !equalDays(st.days, rst.days) {
+		return false, nil
+	}
+	// A range boundary inside a window would need a partial re-aggregation
+	// the companion cannot provide. Aligned bounds are safe, as are bounds
+	// beyond the data's time span (every populated window is then whole).
+	var hasTime bool
+	var minT, maxT int64
+	for _, day := range st.days {
+		m := meta[day]
+		if !m.HasTime {
+			continue
+		}
+		if !hasTime || m.MinTime < minT {
+			minT = m.MinTime
+		}
+		if !hasTime || m.MaxTime > maxT {
+			maxT = m.MaxTime
+		}
+		hasTime = true
+	}
+	if floorMod(req.T0, req.Step) != 0 && !(hasTime && req.T0 <= minT) {
+		return false, nil
+	}
+	if floorMod(req.T1, req.Step) != 0 && !(hasTime && req.T1 > maxT) {
+		return false, nil
+	}
+	var wantKind int64
+	switch req.Group {
+	case GroupCabinet:
+		wantKind = source.RollupKindCabinet
+	case GroupMSB:
+		wantKind = source.RollupKindMSB
+	default:
+		wantKind = source.RollupKindFleet
+	}
+	rmeta, err := e.metas(rst)
+	if err != nil {
+		return false, err
+	}
+	colN, colMin, colMax, colMean, colM2 := source.RollupStatCols(req.Column)
+	need := []string{
+		source.RollupColWindow, source.RollupColKind,
+		source.RollupColGroup, source.RollupColStep,
+		colN, colMin, colMax, colMean, colM2,
+	}
+	// Prune companion partitions by window-start span: a window overlaps
+	// [T0, T1) iff its start lies in (T0-step, T1).
+	t0w := req.T0 - (req.Step - 1)
+	if t0w > req.T0 {
+		t0w = math.MinInt64 // clamp the underflow of a huge negative T0
+	}
+	scanDays, pruned := pruneDays(rst.days, rmeta, t0w, req.T1)
+	for _, day := range scanDays {
+		for _, name := range need {
+			if _, ok := metaColumn(rmeta[day], name); !ok {
+				return false, nil // partition predates the column
+			}
+		}
+	}
+	merged := map[groupWindow]*stats.Moments{}
+	var rows, hits, misses int64
+	for _, day := range scanDays {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		tab, hit, err := e.table(rst, day)
+		if err != nil {
+			return false, err
+		}
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+		var cols [9]*store.Column
+		for i, name := range need {
+			if cols[i] = tab.Col(name); cols[i] == nil {
+				return false, fmt.Errorf("query: pre-aggregate partition day %d lost column %q", day, name)
+			}
+		}
+		window, kind, group, step := cols[0].Ints, cols[1].Ints, cols[2].Ints, cols[3].Ints
+		nC, minC, maxC := cols[4].Ints, cols[5].Floats, cols[6].Floats
+		meanC, m2C := cols[7].Floats, cols[8].Floats
+		for i, w := range window {
+			if kind[i] != wantKind || w+req.Step <= req.T0 || w >= req.T1 {
+				continue
+			}
+			if step[i] != req.Step {
+				return false, nil // foreign aggregation grid: let the scan answer
+			}
+			m := stats.MomentsFromState(nC[i], minC[i], maxC[i], meanC[i], m2C[i])
+			k := groupWindow{group: int(group[i]), window: w}
+			if dst, ok := merged[k]; ok {
+				dst.Merge(m)
+			} else {
+				mm := m
+				merged[k] = &mm
+			}
+			rows++
+		}
+	}
+	res.Stats.DaysScanned = len(scanDays)
+	res.Stats.DaysPruned = pruned
+	res.Stats.RowsScanned = rows
+	res.Stats.CacheHits = hits
+	res.Stats.CacheMisses = misses
+	res.Stats.Preagg = true
+	e.met.PreaggQueries.Add(1)
+	e.met.RowsScanned.Add(rows)
+	e.met.DaysScanned.Add(int64(len(scanDays)))
+	e.met.DaysPruned.Add(int64(pruned))
+	res.Series = buildSeries(merged, req.Group, e.floor)
+	return true, nil
+}
+
+// equalDays reports whether two sorted day lists are identical — the
+// coverage proof that a companion dataset mirrors its base partition for
+// partition.
+func equalDays(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -123,6 +123,13 @@ func (e *Engine) rollup(ctx context.Context, req RollupRequest) (*RollupResult, 
 		T0: req.T0, T1: req.T1, Step: req.Step,
 	}
 	res.Stats.DaysTotal = len(st.days)
+	// Persisted pre-aggregates answer aligned rollups without touching a
+	// single per-node row.
+	if ok, err := e.preaggRollup(ctx, st, meta, req, res); err != nil {
+		return nil, err
+	} else if ok {
+		return res, nil
+	}
 	scanDays, pruned := pruneDays(st.days, meta, req.T0, req.T1)
 	res.Stats.DaysPruned = pruned
 	res.Stats.DaysScanned = len(scanDays)
@@ -131,15 +138,26 @@ func (e *Engine) rollup(ctx context.Context, req RollupRequest) (*RollupResult, 
 
 	scans := parallel.ProcessChunks(len(scanDays), e.cfg.Workers, func(c parallel.Chunk) rollupScan {
 		out := rollupScan{acc: map[groupWindow]*stats.Moments{}}
+		var sc store.IterScratch
 		for _, day := range scanDays[c.Start:c.End] {
 			if err := ctx.Err(); err != nil {
 				out.err = err
 				return out
 			}
-			tab, hit, err := e.table(st, day)
+			tab, hit, err := e.scanTable(st, day)
 			if err != nil {
 				out.err = err
 				return out
+			}
+			if tab == nil {
+				// First-touch partition: fold moments during decode.
+				out.misses++
+				e.met.IterScans.Add(1)
+				if err := e.iterRollup(st, meta[day], req, &out, &sc); err != nil {
+					out.err = err
+					return out
+				}
+				continue
 			}
 			if hit {
 				out.hits++
@@ -174,6 +192,53 @@ func (e *Engine) rollup(ctx context.Context, req RollupRequest) (*RollupResult, 
 	e.met.RowsScanned.Add(res.Stats.RowsScanned)
 	res.Series = buildSeries(merged, req.Group, e.floor)
 	return res, nil
+}
+
+// iterRollup streams one partition through the column iterator, folding
+// rows into per-group window moments during decode — identical accumulation
+// order to scanRollup over the materialized table, so the result is
+// bit-identical, with no day table built.
+func (e *Engine) iterRollup(st *datasetState, m store.DayMeta, req RollupRequest, out *rollupScan, sc *store.IterScratch) error {
+	if m.TimeColumn == "" {
+		return fmt.Errorf("query: partition day %d has no time column: %w",
+			m.Day, ErrBadRequest)
+	}
+	if _, ok := metaColumn(m, req.Column); !ok {
+		return fmt.Errorf("query: dataset %q has no column %q: %w",
+			req.Dataset, req.Column, ErrNotFound)
+	}
+	if c, ok := metaColumn(m, "node"); !ok || !c.Int {
+		return fmt.Errorf("query: dataset %q has no node column; rollup unsupported: %w",
+			req.Dataset, ErrBadRequest)
+	}
+	rows, err := st.ds.IterDayColumns(m.Day, []string{m.TimeColumn, "node"}, req.Column, sc,
+		func(start int, vals []float64) error {
+			times, nodes := sc.Axes[0], sc.Axes[1]
+			for j, v := range vals {
+				i := start + j
+				t := times[i]
+				if t < req.T0 || t >= req.T1 {
+					continue
+				}
+				g, err := e.groupOf(req.Group, nodes[i])
+				if err != nil {
+					return err
+				}
+				k := groupWindow{group: g, window: t - floorMod(t, req.Step)}
+				acc, ok := out.acc[k]
+				if !ok {
+					acc = &stats.Moments{}
+					out.acc[k] = acc
+				}
+				acc.Add(v)
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	out.rows += int64(rows)
+	return nil
 }
 
 // scanRollup accumulates one partition's rows into per-group windows.

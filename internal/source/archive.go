@@ -250,8 +250,12 @@ func (a *ArchiveSource) Series(name string) (*tsagg.Series, error) {
 
 // SeriesRange reads the named series over [t0, t1): partitions whose time
 // span misses the range are pruned via their metadata; survivors stream
-// only the timestamp column and the requested column through the cache.
-// The returned series always starts on the run's grid origin.
+// only the timestamp column and the requested column. When the partitions'
+// grid-index spans are provably disjoint (the normal daily layout), each day
+// fills its own slots of one preallocated grid in parallel, cold partitions
+// streaming through the column iterator without materializing a day table;
+// otherwise the read falls back to the materializing sequential fill. The
+// returned series always starts on the run's grid origin.
 func (a *ArchiveSource) SeriesRange(name string, t0, t1 int64) (*tsagg.Series, error) {
 	if !a.hasFloatColumn(name) {
 		return nil, fmt.Errorf("source: series %q: %w", name, ErrUnknownSeries)
@@ -264,6 +268,41 @@ func (a *ArchiveSource) SeriesRange(name string, t0, t1 int64) (*tsagg.Series, e
 		}
 		scanDays = append(scanDays, day)
 	}
+	s := tsagg.NewSeries(a.meta.StartTime, a.meta.StepSec, 0)
+	if days, bound, ok := a.planGridFill(scanDays, t0, t1); ok {
+		vals := tsagg.NewSeries(s.Start, s.Step, bound+1).Vals
+		fills := parallel.ProcessChunks(len(days), a.cfg.Workers, func(c parallel.Chunk) seriesFill {
+			out := seriesFill{maxIdx: -1}
+			var sc store.IterScratch
+			for _, day := range days[c.Start:c.End] {
+				hi, err := a.fillDay(day, name, t0, t1, s.Start, s.Step, vals, &sc)
+				if err != nil {
+					out.err = err
+					return out
+				}
+				if hi > out.maxIdx {
+					out.maxIdx = hi
+				}
+			}
+			return out
+		})
+		maxIdx := -1
+		for _, f := range fills {
+			if f.err != nil {
+				return nil, f.err
+			}
+			if f.maxIdx > maxIdx {
+				maxIdx = f.maxIdx
+			}
+		}
+		// Match the growing fill exactly: length is one past the highest
+		// slot actually written, trailing unwritten slots dropped.
+		s.Vals = vals[:maxIdx+1]
+		return s, nil
+	}
+	// Fallback: a partition has no time metadata, or two partitions' spans
+	// overlap on the grid (day order decides the winner). Materialize each
+	// day through the cache and fill sequentially, as before.
 	cols := []string{"timestamp", name}
 	tabs, err := parallel.MapErr(len(scanDays), a.cfg.Workers,
 		func(i int) (*store.Table, error) {
@@ -273,7 +312,6 @@ func (a *ArchiveSource) SeriesRange(name string, t0, t1 int64) (*tsagg.Series, e
 	if err != nil {
 		return nil, err
 	}
-	s := tsagg.NewSeries(a.meta.StartTime, a.meta.StepSec, 0)
 	for _, tab := range tabs {
 		tsCol := tab.Col("timestamp")
 		val := tab.Col(name)
@@ -295,6 +333,153 @@ func (a *ArchiveSource) SeriesRange(name string, t0, t1 int64) (*tsagg.Series, e
 		}
 	}
 	return s, nil
+}
+
+// seriesFill is one chunk's result of the parallel grid fill.
+type seriesFill struct {
+	maxIdx int // highest grid index written by the chunk (-1: none)
+	err    error
+}
+
+// planGridFill decides whether the pruned partitions can fill one shared
+// series grid in parallel: every partition needs time metadata, and the
+// partitions' grid-index spans must be pairwise disjoint so concurrent
+// per-day writes never touch the same slot. It returns the days that can
+// contribute in-range rows and the highest grid index any of them can reach.
+func (a *ArchiveSource) planGridFill(scanDays []int, t0, t1 int64) ([]int, int, bool) {
+	start, step := a.meta.StartTime, a.meta.StepSec
+	type span struct{ day, lo, hi int }
+	spans := make([]span, 0, len(scanDays))
+	for _, day := range scanDays {
+		dm := a.clusterMeta[day]
+		if !dm.HasTime {
+			return nil, 0, false
+		}
+		lo64, hi64 := dm.MinTime, dm.MaxTime
+		if t0 > lo64 {
+			lo64 = t0
+		}
+		if t1-1 < hi64 {
+			hi64 = t1 - 1
+		}
+		if hi64 < lo64 {
+			continue // no rows inside [t0, t1)
+		}
+		// Truncated division mirrors the fill's index computation, so these
+		// bounds are exact for any timestamp the partition can hold.
+		hi := int((hi64 - start) / step)
+		if hi < 0 {
+			continue // entirely before the grid origin
+		}
+		lo := int((lo64 - start) / step)
+		if lo < 0 {
+			lo = 0
+		}
+		spans = append(spans, span{day: day, lo: lo, hi: hi})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	bound := -1
+	days := make([]int, len(spans))
+	for i, sp := range spans {
+		if i > 0 && sp.lo <= spans[i-1].hi {
+			return nil, 0, false // overlapping spans: day order matters
+		}
+		if sp.hi > bound {
+			bound = sp.hi
+		}
+		days[i] = sp.day
+	}
+	return days, bound, true
+}
+
+// fillDay writes one partition's in-range rows into their grid slots of
+// vals, returning the highest index written (-1: none). Cached tables and
+// hot partitions fill from the materialized table; first-touch partitions
+// stream through the column iterator, never building a day table, and are
+// not admitted to the cache (same doorkeeper policy as the query engine).
+func (a *ArchiveSource) fillDay(day int, name string, t0, t1, start, step int64, vals []float64, sc *store.IterScratch) (int, error) {
+	cols := []string{"timestamp", name}
+	key := store.CacheKey(a.cluster.Name, day, cols)
+	if tab, ok := a.cache.Get(key); ok {
+		return fillGrid(tab, name, t0, t1, start, step, vals), nil
+	}
+	if a.cache.Touch(key) >= 2 {
+		tab, err := a.cluster.ReadDayColumns(day, cols)
+		if err != nil {
+			return -1, err
+		}
+		a.cache.Put(key, tab)
+		return fillGrid(tab, name, t0, t1, start, step, vals), nil
+	}
+	// Cold partition. The materialized fill silently skips days whose
+	// timestamp column is missing or non-integer, or whose value column is
+	// missing or integer; mirror that before asking the iterator (which
+	// would report them as errors or widen the ints).
+	dm := a.clusterMeta[day]
+	ts, tsOK := metaColumn(dm, "timestamp")
+	val, valOK := metaColumn(dm, name)
+	if !tsOK || !ts.Int || !valOK || val.Int {
+		return -1, nil
+	}
+	maxIdx := -1
+	_, err := a.cluster.IterDayColumns(day, []string{"timestamp"}, name, sc,
+		func(blockStart int, block []float64) error {
+			times := sc.Axes[0]
+			for j, v := range block {
+				tv := times[blockStart+j]
+				if tv < t0 || tv >= t1 {
+					continue
+				}
+				idx := int((tv - start) / step)
+				if idx < 0 || idx >= len(vals) {
+					continue
+				}
+				vals[idx] = v
+				if idx > maxIdx {
+					maxIdx = idx
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return -1, err
+	}
+	return maxIdx, nil
+}
+
+// fillGrid is the materialized-table counterpart of fillDay's streaming
+// callback: identical row filter, index computation and writes.
+func fillGrid(tab *store.Table, name string, t0, t1, start, step int64, vals []float64) int {
+	tsCol := tab.Col("timestamp")
+	val := tab.Col(name)
+	if tsCol == nil || !tsCol.IsInt() || val == nil || val.IsInt() {
+		return -1
+	}
+	maxIdx := -1
+	for i, tv := range tsCol.Ints {
+		if tv < t0 || tv >= t1 {
+			continue
+		}
+		idx := int((tv - start) / step)
+		if idx < 0 || idx >= len(vals) {
+			continue
+		}
+		vals[idx] = val.Floats[i]
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	return maxIdx
+}
+
+// metaColumn finds a column by name in a partition's metadata.
+func metaColumn(dm store.DayMeta, name string) (store.ColumnInfo, bool) {
+	for _, c := range dm.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return store.ColumnInfo{}, false
 }
 
 // SeriesNames implements RunSource: every float column of the cluster

@@ -41,7 +41,7 @@ func buildFleetArchive(t *testing.T) string {
 	}
 	dir := t.TempDir()
 	col := core.NewCollector(s, cfg)
-	nw, err := core.NewNodeDatasetWriter(dir, cfg.Nodes)
+	nw, err := core.NewNodeDatasetWriter(dir, cfg.Nodes, cfg.Site)
 	if err != nil {
 		t.Fatal(err)
 	}

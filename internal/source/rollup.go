@@ -1,0 +1,193 @@
+package source
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/topology"
+)
+
+// Rollup pre-aggregates: every per-node dataset can carry a companion
+// "<base>.rollup" dataset persisting, per coarse window, the exact Welford
+// accumulator state of every float column for every cabinet, every main
+// switchboard, and the fleet. The query tier answers aligned rollups from
+// these rows without touching a single per-node row — and because the
+// accumulator state round-trips bitwise (stats.Moments.State /
+// MomentsFromState) and the reducer folds rows in the same order the scan
+// path would, the answers are bit-identical to a full scan.
+const (
+	// RollupSuffix appended to a base dataset name names its pre-aggregate
+	// companion.
+	RollupSuffix = ".rollup"
+	// RollupStepSec is the pre-aggregation window. 600 s divides the daily
+	// partition span, so no window ever straddles two partitions of a
+	// day-aligned archive.
+	RollupStepSec int64 = 600
+)
+
+// Rollup grouping kinds, stored in the kind column. They mirror the query
+// tier's cabinet/MSB/fleet groupings.
+const (
+	RollupKindCabinet int64 = 0
+	RollupKindMSB     int64 = 1
+	RollupKindFleet   int64 = 2
+)
+
+// Rollup axis columns.
+const (
+	RollupColWindow = "window"   // window start time (seconds)
+	RollupColKind   = "kind"     // RollupKind* discriminator
+	RollupColGroup  = "group"    // cabinet index, MSB index, or 0 for fleet
+	RollupColStep   = "step_sec" // window size the row was aggregated at
+)
+
+// RollupDatasetName names the pre-aggregate companion of a base dataset.
+func RollupDatasetName(base string) string { return base + RollupSuffix }
+
+// RollupStatCols returns the five persisted per-column stat names: count,
+// min, max, running mean, and the Welford second moment M2.
+func RollupStatCols(col string) (n, mn, mx, mean, m2 string) {
+	return col + ".n", col + ".min", col + ".max", col + ".mean", col + ".m2"
+}
+
+// rollupKey addresses one accumulator row: (kind, group, window start).
+type rollupKey struct {
+	kind   int64
+	group  int64
+	window int64
+}
+
+// RollupReducer folds per-node rows into the pre-aggregate accumulators of
+// one partition. Feed it every row of the day table in file order — each
+// (kind, group, window) accumulator then receives exactly the Add sequence
+// the query tier's scan path would produce, which is what makes answering
+// from pre-aggregates bit-exact. Not safe for concurrent use.
+type RollupReducer struct {
+	floor *topology.Floor
+	cols  []string
+	acc   map[rollupKey][]stats.Moments
+}
+
+// NewRollupReducer builds a reducer over the named value columns. floor maps
+// nodes to cabinets and switchboards; nil restricts the reduction to the
+// fleet kind.
+func NewRollupReducer(floor *topology.Floor, cols []string) *RollupReducer {
+	return &RollupReducer{
+		floor: floor,
+		cols:  cols,
+		acc:   make(map[rollupKey][]stats.Moments),
+	}
+}
+
+// Add folds one row — its timestamp, node, and one value per configured
+// column — into the cabinet, MSB and fleet accumulators of its window.
+//
+//lint:detroot
+func (r *RollupReducer) Add(t, node int64, vals []float64) error {
+	if len(vals) != len(r.cols) {
+		return fmt.Errorf("source: rollup row has %d values, want %d", len(vals), len(r.cols))
+	}
+	w := t - floorMod(t, RollupStepSec)
+	if r.floor != nil {
+		if node < 0 || int(node) >= r.floor.Nodes() {
+			return fmt.Errorf("source: rollup: node %d outside the %d-node floor",
+				node, r.floor.Nodes())
+		}
+		id := topology.NodeID(node)
+		r.fold(RollupKindCabinet, int64(r.floor.Cabinet(id)), w, vals)
+		r.fold(RollupKindMSB, int64(r.floor.MSBOf(id)), w, vals)
+	}
+	r.fold(RollupKindFleet, 0, w, vals)
+	return nil
+}
+
+// fold adds one row's values into a single (kind, group, window) slot.
+//
+//lint:detroot
+func (r *RollupReducer) fold(kind, group, window int64, vals []float64) {
+	k := rollupKey{kind: kind, group: group, window: window}
+	ms, ok := r.acc[k]
+	if !ok {
+		ms = make([]stats.Moments, len(r.cols))
+		r.acc[k] = ms
+	}
+	for i, v := range vals {
+		ms[i].Add(v)
+	}
+}
+
+// Table renders the accumulated pre-aggregates as one partition table, rows
+// sorted by (window, kind, group) so the emission order never depends on map
+// iteration.
+//
+//lint:detroot
+func (r *RollupReducer) Table() *store.Table {
+	keys := make([]rollupKey, 0, len(r.acc))
+	for k := range r.acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.window != b.window {
+			return a.window < b.window
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.group < b.group
+	})
+	n := len(keys)
+	window := make([]int64, n)
+	kind := make([]int64, n)
+	group := make([]int64, n)
+	step := make([]int64, n)
+	type statCols struct {
+		n                []int64
+		mn, mx, mean, m2 []float64
+	}
+	per := make([]statCols, len(r.cols))
+	for c := range per {
+		per[c] = statCols{
+			n: make([]int64, n), mn: make([]float64, n), mx: make([]float64, n),
+			mean: make([]float64, n), m2: make([]float64, n),
+		}
+	}
+	for i, k := range keys {
+		window[i], kind[i], group[i], step[i] = k.window, k.kind, k.group, RollupStepSec
+		ms := r.acc[k]
+		for c := range r.cols {
+			cnt, mn, mx, mean, m2 := ms[c].State()
+			per[c].n[i], per[c].mn[i], per[c].mx[i] = cnt, mn, mx
+			per[c].mean[i], per[c].m2[i] = mean, m2
+		}
+	}
+	cols := []store.Column{
+		{Name: RollupColWindow, Ints: window},
+		{Name: RollupColKind, Ints: kind},
+		{Name: RollupColGroup, Ints: group},
+		{Name: RollupColStep, Ints: step},
+	}
+	for c, name := range r.cols {
+		cn, cmn, cmx, cmean, cm2 := RollupStatCols(name)
+		cols = append(cols,
+			store.Column{Name: cn, Ints: per[c].n},
+			store.Column{Name: cmn, Floats: per[c].mn},
+			store.Column{Name: cmx, Floats: per[c].mx},
+			store.Column{Name: cmean, Floats: per[c].mean},
+			store.Column{Name: cm2, Floats: per[c].m2},
+		)
+	}
+	return &store.Table{Cols: cols}
+}
+
+// floorMod is the non-negative remainder, aligning negative timestamps to
+// the window below them (mirrors the query tier's window alignment).
+func floorMod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}

@@ -95,6 +95,20 @@ func (m Moments) Sum() float64 { return m.mean * float64(m.N) }
 // Reset clears the accumulator for reuse.
 func (m *Moments) Reset() { *m = Moments{} }
 
+// State exposes the accumulator's raw fields — count, min, max, running
+// mean, and the Welford second moment M2 — so it can be persisted and later
+// reconstructed exactly (see MomentsFromState). The pre-aggregate store
+// depends on this round trip being bitwise lossless.
+func (m Moments) State() (n int64, mn, mx, mean, m2 float64) {
+	return m.N, m.Min, m.Max, m.mean, m.m2
+}
+
+// MomentsFromState rebuilds an accumulator from persisted state. The result
+// is bit-identical to the accumulator State was read from.
+func MomentsFromState(n int64, mn, mx, mean, m2 float64) Moments {
+	return Moments{N: n, Min: mn, Max: mx, mean: mean, m2: m2}
+}
+
 // Summarize computes Moments over a slice in one call.
 func Summarize(xs []float64) Moments {
 	var m Moments

@@ -33,6 +33,53 @@ type TableCache struct {
 	max    int64
 	bytes  atomic.Int64 // resident decoded bytes across all shards
 	shards [cacheShards]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	// Admission doorkeeper: first-touch keys are served by the streaming
+	// iterator without entering the cache; only keys touched again get
+	// decoded tables admitted. A single full-archive sweep therefore cannot
+	// evict the working set. The map is bounded and reset when full —
+	// forgetting old touch counts only delays admission by one access.
+	touchMu sync.Mutex
+	touched map[string]int
+}
+
+// touchLimit bounds the doorkeeper map. 8192 keys is ~years of day
+// partitions across several datasets; resetting beyond that is harmless.
+const touchLimit = 8192
+
+// Touch records an access intent for key and returns how many times the key
+// has been touched (including this one) since the doorkeeper last reset.
+// The read path calls it on every cache miss: a result of 1 means
+// "first sight, serve via the iterator, do not admit"; >= 2 means the key
+// is hot and worth materializing into the cache.
+func (c *TableCache) Touch(key string) int {
+	c.touchMu.Lock()
+	defer c.touchMu.Unlock()
+	if c.touched == nil || len(c.touched) >= touchLimit {
+		c.touched = make(map[string]int, 64)
+	}
+	c.touched[key]++
+	return c.touched[key]
+}
+
+// CacheCounters is a snapshot of the cache's access statistics.
+type CacheCounters struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Counters returns the cumulative hit/miss/eviction counts.
+func (c *TableCache) Counters() CacheCounters {
+	return CacheCounters{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }
 
 type cacheShard struct {
@@ -74,9 +121,11 @@ func (c *TableCache) Get(key string) (*Table, bool) {
 	defer s.mu.Unlock()
 	el, ok := s.items[key]
 	if !ok {
+		c.misses.Add(1)
 		return nil, false
 	}
 	s.ll.MoveToFront(el)
+	c.hits.Add(1)
 	return el.Value.(*cacheEntry).tab, true
 }
 
@@ -128,11 +177,17 @@ func (c *TableCache) evictOldest(s *cacheShard) int {
 	s.ll.Remove(oldest)
 	delete(s.items, e.key)
 	c.bytes.Add(-e.size)
+	c.evictions.Add(1)
 	return 1
 }
 
-// Flush empties the cache.
+// Flush empties the cache, including the admission doorkeeper's touch
+// counts: a flushed cache is fully cold, so the next read of any key
+// streams again instead of inheriting pre-flush admission decisions.
 func (c *TableCache) Flush() {
+	c.touchMu.Lock()
+	c.touched = nil
+	c.touchMu.Unlock()
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()

@@ -128,6 +128,13 @@ const (
 	CodecDeltaFast
 	// CodecRawStore: fixed-width values, gzip store mode (no compression).
 	CodecRawStore
+	// CodecGorilla: ints delta-of-delta + zigzag + uvarint, floats Gorilla
+	// XOR with leading/trailing-zero windows (bit-packed), gzip store mode —
+	// the bit packing replaces deflate, so decode skips the inflate pass.
+	// Every column payload carries a byte-length prefix, so readers skip
+	// unwanted columns in O(1) instead of walking their varints. See
+	// gorilla.go.
+	CodecGorilla
 	numCodecs
 )
 
@@ -137,7 +144,7 @@ func (c Codec) gzipLevel() int {
 	switch c {
 	case CodecDeltaFast:
 		return gzip.BestSpeed
-	case CodecRawStore:
+	case CodecRawStore, CodecGorilla:
 		return gzip.NoCompression
 	default:
 		return gzip.DefaultCompression
@@ -193,6 +200,7 @@ func WriteCodec(w io.Writer, t *Table, codec Codec) error {
 	if err := putUvarint(uint64(t.NumRows())); err != nil {
 		return err
 	}
+	var gorillaBuf []byte // reused payload scratch for CodecGorilla columns
 	for i := range t.Cols {
 		c := &t.Cols[i]
 		if err := putUvarint(uint64(len(c.Name))); err != nil {
@@ -200,6 +208,41 @@ func WriteCodec(w io.Writer, t *Table, codec Codec) error {
 		}
 		if _, err := bw.WriteString(c.Name); err != nil {
 			return err
+		}
+		if codec == CodecGorilla {
+			// Gorilla columns are encoded to a buffer first so the payload
+			// can be length-prefixed (the basis of O(1) column skips).
+			gorillaBuf = gorillaBuf[:0]
+			switch {
+			case c.IsStr():
+				for _, v := range c.Strs {
+					if len(v) > maxStrLen {
+						return fmt.Errorf("store: column %q string value too long (%d bytes)", c.Name, len(v))
+					}
+					gorillaBuf = appendUvarint(gorillaBuf, uint64(len(v)))
+					gorillaBuf = append(gorillaBuf, v...)
+				}
+				if err := bw.WriteByte(colStr); err != nil {
+					return err
+				}
+			case c.IsInt():
+				gorillaBuf = encodeGorillaInts(gorillaBuf, c.Ints)
+				if err := bw.WriteByte(colInt); err != nil {
+					return err
+				}
+			default:
+				gorillaBuf = encodeGorillaFloats(gorillaBuf, c.Floats)
+				if err := bw.WriteByte(colFlt); err != nil {
+					return err
+				}
+			}
+			if err := putUvarint(uint64(len(gorillaBuf))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(gorillaBuf); err != nil {
+				return err
+			}
+			continue
 		}
 		if c.IsStr() {
 			// Strings are length-prefixed raw bytes under every codec:

@@ -34,6 +34,12 @@ func (d *Dataset) dayPath(day int) string {
 
 // WriteDay stores the table as the partition for the given day index.
 func (d *Dataset) WriteDay(day int, t *Table) error {
+	return d.WriteDayCodec(day, t, CodecDelta)
+}
+
+// WriteDayCodec stores the table as the partition for the given day index
+// with an explicit codec.
+func (d *Dataset) WriteDayCodec(day int, t *Table, codec Codec) error {
 	if day < 0 {
 		return fmt.Errorf("store: negative day %d", day)
 	}
@@ -42,7 +48,7 @@ func (d *Dataset) WriteDay(day int, t *Table) error {
 	if err != nil {
 		return err
 	}
-	if err := Write(f, t); err != nil {
+	if err := WriteCodec(f, t, codec); err != nil {
 		_ = f.Close()
 		_ = os.Remove(tmp)
 		return err

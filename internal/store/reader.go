@@ -35,6 +35,8 @@ type Reader struct {
 	read    int  // columns fully consumed
 	pending bool // Next announced a column not yet consumed
 	cur     ColumnInfo
+
+	payload []byte // reused scratch for length-prefixed CodecGorilla payloads
 }
 
 // NewReader parses the header and positions the reader at the first column.
@@ -165,6 +167,21 @@ func (r *Reader) Skip() error {
 	}
 	var err error
 	switch {
+	case r.codec == CodecGorilla:
+		// Every gorilla column payload is length-prefixed: one uvarint and
+		// one Discard, no varint walk. This is what makes column-selective
+		// reads cheap under the new codec.
+		bound := gorillaPayloadBound(r.nRows)
+		if r.cur.Str {
+			bound = uint64(r.nRows)*(maxStrLen+binary.MaxVarintLen64) + 16
+		}
+		n, err := r.payloadLen(bound)
+		if err != nil {
+			return err
+		}
+		if _, err := r.br.Discard(n); err != nil {
+			return fmt.Errorf("store: column %q: %w", r.cur.Name, err)
+		}
 	case r.cur.Str:
 		// Strings are length-prefixed under every codec; walk and
 		// discard value by value.
@@ -203,8 +220,156 @@ func (r *Reader) Skip() error {
 // not as a multi-gigabyte allocation.
 const maxPreallocRows = 1 << 20
 
-func (r *Reader) decodeInts() ([]int64, error) {
-	out := make([]int64, 0, min(r.nRows, maxPreallocRows))
+// gorillaBlockRows is the block size the gorilla decoders produce values in;
+// small enough to live in cache, large enough to amortize the loop.
+const gorillaBlockRows = 4096
+
+// payloadLen reads and validates the byte-length prefix of the pending
+// CodecGorilla column against bound (the largest plausible payload for the
+// declared row count — corrupt length claims must fail here, not allocate).
+func (r *Reader) payloadLen(bound uint64) (int, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return 0, fmt.Errorf("store: column %q payload length: %w", r.cur.Name, err)
+	}
+	if n > bound {
+		return 0, fmt.Errorf("store: column %q payload length %d exceeds bound %d", r.cur.Name, n, bound)
+	}
+	return int(n), nil
+}
+
+// readPayload reads n bytes into the reader's reused scratch. Growth is
+// chunked so a corrupt length claim on a truncated stream fails after at
+// most one extra chunk instead of allocating the full claim up front.
+func (r *Reader) readPayload(n int) ([]byte, error) {
+	if cap(r.payload) >= n {
+		buf := r.payload[:n]
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, fmt.Errorf("store: column %q payload: %w", r.cur.Name, err)
+		}
+		return buf, nil
+	}
+	const chunk = 1 << 20
+	buf := r.payload[:0]
+	for len(buf) < n {
+		c := n - len(buf)
+		if c > chunk {
+			c = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, c)...)
+		if _, err := io.ReadFull(r.br, buf[start:]); err != nil {
+			r.payload = buf[:0]
+			return nil, fmt.Errorf("store: column %q payload: %w", r.cur.Name, err)
+		}
+	}
+	r.payload = buf
+	return buf, nil
+}
+
+func (r *Reader) decodeGorillaInts(out []int64) ([]int64, error) {
+	n, err := r.payloadLen(gorillaPayloadBound(r.nRows))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := r.readPayload(n)
+	if err != nil {
+		return nil, err
+	}
+	var dec gorillaIntDecoder
+	dec.Reset(payload)
+	var block [gorillaBlockRows]int64
+	for len(out) < r.nRows {
+		want := r.nRows - len(out)
+		if want > len(block) {
+			want = len(block)
+		}
+		got := dec.DecodeBlock(block[:want], r.nRows)
+		if got <= 0 {
+			return nil, errTruncatedPayload(r.cur.Name, len(out))
+		}
+		out = append(out, block[:got]...)
+	}
+	if dec.pos != len(payload) {
+		return nil, fmt.Errorf("store: column %q: %d trailing payload bytes", r.cur.Name, len(payload)-dec.pos)
+	}
+	return out, nil
+}
+
+func (r *Reader) decodeGorillaFloats(out []float64) ([]float64, error) {
+	n, err := r.payloadLen(gorillaPayloadBound(r.nRows))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := r.readPayload(n)
+	if err != nil {
+		return nil, err
+	}
+	var dec gorillaFloatDecoder
+	dec.Reset(payload)
+	var block [gorillaBlockRows]float64
+	for len(out) < r.nRows {
+		want := r.nRows - len(out)
+		if want > len(block) {
+			want = len(block)
+		}
+		got := dec.DecodeBlock(block[:want], r.nRows)
+		if got <= 0 {
+			return nil, errTruncatedPayload(r.cur.Name, len(out))
+		}
+		out = append(out, block[:got]...)
+	}
+	if used := (dec.bit + 7) / 8; used != len(payload) {
+		return nil, fmt.Errorf("store: column %q: %d trailing payload bytes", r.cur.Name, len(payload)-used)
+	}
+	return out, nil
+}
+
+func (r *Reader) decodeGorillaStrs() ([]string, error) {
+	bound := uint64(r.nRows)*(maxStrLen+binary.MaxVarintLen64) + 16
+	n, err := r.payloadLen(bound)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := r.readPayload(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, min(r.nRows, maxPreallocRows))
+	pos := 0
+	for j := 0; j < r.nRows; j++ {
+		l, sz := binary.Uvarint(payload[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("store: column %q row %d: bad string length", r.cur.Name, j)
+		}
+		pos += sz
+		if l > maxStrLen {
+			return nil, fmt.Errorf("store: column %q row %d: string too long (%d bytes)", r.cur.Name, j, l)
+		}
+		if uint64(len(payload)-pos) < l {
+			return nil, fmt.Errorf("store: column %q row %d: string truncated", r.cur.Name, j)
+		}
+		out = append(out, string(payload[pos:pos+int(l)]))
+		pos += int(l)
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("store: column %q: %d trailing payload bytes", r.cur.Name, len(payload)-pos)
+	}
+	return out, nil
+}
+
+func (r *Reader) decodeInts() ([]int64, error) { return r.decodeIntsInto(nil) }
+
+// decodeIntsInto appends the pending integer column's values into dst[:0],
+// reusing its capacity when large enough (the iterator path's axis scratch).
+func (r *Reader) decodeIntsInto(dst []int64) ([]int64, error) {
+	out := dst[:0]
+	if need := min(r.nRows, maxPreallocRows); cap(out) < need {
+		out = make([]int64, 0, need)
+	}
+	if r.codec == CodecGorilla {
+		return r.decodeGorillaInts(out)
+	}
 	if r.codec.delta() {
 		prev := int64(0)
 		for j := 0; j < r.nRows; j++ {
@@ -229,6 +394,9 @@ func (r *Reader) decodeInts() ([]int64, error) {
 
 func (r *Reader) decodeFloats() ([]float64, error) {
 	out := make([]float64, 0, min(r.nRows, maxPreallocRows))
+	if r.codec == CodecGorilla {
+		return r.decodeGorillaFloats(out)
+	}
 	if r.codec.delta() {
 		prev := uint64(0)
 		for j := 0; j < r.nRows; j++ {
@@ -252,6 +420,9 @@ func (r *Reader) decodeFloats() ([]float64, error) {
 }
 
 func (r *Reader) decodeStrs() ([]string, error) {
+	if r.codec == CodecGorilla {
+		return r.decodeGorillaStrs()
+	}
 	out := make([]string, 0, min(r.nRows, maxPreallocRows))
 	var buf []byte
 	for j := 0; j < r.nRows; j++ {
